@@ -1,0 +1,57 @@
+//! Criterion benchmarks of the algorithm-level contribution: the iterative factorizer
+//! against the brute-force product-codebook search (the latency side of Fig. 8), with
+//! and without stochasticity injection.
+
+use cogsys_factorizer::{BruteForceFactorizer, Factorizer, FactorizerConfig};
+use cogsys_vsa::codebook::{BindingOp, CodebookSet};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_factorization(c: &mut Criterion) {
+    let mut group = c.benchmark_group("factorization");
+    group.sample_size(10);
+
+    for &(sizes, dim) in &[(&[8usize, 8, 8][..], 1024usize), (&[9, 9, 5, 6, 10][..], 1024)] {
+        let label = format!("{}f_d{}", sizes.len(), dim);
+        let mut rng = cogsys_vsa::rng(3);
+        let set = CodebookSet::random(sizes, dim, BindingOp::Hadamard, &mut rng);
+        let indices: Vec<usize> = sizes.iter().map(|&m| m / 2).collect();
+        let query = set.bind_indices(&indices).expect("indices are in range");
+
+        group.bench_with_input(BenchmarkId::new("resonator", &label), &dim, |bench, _| {
+            let factorizer = Factorizer::new(FactorizerConfig::default());
+            let mut rng = cogsys_vsa::rng(4);
+            bench.iter(|| {
+                factorizer
+                    .factorize(black_box(&set), black_box(&query), &mut rng)
+                    .expect("well-formed query")
+            })
+        });
+
+        group.bench_with_input(
+            BenchmarkId::new("resonator_no_stochasticity", &label),
+            &dim,
+            |bench, _| {
+                let factorizer = Factorizer::new(FactorizerConfig::without_stochasticity());
+                let mut rng = cogsys_vsa::rng(4);
+                bench.iter(|| {
+                    factorizer
+                        .factorize(black_box(&set), black_box(&query), &mut rng)
+                        .expect("well-formed query")
+                })
+            },
+        );
+
+        if sizes.len() == 3 {
+            // The brute-force baseline only stays tractable for the small product space.
+            let brute = BruteForceFactorizer::new(&set).expect("small product space");
+            group.bench_with_input(BenchmarkId::new("brute_force", &label), &dim, |bench, _| {
+                bench.iter(|| brute.decode(black_box(&query)).expect("well-formed query"))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_factorization);
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! Criterion micro-benchmarks of the core computational kernels: circular convolution
+//! (functional, FFT, and register-level nsPE column), codebook cleanup, and the
+//! analytical dataflow models used by every figure.
+
+use cogsys_sim::dataflow;
+use cogsys_sim::pe::PeColumn;
+use cogsys_vsa::{ops, Codebook, Hypervector};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_circular_convolution(c: &mut Criterion) {
+    let mut group = c.benchmark_group("circular_convolution");
+    group.sample_size(20);
+    for d in [256usize, 1024, 4096] {
+        let mut rng = cogsys_vsa::rng(1);
+        let a = Hypervector::random_bipolar(d, &mut rng);
+        let b = Hypervector::random_bipolar(d, &mut rng);
+        group.bench_with_input(BenchmarkId::new("fft", d), &d, |bench, _| {
+            bench.iter(|| ops::circular_convolve(black_box(&a), black_box(&b)))
+        });
+        if d <= 1024 {
+            group.bench_with_input(BenchmarkId::new("naive", d), &d, |bench, _| {
+                bench.iter(|| ops::circular_convolve_naive(black_box(a.values()), black_box(b.values())))
+            });
+        }
+        if d <= 256 {
+            group.bench_with_input(BenchmarkId::new("nspe_column", d), &d, |bench, _| {
+                bench.iter(|| {
+                    let mut col = PeColumn::new(d).expect("non-zero height");
+                    col.circular_convolve(black_box(a.values()), black_box(b.values()))
+                        .expect("matching dimensions")
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_codebook_cleanup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("codebook_cleanup");
+    group.sample_size(20);
+    let mut rng = cogsys_vsa::rng(2);
+    for (rows, dim) in [(64usize, 1024usize), (256, 1024), (1024, 512)] {
+        let cb = Codebook::random("bench", rows, dim, &mut rng);
+        let query = ops::flip_noise(cb.vector(rows / 2).expect("in range"), 0.1, &mut rng);
+        group.bench_with_input(
+            BenchmarkId::new("cleanup", format!("{rows}x{dim}")),
+            &rows,
+            |bench, _| bench.iter(|| cb.cleanup(black_box(&query)).expect("matching dims")),
+        );
+    }
+    group.finish();
+}
+
+fn bench_dataflow_models(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dataflow_models");
+    group.sample_size(50);
+    group.bench_function("choose_mapping_sweep", |bench| {
+        bench.iter(|| {
+            let mut total = 0u64;
+            for d in [64usize, 512, 1024, 4096] {
+                for k in [1usize, 32, 210, 2575] {
+                    let m = dataflow::choose_mapping(black_box(d), black_box(k), 512, 32);
+                    total += m.spatial_cycles.min(m.temporal_cycles);
+                }
+            }
+            total
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_circular_convolution,
+    bench_codebook_cleanup,
+    bench_dataflow_models
+);
+criterion_main!(benches);

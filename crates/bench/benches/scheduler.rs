@@ -1,0 +1,65 @@
+//! Criterion benchmarks of the system level: adSCH vs sequential scheduling of NVSA
+//! batches, and the accelerator-model kernel-cost evaluation they are built on.
+
+use cogsys_scheduler::{AdSchScheduler, Scheduler, SequentialScheduler};
+use cogsys_sim::{AcceleratorConfig, ComputeArray, Kernel};
+use cogsys_workloads::{WorkloadKind, WorkloadSpec};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_scheduling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scheduling");
+    group.sample_size(10);
+    let array = ComputeArray::new(AcceleratorConfig::cogsys()).expect("valid config");
+    for tasks in [2usize, 4, 8] {
+        let graph = WorkloadSpec::new(WorkloadKind::Nvsa).operation_graph(tasks);
+        group.bench_with_input(BenchmarkId::new("adsch", tasks), &tasks, |bench, _| {
+            bench.iter(|| {
+                AdSchScheduler::default()
+                    .schedule(black_box(&array), black_box(&graph))
+                    .expect("valid graph")
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("sequential", tasks), &tasks, |bench, _| {
+            bench.iter(|| {
+                SequentialScheduler
+                    .schedule(black_box(&array), black_box(&graph))
+                    .expect("valid graph")
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_kernel_cost_model(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernel_cost_model");
+    group.sample_size(30);
+    let array = ComputeArray::new(AcceleratorConfig::cogsys()).expect("valid config");
+    let kernels = [
+        Kernel::Conv2d {
+            output_pixels: 6272,
+            out_channels: 128,
+            reduction: 1152,
+        },
+        Kernel::CircConv {
+            dim: 1024,
+            count: 210,
+        },
+    ];
+    group.bench_function("execute_nvsa_kernels", |bench| {
+        bench.iter(|| {
+            let mut total = 0u64;
+            for kernel in &kernels {
+                total += array
+                    .execute(black_box(kernel), 16)
+                    .expect("valid kernel")
+                    .cycles;
+            }
+            total
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_scheduling, bench_kernel_cost_model);
+criterion_main!(benches);

@@ -1,0 +1,6 @@
+//! Regenerates Fig. 4 (workload profiling) of the CogSys paper. Run with `cargo run --release --bin fig04_profiling`.
+fn main() {
+    for table in cogsys::experiments::fig04_profiling() {
+        println!("{table}");
+    }
+}

@@ -1,0 +1,4 @@
+//! Regenerates Fig. 5 (roofline analysis) of the CogSys paper. Run with `cargo run --release --bin fig05_roofline`.
+fn main() {
+    println!("{}", cogsys::experiments::fig05_roofline());
+}

@@ -1,0 +1,4 @@
+//! Regenerates Fig. 6 (symbolic operation breakdown) of the CogSys paper. Run with `cargo run --release --bin fig06_symbolic_ops`.
+fn main() {
+    println!("{}", cogsys::experiments::fig06_symbolic_ops());
+}

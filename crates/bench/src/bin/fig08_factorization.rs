@@ -1,0 +1,4 @@
+//! Regenerates Fig. 8 (factorization memory/runtime reduction) of the CogSys paper. Run with `cargo run --release --bin fig08_factorization`.
+fn main() {
+    println!("{}", cogsys::experiments::fig08_factorization(2024));
+}

@@ -1,0 +1,6 @@
+//! Regenerates Fig. 11 (bubble-streaming dataflow) of the CogSys paper. Run with `cargo run --release --bin fig11_bs_dataflow`.
+fn main() {
+    for table in cogsys::experiments::fig11_bs_dataflow() {
+        println!("{table}");
+    }
+}

@@ -1,0 +1,4 @@
+//! Regenerates Fig. 12 (spatial-temporal mapping) of the CogSys paper. Run with `cargo run --release --bin fig12_st_mapping`.
+fn main() {
+    println!("{}", cogsys::experiments::fig12_st_mapping());
+}

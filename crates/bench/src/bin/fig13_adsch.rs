@@ -1,0 +1,4 @@
+//! Regenerates Fig. 13 (adaptive scheduling) of the CogSys paper. Run with `cargo run --release --bin fig13_adsch`.
+fn main() {
+    println!("{}", cogsys::experiments::fig13_adsch());
+}

@@ -1,0 +1,9 @@
+//! Regenerates Fig. 14 (accelerator specification) of the CogSys paper. Run with `cargo run --release --bin fig14_specs`.
+fn main() {
+    println!("{}", cogsys::experiments::tab09_precision());
+    let system = cogsys::CogSysSystem::default();
+    println!(
+        "CogSys spec: 16x32x32 PEs, 512 SIMD PEs, 4.5 MiB SRAM, 0.8 GHz, {:.3} s/task",
+        system.seconds_per_task().expect("default config is valid")
+    );
+}

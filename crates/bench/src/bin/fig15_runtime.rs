@@ -1,0 +1,4 @@
+//! Regenerates Fig. 15 (end-to-end runtime comparison) of the CogSys paper. Run with `cargo run --release --bin fig15_runtime`.
+fn main() {
+    println!("{}", cogsys::experiments::fig15_runtime());
+}

@@ -1,0 +1,4 @@
+//! Regenerates Fig. 16 (energy efficiency comparison) of the CogSys paper. Run with `cargo run --release --bin fig16_energy`.
+fn main() {
+    println!("{}", cogsys::experiments::fig16_energy());
+}

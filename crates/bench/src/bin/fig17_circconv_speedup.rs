@@ -1,0 +1,6 @@
+//! Regenerates Fig. 17 (circular convolution speedup) of the CogSys paper. Run with `cargo run --release --bin fig17_circconv_speedup`.
+fn main() {
+    for table in cogsys::experiments::fig17_circconv_speedup() {
+        println!("{table}");
+    }
+}

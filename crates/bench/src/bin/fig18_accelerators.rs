@@ -1,0 +1,4 @@
+//! Regenerates Fig. 18 (ML accelerator comparison) of the CogSys paper. Run with `cargo run --release --bin fig18_accelerators`.
+fn main() {
+    println!("{}", cogsys::experiments::fig18_accelerators());
+}

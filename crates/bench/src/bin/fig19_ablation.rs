@@ -1,0 +1,4 @@
+//! Regenerates Fig. 19 (hardware technique ablation) of the CogSys paper. Run with `cargo run --release --bin fig19_ablation`.
+fn main() {
+    println!("{}", cogsys::experiments::fig19_ablation());
+}

@@ -1,0 +1,4 @@
+//! Regenerates Tab. II (kernel efficiency statistics) of the CogSys paper. Run with `cargo run --release --bin tab02_kernel_stats`.
+fn main() {
+    println!("{}", cogsys::experiments::tab02_kernel_stats());
+}

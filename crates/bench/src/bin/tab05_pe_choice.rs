@@ -1,0 +1,4 @@
+//! Regenerates Tab. V (reconfigurable vs heterogeneous PE) of the CogSys paper. Run with `cargo run --release --bin tab05_pe_choice`.
+fn main() {
+    println!("{}", cogsys::experiments::tab05_pe_choice());
+}

@@ -1,0 +1,4 @@
+//! Regenerates Tab. VIII (reasoning accuracy) of the CogSys paper. Run with `cargo run --release --bin tab08_reasoning_acc`.
+fn main() {
+    println!("{}", cogsys::experiments::tab08_reasoning_accuracy(10, 7));
+}

@@ -1,0 +1,4 @@
+//! Regenerates Tab. IX (precision area/power) of the CogSys paper. Run with `cargo run --release --bin tab09_precision`.
+fn main() {
+    println!("{}", cogsys::experiments::tab09_precision());
+}

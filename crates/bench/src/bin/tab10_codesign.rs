@@ -1,0 +1,4 @@
+//! Regenerates Tab. X (co-design necessity ablation) of the CogSys paper. Run with `cargo run --release --bin tab10_codesign`.
+fn main() {
+    println!("{}", cogsys::experiments::tab10_codesign());
+}

@@ -1,0 +1,6 @@
+//! # cogsys-bench — benchmark harness for the CogSys reproduction
+//!
+//! * `src/bin/` — one binary per paper table/figure; each prints the corresponding
+//!   [`cogsys::experiments`] table (run e.g. `cargo run --release --bin fig15_runtime`).
+//! * `benches/` — Criterion micro-benchmarks of the underlying kernels (circular
+//!   convolution, factorization, scheduling).

@@ -1,0 +1,38 @@
+//! # cogsys — the end-to-end CogSys neurosymbolic cognition system
+//!
+//! This crate ties the reproduction together: the algorithm level
+//! (`cogsys-vsa` + `cogsys-factorizer`), the hardware level (`cogsys-sim`), the system
+//! level (`cogsys-scheduler`), the workload models (`cogsys-workloads`) and the
+//! synthetic benchmarks (`cogsys-datasets`) are combined into a single
+//! [`CogSysSystem`] that can
+//!
+//! * solve reasoning problems functionally and report accuracy (Tab. VII/VIII),
+//! * estimate end-to-end latency, utilisation and energy of the CogSys accelerator and
+//!   of every baseline device (Fig. 15/16/18, Tab. X),
+//! * run the hardware ablations (Fig. 19) and precision sweeps (Tab. IX).
+//!
+//! The [`experiments`] module contains one entry point per table/figure of the paper's
+//! evaluation; the `cogsys-bench` crate's binaries are thin wrappers around them.
+//!
+//! # Quickstart
+//!
+//! ```rust
+//! use cogsys::{CogSysConfig, CogSysSystem};
+//! use cogsys_datasets::DatasetKind;
+//!
+//! let system = CogSysSystem::new(CogSysConfig::default());
+//! // Accuracy: solve a few synthetic RAVEN problems end to end.
+//! let outcome = system.run_reasoning(DatasetKind::Raven, 2, 42).unwrap();
+//! assert_eq!(outcome.report.problems, 2);
+//! // Performance: per-task latency on the simulated accelerator is well under the
+//! // 0.3 s real-time bound the paper claims.
+//! assert!(outcome.seconds_per_task < 0.3);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod system;
+
+pub use system::{AblationVariant, CogSysConfig, CogSysSystem, ReasoningOutcome};

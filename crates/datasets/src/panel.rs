@@ -1,0 +1,217 @@
+//! Panels and their symbolic attributes.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The five RAVEN panel attributes the symbolic reasoner operates on.
+///
+/// Each attribute takes a small number of discrete values; the cardinalities follow the
+/// RAVEN dataset definition (position is a 3×3 occupancy pattern index, number is 1–9,
+/// type is one of 5 shapes, size one of 6, color one of 10).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Attribute {
+    /// Spatial arrangement of the objects inside the panel.
+    Position,
+    /// Number of objects.
+    Number,
+    /// Object shape type.
+    Type,
+    /// Object size.
+    Size,
+    /// Object color / shade.
+    Color,
+}
+
+impl Attribute {
+    /// All attributes in canonical order.
+    pub const ALL: [Attribute; 5] = [
+        Attribute::Position,
+        Attribute::Number,
+        Attribute::Type,
+        Attribute::Size,
+        Attribute::Color,
+    ];
+
+    /// Index of this attribute in [`Attribute::ALL`].
+    pub fn index(self) -> usize {
+        match self {
+            Attribute::Position => 0,
+            Attribute::Number => 1,
+            Attribute::Type => 2,
+            Attribute::Size => 3,
+            Attribute::Color => 4,
+        }
+    }
+
+    /// Number of discrete values this attribute can take.
+    pub fn cardinality(self) -> usize {
+        ATTRIBUTE_CARDINALITIES[self.index()]
+    }
+}
+
+impl fmt::Display for Attribute {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Attribute::Position => "position",
+            Attribute::Number => "number",
+            Attribute::Type => "type",
+            Attribute::Size => "size",
+            Attribute::Color => "color",
+        };
+        write!(f, "{name}")
+    }
+}
+
+/// Cardinality of each attribute, in [`Attribute::ALL`] order
+/// (position, number, type, size, color).
+pub const ATTRIBUTE_CARDINALITIES: [usize; 5] = [9, 9, 5, 6, 10];
+
+/// One panel of a reasoning problem, described purely by its attribute values.
+///
+/// `values[i]` is the value of `Attribute::ALL[i]`, in `0..cardinality`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub struct Panel {
+    values: [usize; 5],
+}
+
+impl Panel {
+    /// Creates a panel from explicit attribute values.
+    ///
+    /// # Panics
+    /// Panics if any value exceeds its attribute's cardinality — panels are constructed
+    /// by generators and rules, so an out-of-range value is a bug.
+    pub fn new(values: [usize; 5]) -> Self {
+        for (v, c) in values.iter().zip(ATTRIBUTE_CARDINALITIES) {
+            assert!(*v < c, "attribute value {v} out of range (cardinality {c})");
+        }
+        Self { values }
+    }
+
+    /// Samples a uniformly random panel.
+    pub fn random<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        let mut values = [0usize; 5];
+        for (v, c) in values.iter_mut().zip(ATTRIBUTE_CARDINALITIES) {
+            *v = rng.gen_range(0..c);
+        }
+        Self { values }
+    }
+
+    /// Value of one attribute.
+    pub fn value(&self, attribute: Attribute) -> usize {
+        self.values[attribute.index()]
+    }
+
+    /// Returns a copy with one attribute replaced (wrapped into range).
+    pub fn with_value(&self, attribute: Attribute, value: usize) -> Self {
+        let mut values = self.values;
+        values[attribute.index()] = value % attribute.cardinality();
+        Self { values }
+    }
+
+    /// All five attribute values in canonical order.
+    pub fn values(&self) -> [usize; 5] {
+        self.values
+    }
+
+    /// Number of attributes on which two panels differ.
+    pub fn distance(&self, other: &Panel) -> usize {
+        self.values
+            .iter()
+            .zip(&other.values)
+            .filter(|(a, b)| a != b)
+            .count()
+    }
+
+    /// Applies perception noise: each attribute is independently replaced by a random
+    /// value with probability `p`, emulating neural-frontend errors.
+    pub fn perturbed<R: Rng + ?Sized>(&self, p: f64, rng: &mut R) -> Self {
+        let mut values = self.values;
+        for (i, c) in ATTRIBUTE_CARDINALITIES.iter().enumerate() {
+            if rng.gen_bool(p.clamp(0.0, 1.0)) {
+                values[i] = rng.gen_range(0..*c);
+            }
+        }
+        Self { values }
+    }
+}
+
+impl fmt::Display for Panel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Panel(pos={}, num={}, type={}, size={}, color={})",
+            self.values[0], self.values[1], self.values[2], self.values[3], self.values[4]
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn attribute_metadata() {
+        assert_eq!(Attribute::ALL.len(), 5);
+        assert_eq!(Attribute::Color.cardinality(), 10);
+        assert_eq!(Attribute::Type.index(), 2);
+        assert_eq!(Attribute::Position.to_string(), "position");
+        let total: usize = ATTRIBUTE_CARDINALITIES.iter().product();
+        // The full product space — what a product codebook would have to store.
+        assert_eq!(total, 9 * 9 * 5 * 6 * 10);
+    }
+
+    #[test]
+    fn panel_accessors_and_mutation() {
+        let p = Panel::new([1, 2, 3, 4, 5]);
+        assert_eq!(p.value(Attribute::Position), 1);
+        assert_eq!(p.value(Attribute::Color), 5);
+        assert_eq!(p.values(), [1, 2, 3, 4, 5]);
+        let q = p.with_value(Attribute::Color, 7);
+        assert_eq!(q.value(Attribute::Color), 7);
+        assert_eq!(p.distance(&q), 1);
+        assert_eq!(p.distance(&p), 0);
+        // with_value wraps out-of-range inputs.
+        assert_eq!(p.with_value(Attribute::Type, 12).value(Attribute::Type), 12 % 5);
+        assert!(p.to_string().contains("color=5"));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_panel_panics() {
+        let _ = Panel::new([0, 0, 9, 0, 0]);
+    }
+
+    #[test]
+    fn perturbation_extremes() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let p = Panel::new([0, 1, 2, 3, 4]);
+        assert_eq!(p.perturbed(0.0, &mut rng), p);
+        // With p=1 every attribute is resampled; it may coincide by chance but over many
+        // attributes at least one should change.
+        let q = p.perturbed(1.0, &mut rng);
+        assert!(q.values().iter().zip(ATTRIBUTE_CARDINALITIES).all(|(v, c)| *v < c));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_random_panels_are_in_range(seed in 0u64..1000) {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let p = Panel::random(&mut rng);
+            for (v, c) in p.values().iter().zip(ATTRIBUTE_CARDINALITIES) {
+                prop_assert!(*v < c);
+            }
+        }
+
+        #[test]
+        fn prop_distance_is_symmetric_and_bounded(seed in 0u64..500) {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let a = Panel::random(&mut rng);
+            let b = Panel::random(&mut rng);
+            prop_assert_eq!(a.distance(&b), b.distance(&a));
+            prop_assert!(a.distance(&b) <= 5);
+        }
+    }
+}

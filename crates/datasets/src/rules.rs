@@ -1,0 +1,378 @@
+//! Row-governing rules (RAVEN / PGM rule types).
+
+use crate::panel::{Attribute, Panel};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The rule families used by RAVEN and PGM (Tab. VII's second half lists Constant,
+/// Progression, XOR, AND, OR, Arithmetic, Distribution as the evaluated rule types).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RuleKind {
+    /// The attribute value is identical across the row.
+    Constant,
+    /// The attribute increases by a fixed step along the row (modulo its cardinality).
+    Progression,
+    /// Third panel's value is (first + second) modulo the cardinality.
+    Arithmetic,
+    /// The three values of the row are a permutation of a fixed value triple
+    /// ("distribute three" in RAVEN, "distribution" in PGM).
+    DistributeThree,
+    /// Third value is the bitwise XOR of the first two (PGM logical rule).
+    Xor,
+    /// Third value is the bitwise AND of the first two (PGM logical rule).
+    And,
+    /// Third value is the bitwise OR of the first two (PGM logical rule).
+    Or,
+}
+
+impl RuleKind {
+    /// Rule kinds used when generating RAVEN / I-RAVEN problems.
+    pub const RAVEN: [RuleKind; 4] = [
+        RuleKind::Constant,
+        RuleKind::Progression,
+        RuleKind::Arithmetic,
+        RuleKind::DistributeThree,
+    ];
+
+    /// Rule kinds used when generating PGM-style problems (adds the logical rules).
+    pub const PGM: [RuleKind; 7] = [
+        RuleKind::Constant,
+        RuleKind::Progression,
+        RuleKind::Arithmetic,
+        RuleKind::DistributeThree,
+        RuleKind::Xor,
+        RuleKind::And,
+        RuleKind::Or,
+    ];
+}
+
+impl fmt::Display for RuleKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            RuleKind::Constant => "Constant",
+            RuleKind::Progression => "Progression",
+            RuleKind::Arithmetic => "Arithmetic",
+            RuleKind::DistributeThree => "Distribute-Three",
+            RuleKind::Xor => "XOR",
+            RuleKind::And => "AND",
+            RuleKind::Or => "OR",
+        };
+        write!(f, "{name}")
+    }
+}
+
+/// A rule bound to one attribute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Rule {
+    /// Which attribute the rule governs.
+    pub attribute: Attribute,
+    /// The rule family.
+    pub kind: RuleKind,
+    /// Family-specific parameter: step for Progression, the value triple's seed for
+    /// DistributeThree, unused otherwise.
+    pub parameter: usize,
+}
+
+impl Rule {
+    /// Samples a random rule of the given kind for an attribute.
+    pub fn random<R: Rng + ?Sized>(attribute: Attribute, kind: RuleKind, rng: &mut R) -> Self {
+        let parameter = match kind {
+            RuleKind::Progression => 1 + rng.gen_range(0..2), // step 1 or 2
+            RuleKind::DistributeThree => rng.gen_range(0..attribute.cardinality()),
+            _ => 0,
+        };
+        Self {
+            attribute,
+            kind,
+            parameter,
+        }
+    }
+
+    /// The value triple `(v0, v1, v2)` this rule produces for one row, given the first
+    /// two values (which the generator may choose freely for most rules).
+    pub fn complete_row(&self, v0: usize, v1: usize) -> (usize, usize, usize) {
+        let card = self.attribute.cardinality();
+        match self.kind {
+            RuleKind::Constant => (v0, v0, v0),
+            RuleKind::Progression => {
+                let step = self.parameter.max(1);
+                (v0, (v0 + step) % card, (v0 + 2 * step) % card)
+            }
+            RuleKind::Arithmetic => (v0, v1, (v0 + v1) % card),
+            RuleKind::DistributeThree => {
+                // The triple is {p, p+1, p+2} (mod card), rotated so each row is a
+                // different permutation; v0 selects the rotation.
+                let p = self.parameter;
+                let triple = [p % card, (p + 1) % card, (p + 2) % card];
+                let r = v0 % 3;
+                (triple[r], triple[(r + 1) % 3], triple[(r + 2) % 3])
+            }
+            RuleKind::Xor => (v0, v1, (v0 ^ v1) % card),
+            RuleKind::And => (v0, v1, (v0 & v1) % card),
+            RuleKind::Or => (v0, v1, (v0 | v1) % card),
+        }
+    }
+
+    /// The unique third value that completes a row whose first two panels carry the
+    /// values `v0` and `v1`.
+    ///
+    /// Unlike [`Rule::complete_row`] (which *generates* a row and may reinterpret `v0`
+    /// as a free parameter, e.g. the rotation of a Distribute-Three triple), this takes
+    /// `v0`/`v1` as the actual observed panel values — it is what a reasoner uses to
+    /// execute an abduced rule.
+    pub fn third_value(&self, v0: usize, v1: usize) -> usize {
+        let card = self.attribute.cardinality();
+        match self.kind {
+            RuleKind::Constant => v0,
+            RuleKind::Progression => (v0 + 2 * self.parameter.max(1)) % card,
+            RuleKind::Arithmetic => (v0 + v1) % card,
+            RuleKind::DistributeThree => {
+                let p = self.parameter;
+                let triple = [p % card, (p + 1) % card, (p + 2) % card];
+                triple
+                    .into_iter()
+                    .find(|v| *v != v0 && *v != v1)
+                    .unwrap_or(triple[0])
+            }
+            RuleKind::Xor => (v0 ^ v1) % card,
+            RuleKind::And => (v0 & v1) % card,
+            RuleKind::Or => (v0 | v1) % card,
+        }
+    }
+
+    /// Whether a value triple satisfies this rule.
+    pub fn satisfied(&self, v0: usize, v1: usize, v2: usize) -> bool {
+        let card = self.attribute.cardinality();
+        match self.kind {
+            RuleKind::Constant => v0 == v1 && v1 == v2,
+            RuleKind::Progression => {
+                let step = self.parameter.max(1);
+                v1 == (v0 + step) % card && v2 == (v1 + step) % card
+            }
+            RuleKind::Arithmetic => v2 == (v0 + v1) % card,
+            RuleKind::DistributeThree => {
+                let p = self.parameter;
+                let mut expected = [p % card, (p + 1) % card, (p + 2) % card];
+                let mut actual = [v0, v1, v2];
+                expected.sort_unstable();
+                actual.sort_unstable();
+                expected == actual
+            }
+            RuleKind::Xor => v2 == (v0 ^ v1) % card,
+            RuleKind::And => v2 == (v0 & v1) % card,
+            RuleKind::Or => v2 == (v0 | v1) % card,
+        }
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} on {}", self.kind, self.attribute)
+    }
+}
+
+/// One rule per attribute — the hidden structure of a reasoning problem.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RuleSet {
+    rules: Vec<Rule>,
+}
+
+impl RuleSet {
+    /// Samples one random rule per attribute from the given rule-kind pool.
+    pub fn random<R: Rng + ?Sized>(pool: &[RuleKind], rng: &mut R) -> Self {
+        let rules = Attribute::ALL
+            .iter()
+            .map(|&attr| {
+                let kind = pool[rng.gen_range(0..pool.len())];
+                Rule::random(attr, kind, rng)
+            })
+            .collect();
+        Self { rules }
+    }
+
+    /// The per-attribute rules in [`Attribute::ALL`] order.
+    pub fn rules(&self) -> &[Rule] {
+        &self.rules
+    }
+
+    /// The rule governing one attribute.
+    pub fn rule_for(&self, attribute: Attribute) -> Rule {
+        self.rules[attribute.index()]
+    }
+
+    /// Generates one complete row of three panels consistent with every rule.
+    pub fn generate_row<R: Rng + ?Sized>(&self, rng: &mut R) -> [Panel; 3] {
+        let mut row = [[0usize; 5]; 3];
+        for rule in &self.rules {
+            let card = rule.attribute.cardinality();
+            let v0 = rng.gen_range(0..card);
+            let v1 = rng.gen_range(0..card);
+            let (a, b, c) = rule.complete_row(v0, v1);
+            row[0][rule.attribute.index()] = a;
+            row[1][rule.attribute.index()] = b;
+            row[2][rule.attribute.index()] = c;
+        }
+        [Panel::new(row[0]), Panel::new(row[1]), Panel::new(row[2])]
+    }
+
+    /// Completes a row's third panel given its first two panels.
+    pub fn complete(&self, first: &Panel, second: &Panel) -> Panel {
+        let mut values = [0usize; 5];
+        for rule in &self.rules {
+            let v0 = first.value(rule.attribute);
+            let v1 = second.value(rule.attribute);
+            values[rule.attribute.index()] = rule.third_value(v0, v1);
+        }
+        Panel::new(values)
+    }
+
+    /// Whether a full row satisfies every rule.
+    pub fn row_satisfied(&self, row: &[Panel; 3]) -> bool {
+        self.rules.iter().all(|rule| {
+            rule.satisfied(
+                row[0].value(rule.attribute),
+                row[1].value(rule.attribute),
+                row[2].value(rule.attribute),
+            )
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn rule_kind_pools() {
+        assert_eq!(RuleKind::RAVEN.len(), 4);
+        assert_eq!(RuleKind::PGM.len(), 7);
+        assert!(RuleKind::PGM.contains(&RuleKind::Xor));
+        assert!(!RuleKind::RAVEN.contains(&RuleKind::Xor));
+        assert_eq!(RuleKind::DistributeThree.to_string(), "Distribute-Three");
+    }
+
+    #[test]
+    fn each_rule_kind_generates_satisfying_rows() {
+        let mut r = rng(10);
+        for kind in RuleKind::PGM {
+            for _ in 0..20 {
+                let rule = Rule::random(Attribute::Color, kind, &mut r);
+                let v0 = r.gen_range(0..10);
+                let v1 = r.gen_range(0..10);
+                let (a, b, c) = rule.complete_row(v0, v1);
+                assert!(
+                    rule.satisfied(a, b, c),
+                    "kind {kind}: ({a},{b},{c}) does not satisfy {rule}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn constant_and_progression_specifics() {
+        let constant = Rule {
+            attribute: Attribute::Size,
+            kind: RuleKind::Constant,
+            parameter: 0,
+        };
+        assert_eq!(constant.complete_row(3, 5), (3, 3, 3));
+        assert!(constant.satisfied(2, 2, 2));
+        assert!(!constant.satisfied(2, 2, 3));
+
+        let prog = Rule {
+            attribute: Attribute::Number,
+            kind: RuleKind::Progression,
+            parameter: 2,
+        };
+        assert_eq!(prog.complete_row(7, 0), (7, 0, 2)); // wraps modulo 9
+        assert!(prog.satisfied(1, 3, 5));
+        assert!(!prog.satisfied(1, 3, 6));
+    }
+
+    #[test]
+    fn arithmetic_and_logical_rules() {
+        let arith = Rule {
+            attribute: Attribute::Color,
+            kind: RuleKind::Arithmetic,
+            parameter: 0,
+        };
+        assert_eq!(arith.complete_row(6, 7), (6, 7, 3)); // (6+7) mod 10
+        let xor = Rule {
+            attribute: Attribute::Color,
+            kind: RuleKind::Xor,
+            parameter: 0,
+        };
+        assert_eq!(xor.complete_row(6, 3), (6, 3, 5));
+        let and = Rule {
+            attribute: Attribute::Color,
+            kind: RuleKind::And,
+            parameter: 0,
+        };
+        assert_eq!(and.complete_row(6, 3), (6, 3, 2));
+        let or = Rule {
+            attribute: Attribute::Color,
+            kind: RuleKind::Or,
+            parameter: 0,
+        };
+        assert_eq!(or.complete_row(6, 3), (6, 3, 7));
+    }
+
+    #[test]
+    fn distribute_three_is_a_permutation_of_a_fixed_triple() {
+        let rule = Rule {
+            attribute: Attribute::Type,
+            kind: RuleKind::DistributeThree,
+            parameter: 2,
+        };
+        let (a, b, c) = rule.complete_row(0, 0);
+        let mut values = [a, b, c];
+        values.sort_unstable();
+        assert_eq!(values, [2 % 5, 3 % 5, 4 % 5]);
+        assert!(rule.satisfied(4, 2, 3));
+        assert!(!rule.satisfied(4, 2, 2));
+        // Different rotations for different v0.
+        assert_ne!(rule.complete_row(0, 0).0, rule.complete_row(1, 0).0);
+    }
+
+    #[test]
+    fn ruleset_generates_consistent_rows_and_completions() {
+        let mut r = rng(11);
+        for seed in 0..20u64 {
+            let mut r2 = rng(seed);
+            let rules = RuleSet::random(&RuleKind::RAVEN, &mut r2);
+            let row = rules.generate_row(&mut r);
+            assert!(rules.row_satisfied(&row));
+            let completed = rules.complete(&row[0], &row[1]);
+            assert_eq!(completed, row[2]);
+            assert_eq!(rules.rules().len(), 5);
+            assert_eq!(rules.rule_for(Attribute::Color).attribute, Attribute::Color);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_complete_row_always_satisfies(seed in 0u64..300, kind_idx in 0usize..7, v0 in 0usize..10, v1 in 0usize..10) {
+            let mut r = rng(seed);
+            let kind = RuleKind::PGM[kind_idx];
+            let rule = Rule::random(Attribute::Color, kind, &mut r);
+            let (a, b, c) = rule.complete_row(v0 % 10, v1 % 10);
+            prop_assert!(rule.satisfied(a, b, c));
+            prop_assert!(a < 10 && b < 10 && c < 10);
+        }
+
+        #[test]
+        fn prop_generated_rows_are_in_range(seed in 0u64..200) {
+            let mut r = rng(seed);
+            let rules = RuleSet::random(&RuleKind::PGM, &mut r);
+            let row = rules.generate_row(&mut r);
+            prop_assert!(rules.row_satisfied(&row));
+        }
+    }
+}

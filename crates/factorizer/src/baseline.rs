@@ -1,0 +1,118 @@
+//! Brute-force product-codebook baseline.
+//!
+//! This is the scheme the paper's factorization strategy replaces: materialise the full
+//! `M^F`-entry product codebook and answer each query by exhaustive similarity search.
+//! It is retained as (a) a correctness oracle for the factorizer tests and (b) the
+//! baseline side of the Fig. 8 memory / runtime comparison.
+
+use cogsys_vsa::codebook::{CodebookSet, ProductCodebook};
+use cogsys_vsa::{Hypervector, VsaError};
+use serde::{Deserialize, Serialize};
+
+/// Outcome of a brute-force product-codebook search.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BruteForceOutcome {
+    /// Decoded per-factor indices.
+    pub indices: Vec<usize>,
+    /// Cosine similarity of the best product vector to the query.
+    pub similarity: f32,
+    /// Number of product vectors examined (always the full product-space size).
+    pub candidates_examined: usize,
+}
+
+/// Brute-force factorizer over an expanded [`ProductCodebook`].
+#[derive(Debug, Clone)]
+pub struct BruteForceFactorizer {
+    product: ProductCodebook,
+}
+
+impl BruteForceFactorizer {
+    /// Expands the product codebook for `set`.
+    ///
+    /// # Errors
+    /// Returns [`VsaError::InvalidParameter`] when the product space exceeds the
+    /// expansion guard of [`ProductCodebook::MAX_COMBINATIONS`].
+    pub fn new(set: &CodebookSet) -> Result<Self, VsaError> {
+        Ok(Self {
+            product: ProductCodebook::expand(set)?,
+        })
+    }
+
+    /// Number of entries in the expanded codebook.
+    pub fn codebook_len(&self) -> usize {
+        self.product.len()
+    }
+
+    /// Memory footprint of the expanded codebook in bytes.
+    pub fn footprint_bytes(&self, bytes_per_element: usize) -> usize {
+        self.product.footprint_bytes(bytes_per_element)
+    }
+
+    /// Decodes a query by exhaustive search.
+    ///
+    /// # Errors
+    /// Propagates dimension mismatches from the underlying similarity computation.
+    pub fn decode(&self, query: &Hypervector) -> Result<BruteForceOutcome, VsaError> {
+        let (indices, similarity) = self.product.brute_force_search(query)?;
+        Ok(BruteForceOutcome {
+            indices,
+            similarity,
+            candidates_examined: self.product.len(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Factorizer, FactorizerConfig};
+    use cogsys_vsa::codebook::BindingOp;
+    use cogsys_vsa::{ops, rng, CodebookSet};
+
+    #[test]
+    fn brute_force_decodes_exactly() {
+        let mut r = rng(50);
+        let set = CodebookSet::random(&[4, 5, 3], 512, BindingOp::Hadamard, &mut r);
+        let bf = BruteForceFactorizer::new(&set).unwrap();
+        assert_eq!(bf.codebook_len(), 60);
+        let q = set.bind_indices(&[3, 2, 1]).unwrap();
+        let out = bf.decode(&q).unwrap();
+        assert_eq!(out.indices, vec![3, 2, 1]);
+        assert_eq!(out.candidates_examined, 60);
+        assert!(out.similarity > 0.99);
+    }
+
+    #[test]
+    fn brute_force_and_factorizer_agree_on_noisy_queries() {
+        let mut r = rng(51);
+        let set = CodebookSet::random(&[5, 5, 5], 1024, BindingOp::Hadamard, &mut r);
+        let bf = BruteForceFactorizer::new(&set).unwrap();
+        let fac = Factorizer::new(FactorizerConfig::default());
+        for trial in 0..10 {
+            let idx = [trial % 5, (trial * 2) % 5, (trial * 3) % 5];
+            let clean = set.bind_indices(&idx).unwrap();
+            let noisy = ops::flip_noise(&clean, 0.05, &mut r);
+            let bf_out = bf.decode(&noisy).unwrap();
+            let fac_out = fac.factorize(&set, &noisy, &mut r).unwrap();
+            assert_eq!(bf_out.indices, idx.to_vec());
+            assert_eq!(fac_out.indices, idx.to_vec());
+        }
+    }
+
+    #[test]
+    fn footprint_reflects_expanded_size() {
+        let mut r = rng(52);
+        let set = CodebookSet::random(&[4, 4], 128, BindingOp::Hadamard, &mut r);
+        let bf = BruteForceFactorizer::new(&set).unwrap();
+        assert_eq!(bf.footprint_bytes(4), 16 * 128 * 4);
+        // The factored representation the paper keeps on-chip is far smaller.
+        assert!(set.footprint_bytes(4) < bf.footprint_bytes(4));
+    }
+
+    #[test]
+    fn oversized_product_space_is_refused() {
+        let mut r = rng(53);
+        let set = CodebookSet::random(&[3000, 3000], 16, BindingOp::Hadamard, &mut r);
+        assert!(BruteForceFactorizer::new(&set).is_err());
+    }
+}

@@ -1,0 +1,172 @@
+//! Factorizer configuration.
+
+use cogsys_vsa::Precision;
+use serde::{Deserialize, Serialize};
+
+/// Stochasticity-injection settings (paper Sec. IV-B).
+///
+/// Additive Gaussian noise applied to the similarity vector (Step 2) and to the
+/// projected estimate before the sign non-linearity (Step 3) lets the iteration escape
+/// limit cycles, exploring a larger solution space and converging in fewer iterations.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StochasticityConfig {
+    /// Standard deviation of the noise added to each similarity score, expressed as a
+    /// multiple of `sqrt(d)` (the natural scale of cross-similarities between random
+    /// bipolar vectors of dimension `d`). 0 disables similarity noise.
+    pub similarity_sigma: f32,
+    /// Standard deviation of the noise added to each element of the projected estimate
+    /// before `sign`, expressed as a multiple of `sqrt(d)`. 0 disables projection noise.
+    pub projection_sigma: f32,
+    /// Multiplicative decay applied to both sigmas each iteration, so the search is
+    /// exploratory early and deterministic near convergence.
+    pub decay: f32,
+}
+
+impl StochasticityConfig {
+    /// Noise disabled entirely (the "w/o stochasticity" ablation).
+    pub fn disabled() -> Self {
+        Self {
+            similarity_sigma: 0.0,
+            projection_sigma: 0.0,
+            decay: 1.0,
+        }
+    }
+
+    /// Returns `true` if any noise is injected.
+    pub fn is_enabled(&self) -> bool {
+        self.similarity_sigma > 0.0 || self.projection_sigma > 0.0
+    }
+}
+
+impl Default for StochasticityConfig {
+    fn default() -> Self {
+        Self {
+            similarity_sigma: 0.2,
+            projection_sigma: 0.5,
+            decay: 0.97,
+        }
+    }
+}
+
+/// Configuration of the iterative factorizer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FactorizerConfig {
+    /// Maximum number of unbind → search → project iterations before giving up.
+    pub max_iterations: usize,
+    /// The iteration stops once the similarity of the reconstructed product vector to
+    /// the query exceeds this threshold (cosine similarity in `[0, 1]`). The paper notes
+    /// designers "can balance speed and accuracy by tuning factorization convergence
+    /// threshold" (Sec. IV-C).
+    pub convergence_threshold: f32,
+    /// Stochasticity injection settings.
+    pub stochasticity: StochasticityConfig,
+    /// Arithmetic precision the three factorization steps are executed in.
+    pub precision: Precision,
+    /// Number of consecutive identical estimate sets after which a limit cycle is
+    /// declared (only reachable when stochasticity is disabled).
+    pub limit_cycle_window: usize,
+}
+
+impl FactorizerConfig {
+    /// Configuration used for the paper-style accuracy experiments: stochasticity on,
+    /// FP32 arithmetic.
+    pub fn paper_default() -> Self {
+        Self::default()
+    }
+
+    /// The "factorization only" ablation: no stochasticity.
+    pub fn without_stochasticity() -> Self {
+        Self {
+            stochasticity: StochasticityConfig::disabled(),
+            ..Self::default()
+        }
+    }
+
+    /// Returns a copy with the arithmetic precision replaced.
+    pub fn with_precision(mut self, precision: Precision) -> Self {
+        self.precision = precision;
+        self
+    }
+
+    /// Returns a copy with the iteration budget replaced.
+    pub fn with_max_iterations(mut self, max_iterations: usize) -> Self {
+        self.max_iterations = max_iterations;
+        self
+    }
+
+    /// Basic sanity checks; returns a human-readable complaint when invalid.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.max_iterations == 0 {
+            return Err("max_iterations must be at least 1".to_string());
+        }
+        if !(0.0..=1.0).contains(&self.convergence_threshold) {
+            return Err(format!(
+                "convergence_threshold must be in [0,1], got {}",
+                self.convergence_threshold
+            ));
+        }
+        if self.stochasticity.decay <= 0.0 || self.stochasticity.decay > 1.0 {
+            return Err(format!(
+                "stochasticity decay must be in (0,1], got {}",
+                self.stochasticity.decay
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl Default for FactorizerConfig {
+    fn default() -> Self {
+        Self {
+            max_iterations: 200,
+            convergence_threshold: 0.9,
+            stochasticity: StochasticityConfig::default(),
+            precision: Precision::Fp32,
+            limit_cycle_window: 4,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_valid() {
+        assert!(FactorizerConfig::default().validate().is_ok());
+        assert!(FactorizerConfig::without_stochasticity().validate().is_ok());
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        let mut c = FactorizerConfig::default();
+        c.max_iterations = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = FactorizerConfig::default();
+        c.convergence_threshold = 1.5;
+        assert!(c.validate().is_err());
+
+        let mut c = FactorizerConfig::default();
+        c.stochasticity.decay = 0.0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn stochasticity_toggles() {
+        assert!(StochasticityConfig::default().is_enabled());
+        assert!(!StochasticityConfig::disabled().is_enabled());
+        assert!(!FactorizerConfig::without_stochasticity()
+            .stochasticity
+            .is_enabled());
+    }
+
+    #[test]
+    fn builder_style_setters() {
+        let c = FactorizerConfig::default()
+            .with_precision(Precision::Int8)
+            .with_max_iterations(17);
+        assert_eq!(c.precision, Precision::Int8);
+        assert_eq!(c.max_iterations, 17);
+    }
+}

@@ -1,0 +1,357 @@
+//! The iterative resonator factorization loop.
+
+use crate::config::FactorizerConfig;
+use cogsys_vsa::codebook::CodebookSet;
+use cogsys_vsa::quant::fake_quantize;
+use cogsys_vsa::{ops, Hypervector, VsaError};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Outcome of one factorization run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FactorizationResult {
+    /// The decoded codevector index for each factor.
+    pub indices: Vec<usize>,
+    /// Cosine similarity of the re-bound estimate to the input query.
+    pub similarity: f32,
+    /// Number of iterations executed.
+    pub iterations: usize,
+    /// Whether the convergence threshold was reached within the iteration budget.
+    pub converged: bool,
+    /// Whether a limit cycle was detected (estimates repeating without improvement);
+    /// only possible when stochasticity is disabled.
+    pub limit_cycle: bool,
+}
+
+impl FactorizationResult {
+    /// Returns `true` if the decoded indices equal `expected`.
+    pub fn matches(&self, expected: &[usize]) -> bool {
+        self.indices == expected
+    }
+}
+
+/// The CogSys iterative factorizer.
+///
+/// Construct once with a [`FactorizerConfig`] and reuse across queries; the struct holds
+/// no per-query state.
+#[derive(Debug, Clone)]
+pub struct Factorizer {
+    config: FactorizerConfig,
+}
+
+impl Default for Factorizer {
+    fn default() -> Self {
+        Self::new(FactorizerConfig::default())
+    }
+}
+
+impl Factorizer {
+    /// Creates a factorizer with the given configuration.
+    ///
+    /// # Panics
+    /// Panics if the configuration fails [`FactorizerConfig::validate`]; configurations
+    /// are programmer-supplied constants, so an invalid one is a bug at the call site.
+    pub fn new(config: FactorizerConfig) -> Self {
+        if let Err(msg) = config.validate() {
+            panic!("invalid factorizer configuration: {msg}");
+        }
+        Self { config }
+    }
+
+    /// Returns the configuration this factorizer runs with.
+    pub fn config(&self) -> &FactorizerConfig {
+        &self.config
+    }
+
+    /// Factorizes `query` against the codebooks in `set`.
+    ///
+    /// The initial estimate for each factor is the (unnormalised) superposition of all
+    /// its codevectors, following the resonator-network convention: the search starts
+    /// from "every candidate in superposition" and sharpens each factor in parallel.
+    ///
+    /// # Errors
+    /// Propagates [`VsaError`] for dimension mismatches between the query and the
+    /// codebooks.
+    pub fn factorize<R: Rng + ?Sized>(
+        &self,
+        set: &CodebookSet,
+        query: &Hypervector,
+        rng: &mut R,
+    ) -> Result<FactorizationResult, VsaError> {
+        let num_factors = set.num_factors();
+        let dim = set.dim();
+        if query.dim() != dim {
+            return Err(VsaError::DimensionMismatch {
+                left: dim,
+                right: query.dim(),
+            });
+        }
+
+        let query = fake_quantize(query, self.config.precision);
+
+        // Initial estimates: bundle of every codevector in each factor, snapped to
+        // bipolar so the Hadamard unbinding stays well-conditioned.
+        let mut estimates: Vec<Hypervector> = (0..num_factors)
+            .map(|f| {
+                let cb = set.factor(f).expect("factor index in range");
+                ops::majority_bundle(cb.iter()).expect("codebooks are non-empty")
+            })
+            .collect();
+
+        let noise_scale = (dim as f32).sqrt();
+        let mut sim_sigma = self.config.stochasticity.similarity_sigma * noise_scale;
+        let mut proj_sigma = self.config.stochasticity.projection_sigma * noise_scale;
+
+        let mut history: Vec<Vec<usize>> = Vec::new();
+        let mut best_indices = vec![0usize; num_factors];
+        let mut best_similarity = f32::NEG_INFINITY;
+        let mut limit_cycle = false;
+
+        for iteration in 1..=self.config.max_iterations {
+            let mut decoded = Vec::with_capacity(num_factors);
+
+            for f in 0..num_factors {
+                let cb = set.factor(f)?;
+
+                // Step 1: unbind the contribution of every other factor's estimate.
+                // Estimates are updated in place (Gauss–Seidel style), so later factors
+                // in the same sweep already see the refreshed earlier factors — this is
+                // the "interactive" factorization the paper describes and converges in
+                // fewer iterations than a fully synchronous update.
+                let unbound = set.unbind_all_but(&query, &estimates, f)?;
+                let unbound = fake_quantize(&unbound, self.config.precision);
+
+                // Step 2: similarity search against the factor codebook (a GEMV).
+                let mut similarities = cb.similarities(&unbound)?;
+                if sim_sigma > 0.0 {
+                    let noise = Hypervector::from_values(similarities.clone());
+                    similarities =
+                        ops::add_gaussian_noise(&noise, sim_sigma, rng).into_values();
+                }
+                decoded.push(ops::argmax(&similarities).unwrap_or(0));
+
+                // Step 3: project back into the codevector space and binarise.
+                let mut projected = ops::weighted_superposition(cb.as_slice(), &similarities)?;
+                if proj_sigma > 0.0 {
+                    projected = ops::add_gaussian_noise(&projected, proj_sigma, rng);
+                }
+                let projected = fake_quantize(&projected, self.config.precision);
+                estimates[f] = projected.sign();
+            }
+
+            // Convergence check: re-bind the decoded codevectors and compare to the query.
+            let rebound = set.bind_indices(&decoded)?;
+            let similarity = ops::try_cosine_similarity(&rebound, &query)?;
+            if similarity > best_similarity {
+                best_similarity = similarity;
+                best_indices = decoded.clone();
+            }
+
+            if similarity >= self.config.convergence_threshold {
+                return Ok(FactorizationResult {
+                    indices: decoded,
+                    similarity,
+                    iterations: iteration,
+                    converged: true,
+                    limit_cycle: false,
+                });
+            }
+
+            // Limit-cycle detection: the same decoded tuple recurring within the window
+            // without reaching the threshold (deterministic dynamics only).
+            if !self.config.stochasticity.is_enabled() {
+                if history
+                    .iter()
+                    .rev()
+                    .take(self.config.limit_cycle_window)
+                    .any(|h| h == &decoded)
+                {
+                    limit_cycle = true;
+                    break;
+                }
+                history.push(decoded);
+                if history.len() > self.config.limit_cycle_window * 4 {
+                    history.remove(0);
+                }
+            }
+
+            sim_sigma *= self.config.stochasticity.decay;
+            proj_sigma *= self.config.stochasticity.decay;
+        }
+
+        Ok(FactorizationResult {
+            indices: best_indices,
+            similarity: best_similarity,
+            iterations: self.config.max_iterations,
+            converged: false,
+            limit_cycle,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::StochasticityConfig;
+    use cogsys_vsa::codebook::BindingOp;
+    use cogsys_vsa::{rng, CodebookSet, Precision};
+    use proptest::prelude::*;
+
+    fn standard_set(seed: u64, sizes: &[usize], dim: usize) -> (CodebookSet, rand::rngs::StdRng) {
+        let mut r = rng(seed);
+        let set = CodebookSet::random(sizes, dim, BindingOp::Hadamard, &mut r);
+        (set, r)
+    }
+
+    #[test]
+    fn clean_query_is_factorized_exactly() {
+        let (set, mut r) = standard_set(100, &[10, 10, 10], 1024);
+        let query = set.bind_indices(&[2, 7, 4]).unwrap();
+        let f = Factorizer::default();
+        let result = f.factorize(&set, &query, &mut r).unwrap();
+        assert_eq!(result.indices, vec![2, 7, 4]);
+        assert!(result.converged);
+        assert!(result.similarity > 0.9);
+    }
+
+    #[test]
+    fn noisy_query_is_factorized_correctly() {
+        let (set, mut r) = standard_set(101, &[8, 8, 8], 1024);
+        let clean = set.bind_indices(&[1, 6, 3]).unwrap();
+        let noisy = ops::flip_noise(&clean, 0.1, &mut r);
+        let f = Factorizer::default();
+        let result = f.factorize(&set, &noisy, &mut r).unwrap();
+        assert_eq!(result.indices, vec![1, 6, 3]);
+    }
+
+    #[test]
+    fn dimension_mismatch_is_reported() {
+        let (set, mut r) = standard_set(102, &[4, 4], 256);
+        let query = Hypervector::zeros(128);
+        let f = Factorizer::default();
+        assert!(f.factorize(&set, &query, &mut r).is_err());
+    }
+
+    #[test]
+    fn without_stochasticity_still_converges_on_easy_problems() {
+        let (set, mut r) = standard_set(103, &[6, 6], 512);
+        let query = set.bind_indices(&[5, 0]).unwrap();
+        let f = Factorizer::new(FactorizerConfig::without_stochasticity());
+        let result = f.factorize(&set, &query, &mut r).unwrap();
+        assert_eq!(result.indices, vec![5, 0]);
+        assert!(result.converged);
+    }
+
+    #[test]
+    fn stochasticity_reduces_iterations_on_hard_problems() {
+        // Paper claim (Tab. VIII context, Sec. IV-B): noise injection speeds up
+        // convergence. Compare average iteration counts over several hard queries
+        // (small dimension relative to the product-space size).
+        let mut iters_with = 0usize;
+        let mut iters_without = 0usize;
+        let trials = 12;
+        for t in 0..trials {
+            let (set, mut r) = standard_set(200 + t, &[12, 12, 12], 256);
+            let query = set.bind_indices(&[3, 9, 11]).unwrap();
+
+            let with = Factorizer::new(FactorizerConfig::default())
+                .factorize(&set, &query, &mut r)
+                .unwrap();
+            let without = Factorizer::new(FactorizerConfig::without_stochasticity())
+                .factorize(&set, &query, &mut r)
+                .unwrap();
+            iters_with += with.iterations;
+            iters_without += without.iterations;
+        }
+        // Noise should not be dramatically worse; typically it is equal or better on
+        // hard instances because the deterministic iteration gets stuck in cycles.
+        assert!(
+            iters_with as f64 <= iters_without as f64 * 1.5,
+            "with noise: {iters_with}, without: {iters_without}"
+        );
+    }
+
+    #[test]
+    fn limit_cycle_detection_flags_stuck_runs() {
+        // An adversarially tiny dimension with many combinations usually cannot be
+        // factorized; the deterministic iteration should terminate early via limit-cycle
+        // detection rather than burning the whole budget.
+        let (set, mut r) = standard_set(300, &[16, 16, 16], 32);
+        let query = set.bind_indices(&[0, 1, 2]).unwrap();
+        let config = FactorizerConfig {
+            max_iterations: 500,
+            stochasticity: StochasticityConfig::disabled(),
+            ..FactorizerConfig::default()
+        };
+        let result = Factorizer::new(config).factorize(&set, &query, &mut r).unwrap();
+        if !result.converged {
+            assert!(
+                result.limit_cycle || result.iterations == 500,
+                "non-converged run should be explained"
+            );
+        }
+    }
+
+    #[test]
+    fn int8_precision_still_factorizes() {
+        let (set, mut r) = standard_set(104, &[8, 8, 8], 1024);
+        let query = set.bind_indices(&[7, 2, 5]).unwrap();
+        let f = Factorizer::new(FactorizerConfig::default().with_precision(Precision::Int8));
+        let result = f.factorize(&set, &query, &mut r).unwrap();
+        assert_eq!(result.indices, vec![7, 2, 5]);
+    }
+
+    #[test]
+    fn fp8_precision_still_factorizes() {
+        let (set, mut r) = standard_set(105, &[8, 8, 8], 1024);
+        let query = set.bind_indices(&[0, 3, 6]).unwrap();
+        let f = Factorizer::new(FactorizerConfig::default().with_precision(Precision::Fp8));
+        let result = f.factorize(&set, &query, &mut r).unwrap();
+        assert_eq!(result.indices, vec![0, 3, 6]);
+    }
+
+    #[test]
+    fn circular_convolution_binding_is_supported() {
+        let mut r = rng(106);
+        let set = CodebookSet::random(&[6, 6], 2048, BindingOp::CircularConvolution, &mut r);
+        let query = set.bind_indices(&[4, 2]).unwrap();
+        let config = FactorizerConfig {
+            convergence_threshold: 0.3,
+            ..FactorizerConfig::default()
+        };
+        let result = Factorizer::new(config).factorize(&set, &query, &mut r).unwrap();
+        assert_eq!(result.indices, vec![4, 2]);
+    }
+
+    #[test]
+    fn result_matches_helper() {
+        let r = FactorizationResult {
+            indices: vec![1, 2],
+            similarity: 1.0,
+            iterations: 1,
+            converged: true,
+            limit_cycle: false,
+        };
+        assert!(r.matches(&[1, 2]));
+        assert!(!r.matches(&[2, 1]));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid factorizer configuration")]
+    fn invalid_config_panics_at_construction() {
+        let mut c = FactorizerConfig::default();
+        c.max_iterations = 0;
+        let _ = Factorizer::new(c);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(10))]
+        #[test]
+        fn prop_random_queries_factorize(seed in 0u64..30, i0 in 0usize..6, i1 in 0usize..6) {
+            let (set, mut r) = standard_set(seed, &[6, 6], 1024);
+            let query = set.bind_indices(&[i0, i1]).unwrap();
+            let result = Factorizer::default().factorize(&set, &query, &mut r).unwrap();
+            prop_assert_eq!(result.indices, vec![i0, i1]);
+        }
+    }
+}

@@ -1,0 +1,483 @@
+//! The adaptive workload-aware scheduler (adSCH, Sec. VI-B).
+//!
+//! The scheduler is an offline greedy list scheduler, mirroring the paper's description:
+//!
+//! 1. Build the operation graph (type, size, dependencies, iterations) — done by the
+//!    caller via [`crate::OpGraph`].
+//! 2. Repeatedly assign *ready* operations (all dependencies finished) to newly
+//!    available cells, estimating runtime analytically via the [`ComputeArray`] model.
+//! 3. Maximise utilisation by giving neural kernels large cell blocks and symbolic
+//!    kernels small ones, and by interleaving symbolic kernels of one task with the
+//!    neural layers of another (the cell-wise neural/symbolic partition of Fig. 13c).
+//!
+//! Element-wise operations are offloaded to the SIMD unit, which is modelled as a single
+//! sequential resource running concurrently with the array.
+
+use crate::error::ScheduleError;
+use crate::graph::{OpGraph, OpId};
+use crate::schedule::{ExecUnit, Schedule, ScheduleEntry, Scheduler};
+use cogsys_sim::{ComputeArray, Kernel, KernelClass};
+use serde::{Deserialize, Serialize};
+
+/// Tuning knobs of the adSCH scheduler.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AdSchConfig {
+    /// Cell-block size given to neural kernels when symbolic kernels also exist in the
+    /// graph (the remaining cells form the symbolic partition). When the graph has no
+    /// symbolic array work, neural kernels receive the whole array.
+    pub neural_cells: usize,
+    /// Cell-block size given to symbolic (circular-convolution / similarity) kernels.
+    pub symbolic_cells: usize,
+    /// Whether operations from different tasks may interleave. Disabling this forces
+    /// task-by-task execution (used to quantify the benefit of interleaving).
+    pub interleave_tasks: bool,
+}
+
+impl Default for AdSchConfig {
+    fn default() -> Self {
+        Self {
+            neural_cells: 12,
+            symbolic_cells: 4,
+            interleave_tasks: true,
+        }
+    }
+}
+
+impl AdSchConfig {
+    /// Basic sanity check against a hardware configuration.
+    fn clamp_to(&self, total_cells: usize) -> (usize, usize) {
+        let neural = self.neural_cells.clamp(1, total_cells);
+        let symbolic = self.symbolic_cells.clamp(1, total_cells);
+        (neural, symbolic)
+    }
+}
+
+/// The adaptive workload-aware scheduler.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AdSchScheduler {
+    config: AdSchConfig,
+}
+
+impl AdSchScheduler {
+    /// Creates a scheduler with the given configuration.
+    pub fn new(config: AdSchConfig) -> Self {
+        Self { config }
+    }
+
+    /// The scheduler's configuration.
+    pub fn config(&self) -> &AdSchConfig {
+        &self.config
+    }
+
+    /// Candidate cell-block sizes for a kernel, in preference order. The scheduler
+    /// evaluates each candidate against the current cell availability and picks the one
+    /// that finishes earliest — this is the "assign ready operations to newly available
+    /// cells, with runtime estimated analytically" step of the paper's greedy search.
+    /// An empty list means the kernel runs on the SIMD unit.
+    fn cell_candidates(
+        &self,
+        kernel: &Kernel,
+        total_cells: usize,
+        graph_has_symbolic: bool,
+    ) -> Vec<usize> {
+        let (neural, symbolic) = self.config.clamp_to(total_cells);
+        match kernel {
+            Kernel::ElementWise { .. } => Vec::new(),
+            Kernel::CircConv { .. } | Kernel::Similarity { .. } => {
+                let mut c = vec![symbolic, symbolic.div_ceil(2), total_cells];
+                c.sort_unstable();
+                c.dedup();
+                c
+            }
+            Kernel::Gemm { .. } | Kernel::Conv2d { .. } => {
+                if graph_has_symbolic {
+                    let mut c = vec![total_cells, neural, (total_cells * 3) / 4];
+                    c.retain(|&x| x >= 1);
+                    c.sort_unstable();
+                    c.dedup();
+                    c
+                } else {
+                    vec![total_cells]
+                }
+            }
+        }
+    }
+}
+
+impl Scheduler for AdSchScheduler {
+    fn schedule(&self, array: &ComputeArray, graph: &OpGraph) -> Result<Schedule, ScheduleError> {
+        graph.validate()?;
+        let total_cells = array.config().geometry.cells;
+        let has_symbolic_array_work = graph.iter().any(|n| {
+            n.class() == KernelClass::Symbolic && n.kernel.uses_compute_array()
+        });
+
+        let mut cell_free = vec![0u64; total_cells];
+        let mut simd_free = 0u64;
+        let mut finish: Vec<Option<u64>> = vec![None; graph.len()];
+        let mut task_finish: std::collections::HashMap<usize, u64> =
+            std::collections::HashMap::new();
+        let mut scheduled = vec![false; graph.len()];
+        let mut entries: Vec<ScheduleEntry> = Vec::with_capacity(graph.len());
+        let mut dram_bytes = 0u64;
+        let mut remaining = graph.len();
+
+        while remaining > 0 {
+            // Collect ready operations (all dependencies already scheduled).
+            let mut best: Option<(u64, u64, OpId, usize, u64)> = None; // (start, tie, id, cells, cycles)
+            for node in graph.iter() {
+                if scheduled[node.id] {
+                    continue;
+                }
+                if node.deps.iter().any(|&d| finish[d].is_none()) {
+                    continue;
+                }
+                let mut deps_ready = node
+                    .deps
+                    .iter()
+                    .map(|&d| finish[d].expect("checked above"))
+                    .max()
+                    .unwrap_or(0);
+                if !self.config.interleave_tasks {
+                    // Without interleaving, an operation waits for every earlier task.
+                    let earlier: u64 = task_finish
+                        .iter()
+                        .filter(|(&t, _)| t < node.task)
+                        .map(|(_, &f)| f)
+                        .max()
+                        .unwrap_or(0);
+                    deps_ready = deps_ready.max(earlier);
+                }
+
+                let candidates =
+                    self.cell_candidates(&node.kernel, total_cells, has_symbolic_array_work);
+                let (start, cycles, wanted) = if candidates.is_empty() {
+                    // SIMD operation.
+                    let record = array.execute(&node.kernel, 1)?;
+                    (deps_ready.max(simd_free), record.cycles, 0usize)
+                } else {
+                    // Evaluate each candidate block size against current cell
+                    // availability. Among candidates whose finish time is within 1% of
+                    // the best, prefer the narrowest block: it is essentially as fast
+                    // for this kernel but leaves cells free for other ready work
+                    // (the cell-wise neural/symbolic partitioning of Fig. 13c).
+                    let mut free_times = cell_free.clone();
+                    free_times.sort_unstable();
+                    let mut evaluated: Vec<(u64, u64, usize)> = Vec::new(); // (end, cycles, width)
+                    for &width in &candidates {
+                        let width = width.clamp(1, total_cells);
+                        let cells_ready = free_times[width - 1];
+                        let record = array.execute(&node.kernel, width)?;
+                        let start = deps_ready.max(cells_ready);
+                        evaluated.push((start + record.cycles, record.cycles, width));
+                    }
+                    let best_end = evaluated
+                        .iter()
+                        .map(|(end, _, _)| *end)
+                        .min()
+                        .expect("candidates is non-empty");
+                    let slack = best_end + best_end / 100;
+                    let (end, cycles, width) = evaluated
+                        .into_iter()
+                        .filter(|(end, _, _)| *end <= slack)
+                        .min_by_key(|&(end, _, width)| (width, end))
+                        .expect("at least the best candidate survives the slack filter");
+                    (end - cycles, cycles, width)
+                };
+
+                // Pick the operation that can start earliest; break ties in favour of
+                // neural kernels (they occupy the big blocks the symbolic work will
+                // later fill around), then longer kernels first.
+                let tie = match node.class() {
+                    KernelClass::Neural => 0,
+                    KernelClass::Symbolic => 1,
+                };
+                let candidate = (start, tie, node.id, wanted, cycles);
+                let better = match &best {
+                    None => true,
+                    Some((bs, bt, _, _, bc)) => {
+                        (start, tie, std::cmp::Reverse(cycles))
+                            < (*bs, *bt, std::cmp::Reverse(*bc))
+                    }
+                };
+                if better {
+                    best = Some(candidate);
+                }
+            }
+
+            let (start, _tie, id, wanted, cycles) =
+                best.expect("a DAG always has at least one ready operation");
+            let node = graph.node(id).expect("valid id");
+            let end = start + cycles;
+
+            let (cells, unit) = if wanted == 0 {
+                simd_free = end;
+                (Vec::new(), ExecUnit::Simd)
+            } else {
+                // Choose the `wanted` cells with the earliest free times.
+                let mut indices: Vec<usize> = (0..total_cells).collect();
+                indices.sort_by_key(|&i| cell_free[i]);
+                let chosen: Vec<usize> = indices.into_iter().take(wanted).collect();
+                for &c in &chosen {
+                    cell_free[c] = end;
+                }
+                (chosen, ExecUnit::Array)
+            };
+
+            let record = array.execute(&node.kernel, wanted.max(1))?;
+            dram_bytes += record.dram_bytes;
+
+            finish[id] = Some(end);
+            scheduled[id] = true;
+            remaining -= 1;
+            task_finish
+                .entry(node.task)
+                .and_modify(|f| *f = (*f).max(end))
+                .or_insert(end);
+
+            entries.push(ScheduleEntry {
+                op: id,
+                task: node.task,
+                class: node.class(),
+                start,
+                end,
+                cells,
+                unit,
+            });
+        }
+
+        entries.sort_by_key(|e| (e.start, e.op));
+        let makespan_cycles = entries.iter().map(|e| e.end).max().unwrap_or(0);
+        Ok(Schedule {
+            entries,
+            makespan_cycles,
+            dram_bytes,
+            total_cells,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baseline::SequentialScheduler;
+    use cogsys_sim::AcceleratorConfig;
+    use proptest::prelude::*;
+
+    fn array() -> ComputeArray {
+        ComputeArray::new(AcceleratorConfig::cogsys()).unwrap()
+    }
+
+    /// An NVSA-segment-like graph (Fig. 13d): per task, a chain of neural layers feeding
+    /// a block of symbolic circular convolutions and SIMD post-processing.
+    fn nvsa_like_graph(tasks: usize) -> OpGraph {
+        let mut g = OpGraph::new();
+        for t in 0..tasks {
+            let conv1 = g.add_op(
+                t,
+                Kernel::Conv2d {
+                    output_pixels: 784,
+                    out_channels: 64,
+                    reduction: 576,
+                },
+                &[],
+            );
+            let conv2 = g.add_op(
+                t,
+                Kernel::Conv2d {
+                    output_pixels: 196,
+                    out_channels: 128,
+                    reduction: 576,
+                },
+                &[conv1],
+            );
+            let fc = g.add_op(
+                t,
+                Kernel::Gemm {
+                    m: 16,
+                    n: 1024,
+                    k: 4096,
+                },
+                &[conv2],
+            );
+            let unbind = g.add_op(t, Kernel::CircConv { dim: 1024, count: 210 }, &[fc]);
+            let sim = g.add_op(
+                t,
+                Kernel::Similarity {
+                    rows: 100,
+                    dim: 1024,
+                    count: 32,
+                },
+                &[unbind],
+            );
+            g.add_op(
+                t,
+                Kernel::ElementWise {
+                    elements: 3200,
+                    op: "softmax".into(),
+                },
+                &[sim],
+            );
+        }
+        g
+    }
+
+    #[test]
+    fn adsch_schedule_is_structurally_valid() {
+        let g = nvsa_like_graph(3);
+        let s = AdSchScheduler::default().schedule(&array(), &g).unwrap();
+        assert_eq!(s.entries.len(), g.len());
+        assert_eq!(s.find_violation(&g), None);
+    }
+
+    #[test]
+    fn makespan_is_at_least_the_critical_path() {
+        let g = nvsa_like_graph(2);
+        let a = array();
+        let s = AdSchScheduler::default().schedule(&a, &g).unwrap();
+        // Critical path with full-array (fastest possible) durations lower-bounds any
+        // schedule.
+        let cp = g
+            .critical_path(|n| a.execute(&n.kernel, 16).unwrap().cycles)
+            .unwrap();
+        assert!(s.makespan_cycles >= cp);
+    }
+
+    #[test]
+    fn adsch_beats_sequential_on_multi_task_workloads() {
+        // The headline system-level claim (Fig. 13, Fig. 19): interleaving symbolic
+        // kernels of one task with neural layers of another plus cell-wise partitioning
+        // trims end-to-end runtime versus sequential whole-array execution.
+        let g = nvsa_like_graph(4);
+        let a = array();
+        let adsch = AdSchScheduler::default().schedule(&a, &g).unwrap();
+        let seq = SequentialScheduler.schedule(&a, &g).unwrap();
+        assert!(
+            adsch.makespan_cycles < seq.makespan_cycles,
+            "adSCH {} vs sequential {}",
+            adsch.makespan_cycles,
+            seq.makespan_cycles
+        );
+        // Utilisation stays a well-formed fraction. (Note: `array_utilization` counts
+        // *allocated* cell-cycles, so the sequential whole-array schedule trivially
+        // reports ~1.0 even though most of its PEs idle inside each kernel; the honest
+        // utilisation comparison is done at PE granularity in the Fig. 19 ablation
+        // bench, which weights by each kernel's own PE occupancy.)
+        assert!(adsch.array_utilization() > 0.0 && adsch.array_utilization() <= 1.0);
+    }
+
+    #[test]
+    fn interleaving_provides_measurable_benefit() {
+        let g = nvsa_like_graph(4);
+        let a = array();
+        let with = AdSchScheduler::default().schedule(&a, &g).unwrap();
+        let without = AdSchScheduler::new(AdSchConfig {
+            interleave_tasks: false,
+            ..AdSchConfig::default()
+        })
+        .schedule(&a, &g)
+        .unwrap();
+        assert_eq!(without.find_violation(&g), None);
+        assert!(with.makespan_cycles <= without.makespan_cycles);
+    }
+
+    #[test]
+    fn neural_only_graph_uses_whole_array() {
+        let mut g = OpGraph::new();
+        g.add_op(
+            0,
+            Kernel::Gemm {
+                m: 512,
+                n: 512,
+                k: 512,
+            },
+            &[],
+        );
+        let s = AdSchScheduler::default().schedule(&array(), &g).unwrap();
+        assert_eq!(s.entries[0].cells.len(), 16);
+    }
+
+    #[test]
+    fn cell_blocks_come_from_the_configured_candidate_sets() {
+        let g = nvsa_like_graph(2);
+        let s = AdSchScheduler::default().schedule(&array(), &g).unwrap();
+        for entry in &s.entries {
+            match entry.class {
+                KernelClass::Symbolic if entry.unit == ExecUnit::Array => {
+                    assert!(
+                        [2, 4, 16].contains(&entry.cells.len()),
+                        "symbolic op {} used {} cells",
+                        entry.op,
+                        entry.cells.len()
+                    );
+                }
+                KernelClass::Neural => {
+                    assert!(
+                        [12, 16].contains(&entry.cells.len()),
+                        "neural op {} used {} cells",
+                        entry.op,
+                        entry.cells.len()
+                    );
+                }
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn simd_ops_do_not_occupy_cells() {
+        let g = nvsa_like_graph(2);
+        let s = AdSchScheduler::default().schedule(&array(), &g).unwrap();
+        for entry in s.entries.iter().filter(|e| e.unit == ExecUnit::Simd) {
+            assert!(entry.cells.is_empty());
+        }
+    }
+
+    #[test]
+    fn empty_graph_is_fine() {
+        let s = AdSchScheduler::default()
+            .schedule(&array(), &OpGraph::new())
+            .unwrap();
+        assert_eq!(s.makespan_cycles, 0);
+        assert!(s.entries.is_empty());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(12))]
+        #[test]
+        fn prop_adsch_invariants_hold_for_random_graphs(seed in 0u64..500, n_ops in 1usize..20) {
+            use rand::Rng;
+            let mut rng = cogsys_vsa_compat_rng(seed);
+            let mut g = OpGraph::new();
+            for i in 0..n_ops {
+                let kernel = match rng.gen_range(0..4) {
+                    0 => Kernel::Gemm { m: rng.gen_range(1..256), n: rng.gen_range(1..256), k: rng.gen_range(1..256) },
+                    1 => Kernel::CircConv { dim: rng.gen_range(1..2048), count: rng.gen_range(1..64) },
+                    2 => Kernel::Similarity { rows: rng.gen_range(1..128), dim: rng.gen_range(1..1024), count: rng.gen_range(1..8) },
+                    _ => Kernel::ElementWise { elements: rng.gen_range(1..4096), op: "relu".into() },
+                };
+                // Random backward dependencies.
+                let mut deps = Vec::new();
+                if i > 0 {
+                    for _ in 0..rng.gen_range(0..3usize.min(i + 1)) {
+                        deps.push(rng.gen_range(0..i));
+                    }
+                    deps.sort_unstable();
+                    deps.dedup();
+                }
+                g.add_op(rng.gen_range(0..3), kernel, &deps);
+            }
+            let a = array();
+            let s = AdSchScheduler::default().schedule(&a, &g).unwrap();
+            prop_assert_eq!(s.find_violation(&g), None);
+            prop_assert!(s.makespan_cycles >= s.entries.iter().map(|e| e.duration()).max().unwrap_or(0));
+        }
+    }
+
+    /// proptest helper: deterministic RNG without importing cogsys-vsa as a dependency
+    /// of this crate.
+    fn cogsys_vsa_compat_rng(seed: u64) -> rand::rngs::StdRng {
+        use rand::SeedableRng;
+        rand::rngs::StdRng::seed_from_u64(seed)
+    }
+}

@@ -1,0 +1,135 @@
+//! Sequential baseline scheduler.
+//!
+//! Models how a conventional ML accelerator executes a neurosymbolic workload
+//! (Fig. 13a): every kernel gets the whole array, kernels run strictly one after
+//! another in dependency order, and there is no overlap between the neural layers of
+//! one task and the symbolic operations of another. This is also the "CogSys w/o
+//! adSCH" configuration of the Fig. 19 ablation.
+
+use crate::error::ScheduleError;
+use crate::graph::OpGraph;
+use crate::schedule::{ExecUnit, Schedule, ScheduleEntry, Scheduler};
+use cogsys_sim::{ComputeArray, Kernel};
+
+/// The sequential (no-interleaving, whole-array) scheduler.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SequentialScheduler;
+
+impl Scheduler for SequentialScheduler {
+    fn schedule(&self, array: &ComputeArray, graph: &OpGraph) -> Result<Schedule, ScheduleError> {
+        let order = graph.topological_order()?;
+        let total_cells = array.config().geometry.cells;
+        let all_cells: Vec<usize> = (0..total_cells).collect();
+        let mut entries = Vec::with_capacity(order.len());
+        let mut time = 0u64;
+        let mut dram_bytes = 0u64;
+
+        for id in order {
+            let node = graph.node(id).expect("topological order yields valid ids");
+            let record = array.execute(&node.kernel, total_cells)?;
+            let unit = if matches!(node.kernel, Kernel::ElementWise { .. }) {
+                ExecUnit::Simd
+            } else {
+                ExecUnit::Array
+            };
+            let start = time;
+            let end = start + record.cycles;
+            dram_bytes += record.dram_bytes;
+            entries.push(ScheduleEntry {
+                op: id,
+                task: node.task,
+                class: node.class(),
+                start,
+                end,
+                cells: if unit == ExecUnit::Array {
+                    all_cells.clone()
+                } else {
+                    Vec::new()
+                },
+                unit,
+            });
+            time = end;
+        }
+
+        Ok(Schedule {
+            entries,
+            makespan_cycles: time,
+            dram_bytes,
+            total_cells,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cogsys_sim::AcceleratorConfig;
+
+    fn array() -> ComputeArray {
+        ComputeArray::new(AcceleratorConfig::cogsys()).unwrap()
+    }
+
+    fn mixed_graph(tasks: usize) -> OpGraph {
+        let mut g = OpGraph::new();
+        for t in 0..tasks {
+            let conv = g.add_op(
+                t,
+                Kernel::Conv2d {
+                    output_pixels: 1024,
+                    out_channels: 64,
+                    reduction: 576,
+                },
+                &[],
+            );
+            let sym = g.add_op(t, Kernel::CircConv { dim: 1024, count: 64 }, &[conv]);
+            g.add_op(
+                t,
+                Kernel::ElementWise {
+                    elements: 1024,
+                    op: "softmax".into(),
+                },
+                &[sym],
+            );
+        }
+        g
+    }
+
+    #[test]
+    fn sequential_schedule_is_valid_and_strictly_ordered() {
+        let g = mixed_graph(2);
+        let s = SequentialScheduler.schedule(&array(), &g).unwrap();
+        assert_eq!(s.entries.len(), 6);
+        assert_eq!(s.find_violation(&g), None);
+        // Strictly sequential: every entry starts when the previous one ends.
+        for pair in s.entries.windows(2) {
+            assert_eq!(pair[1].start, pair[0].end);
+        }
+        assert_eq!(s.makespan_cycles, s.entries.last().unwrap().end);
+    }
+
+    #[test]
+    fn makespan_equals_sum_of_kernel_latencies() {
+        let g = mixed_graph(1);
+        let a = array();
+        let s = SequentialScheduler.schedule(&a, &g).unwrap();
+        let expected: u64 = g
+            .iter()
+            .map(|n| a.execute(&n.kernel, 16).unwrap().cycles)
+            .sum();
+        assert_eq!(s.makespan_cycles, expected);
+    }
+
+    #[test]
+    fn empty_graph_produces_empty_schedule() {
+        let s = SequentialScheduler.schedule(&array(), &OpGraph::new()).unwrap();
+        assert!(s.entries.is_empty());
+        assert_eq!(s.makespan_cycles, 0);
+    }
+
+    #[test]
+    fn invalid_graph_is_rejected() {
+        let mut g = OpGraph::new();
+        g.add_op(0, Kernel::Gemm { m: 1, n: 1, k: 1 }, &[7]);
+        assert!(SequentialScheduler.schedule(&array(), &g).is_err());
+    }
+}

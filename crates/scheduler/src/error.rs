@@ -1,0 +1,65 @@
+//! Scheduler error type.
+
+use cogsys_sim::SimError;
+use std::fmt;
+
+/// Errors produced while building or scheduling operation graphs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScheduleError {
+    /// An operation referenced a dependency that does not exist (or itself).
+    InvalidDependency {
+        /// The operation with the bad edge.
+        op: usize,
+        /// The referenced dependency.
+        dep: usize,
+    },
+    /// The graph contains a dependency cycle.
+    CyclicGraph,
+    /// The underlying hardware model rejected a kernel.
+    Hardware(SimError),
+}
+
+impl fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScheduleError::InvalidDependency { op, dep } => {
+                write!(f, "operation {op} depends on invalid operation {dep}")
+            }
+            ScheduleError::CyclicGraph => write!(f, "operation graph contains a cycle"),
+            ScheduleError::Hardware(e) => write!(f, "hardware model error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ScheduleError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ScheduleError::Hardware(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SimError> for ScheduleError {
+    fn from(e: SimError) -> Self {
+        ScheduleError::Hardware(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = ScheduleError::InvalidDependency { op: 3, dep: 9 };
+        assert!(e.to_string().contains('3'));
+        assert!(e.to_string().contains('9'));
+        assert!(ScheduleError::CyclicGraph.to_string().contains("cycle"));
+        let hw: ScheduleError = SimError::DimensionMismatch { left: 1, right: 2 }.into();
+        assert!(hw.to_string().contains("1 vs 2"));
+        use std::error::Error;
+        assert!(hw.source().is_some());
+        assert!(ScheduleError::CyclicGraph.source().is_none());
+    }
+}

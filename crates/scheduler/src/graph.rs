@@ -1,0 +1,298 @@
+//! Operation-graph IR for neurosymbolic workloads.
+
+use crate::error::ScheduleError;
+use cogsys_sim::{Kernel, KernelClass};
+use serde::{Deserialize, Serialize};
+
+/// Identifier of an operation inside an [`OpGraph`].
+pub type OpId = usize;
+
+/// One node of the operation graph.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OpNode {
+    /// Node id (index into the graph).
+    pub id: OpId,
+    /// The task (reasoning problem / batch) this operation belongs to. The adSCH
+    /// scheduler interleaves symbolic operations of one task with neural layers of the
+    /// next, so the task id is what makes that legal to express.
+    pub task: usize,
+    /// The kernel to execute.
+    pub kernel: Kernel,
+    /// Operations that must complete before this one starts.
+    pub deps: Vec<OpId>,
+}
+
+impl OpNode {
+    /// Neural or symbolic, inherited from the kernel.
+    pub fn class(&self) -> KernelClass {
+        self.kernel.class()
+    }
+}
+
+/// A directed acyclic graph of operations.
+///
+/// # Example
+/// ```
+/// use cogsys_scheduler::OpGraph;
+/// use cogsys_sim::Kernel;
+/// let mut g = OpGraph::new();
+/// let a = g.add_op(0, Kernel::Gemm { m: 8, n: 8, k: 8 }, &[]);
+/// let b = g.add_op(0, Kernel::CircConv { dim: 64, count: 4 }, &[a]);
+/// assert_eq!(g.len(), 2);
+/// assert_eq!(g.node(b).unwrap().deps, vec![a]);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct OpGraph {
+    nodes: Vec<OpNode>,
+}
+
+impl OpGraph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds an operation belonging to `task` with the given dependencies, returning its id.
+    ///
+    /// Dependencies on not-yet-existing nodes are allowed at insertion time and caught
+    /// by [`OpGraph::validate`].
+    pub fn add_op(&mut self, task: usize, kernel: Kernel, deps: &[OpId]) -> OpId {
+        let id = self.nodes.len();
+        self.nodes.push(OpNode {
+            id,
+            task,
+            kernel,
+            deps: deps.to_vec(),
+        });
+        id
+    }
+
+    /// Appends every node of `other`, offsetting its ids, and returns the id offset.
+    ///
+    /// Used to concatenate per-task graphs into a multi-task graph the scheduler can
+    /// interleave.
+    pub fn append(&mut self, other: &OpGraph) -> usize {
+        let offset = self.nodes.len();
+        for node in &other.nodes {
+            self.nodes.push(OpNode {
+                id: node.id + offset,
+                task: node.task,
+                kernel: node.kernel.clone(),
+                deps: node.deps.iter().map(|d| d + offset).collect(),
+            });
+        }
+        offset
+    }
+
+    /// Number of operations.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Returns `true` if the graph has no operations.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Returns the node with the given id.
+    pub fn node(&self, id: OpId) -> Option<&OpNode> {
+        self.nodes.get(id)
+    }
+
+    /// Iterates over all nodes.
+    pub fn iter(&self) -> std::slice::Iter<'_, OpNode> {
+        self.nodes.iter()
+    }
+
+    /// Number of distinct tasks referenced by the graph.
+    pub fn num_tasks(&self) -> usize {
+        let mut tasks: Vec<usize> = self.nodes.iter().map(|n| n.task).collect();
+        tasks.sort_unstable();
+        tasks.dedup();
+        tasks.len()
+    }
+
+    /// Total FLOPs in the graph, split into (neural, symbolic).
+    pub fn flops_by_class(&self) -> (u64, u64) {
+        let mut neural = 0u64;
+        let mut symbolic = 0u64;
+        for n in &self.nodes {
+            match n.class() {
+                KernelClass::Neural => neural += n.kernel.flops(),
+                KernelClass::Symbolic => symbolic += n.kernel.flops(),
+            }
+        }
+        (neural, symbolic)
+    }
+
+    /// Validates that every dependency exists, no node depends on itself or a later
+    /// node, and (therefore) the graph is acyclic.
+    ///
+    /// # Errors
+    /// Returns [`ScheduleError::InvalidDependency`] for a bad edge. Because `add_op`
+    /// assigns increasing ids and edges must point to earlier ids, a valid graph is
+    /// automatically acyclic.
+    pub fn validate(&self) -> Result<(), ScheduleError> {
+        for node in &self.nodes {
+            for &dep in &node.deps {
+                if dep >= node.id {
+                    return Err(ScheduleError::InvalidDependency {
+                        op: node.id,
+                        dep,
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Topological order of the graph (insertion order, since edges point backwards).
+    ///
+    /// # Errors
+    /// Propagates [`OpGraph::validate`] errors.
+    pub fn topological_order(&self) -> Result<Vec<OpId>, ScheduleError> {
+        self.validate()?;
+        Ok((0..self.nodes.len()).collect())
+    }
+
+    /// Length of the critical path through the graph, where each node's weight is given
+    /// by `cost`. This lower-bounds any schedule's makespan.
+    ///
+    /// # Errors
+    /// Propagates [`OpGraph::validate`] errors.
+    pub fn critical_path<F>(&self, mut cost: F) -> Result<u64, ScheduleError>
+    where
+        F: FnMut(&OpNode) -> u64,
+    {
+        self.validate()?;
+        let mut finish = vec![0u64; self.nodes.len()];
+        let mut best = 0u64;
+        for node in &self.nodes {
+            let ready = node
+                .deps
+                .iter()
+                .map(|&d| finish[d])
+                .max()
+                .unwrap_or(0);
+            finish[node.id] = ready + cost(node);
+            best = best.max(finish[node.id]);
+        }
+        Ok(best)
+    }
+}
+
+impl<'a> IntoIterator for &'a OpGraph {
+    type Item = &'a OpNode;
+    type IntoIter = std::slice::Iter<'a, OpNode>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.nodes.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn chain_graph(n: usize) -> OpGraph {
+        let mut g = OpGraph::new();
+        let mut prev: Option<OpId> = None;
+        for _ in 0..n {
+            let deps: Vec<OpId> = prev.into_iter().collect();
+            prev = Some(g.add_op(0, Kernel::Gemm { m: 4, n: 4, k: 4 }, &deps));
+        }
+        g
+    }
+
+    #[test]
+    fn build_and_inspect() {
+        let mut g = OpGraph::new();
+        assert!(g.is_empty());
+        let a = g.add_op(0, Kernel::Gemm { m: 2, n: 2, k: 2 }, &[]);
+        let b = g.add_op(1, Kernel::CircConv { dim: 16, count: 2 }, &[a]);
+        assert_eq!(g.len(), 2);
+        assert_eq!(g.num_tasks(), 2);
+        assert_eq!(g.node(b).unwrap().class(), KernelClass::Symbolic);
+        assert!(g.node(99).is_none());
+        assert_eq!(g.iter().count(), 2);
+        assert_eq!((&g).into_iter().count(), 2);
+        let (neural, symbolic) = g.flops_by_class();
+        assert_eq!(neural, 2 * 2 * 2 * 2);
+        assert_eq!(symbolic, 2 * 16 * 16 * 2);
+    }
+
+    #[test]
+    fn validation_rejects_forward_and_self_edges() {
+        let mut g = OpGraph::new();
+        let a = g.add_op(0, Kernel::Gemm { m: 1, n: 1, k: 1 }, &[5]);
+        assert!(matches!(
+            g.validate(),
+            Err(ScheduleError::InvalidDependency { op, dep: 5 }) if op == a
+        ));
+        let mut g = OpGraph::new();
+        g.add_op(0, Kernel::Gemm { m: 1, n: 1, k: 1 }, &[0]);
+        assert!(g.validate().is_err());
+        assert!(g.topological_order().is_err());
+    }
+
+    #[test]
+    fn append_offsets_ids_and_deps() {
+        let mut a = chain_graph(3);
+        let b = chain_graph(2);
+        let offset = a.append(&b);
+        assert_eq!(offset, 3);
+        assert_eq!(a.len(), 5);
+        assert_eq!(a.node(4).unwrap().deps, vec![3]);
+        assert!(a.validate().is_ok());
+    }
+
+    #[test]
+    fn critical_path_of_chain_and_parallel_graphs() {
+        let chain = chain_graph(5);
+        assert_eq!(chain.critical_path(|_| 10).unwrap(), 50);
+
+        let mut parallel = OpGraph::new();
+        for _ in 0..5 {
+            parallel.add_op(0, Kernel::Gemm { m: 1, n: 1, k: 1 }, &[]);
+        }
+        assert_eq!(parallel.critical_path(|_| 10).unwrap(), 10);
+
+        // Diamond: a -> {b, c} -> d.
+        let mut diamond = OpGraph::new();
+        let a = diamond.add_op(0, Kernel::Gemm { m: 1, n: 1, k: 1 }, &[]);
+        let b = diamond.add_op(0, Kernel::Gemm { m: 1, n: 1, k: 1 }, &[a]);
+        let c = diamond.add_op(0, Kernel::Gemm { m: 1, n: 1, k: 1 }, &[a]);
+        diamond.add_op(0, Kernel::Gemm { m: 1, n: 1, k: 1 }, &[b, c]);
+        assert_eq!(diamond.critical_path(|_| 7).unwrap(), 21);
+    }
+
+    #[test]
+    fn empty_graph_critical_path_is_zero() {
+        let g = OpGraph::new();
+        assert_eq!(g.critical_path(|_| 1).unwrap(), 0);
+        assert_eq!(g.num_tasks(), 0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_critical_path_bounded_by_total(n in 1usize..30, w in 1u64..100) {
+            let g = chain_graph(n);
+            let cp = g.critical_path(|_| w).unwrap();
+            prop_assert_eq!(cp, n as u64 * w);
+        }
+
+        #[test]
+        fn prop_topological_order_respects_deps(n in 1usize..40) {
+            let g = chain_graph(n);
+            let order = g.topological_order().unwrap();
+            let pos: std::collections::HashMap<_, _> =
+                order.iter().enumerate().map(|(i, &id)| (id, i)).collect();
+            for node in &g {
+                for &d in &node.deps {
+                    prop_assert!(pos[&d] < pos[&node.id]);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,50 @@
+//! # cogsys-scheduler — operation graphs and the adaptive workload-aware scheduler
+//!
+//! Implements the system-level contribution of CogSys (paper Sec. VI):
+//!
+//! * [`graph`] — an operation-graph IR for neurosymbolic workloads: every node is a
+//!   [`cogsys_sim::Kernel`] with dependencies, a task (batch) id and an iteration count,
+//!   mirroring the "operation graph based on operation type, size, dependencies, and
+//!   number of iterations" the paper's offline scheduler consumes.
+//! * [`adsch`] — the adaptive workload-aware scheduler (adSCH): greedy list scheduling
+//!   of ready operations onto the 16 array cells with cell-wise neural/symbolic
+//!   partitioning, column-wise symbolic parallelism, cross-task interleaving (symbolic
+//!   kernels of the previous task fill the cells idled by the current task's neural
+//!   layers), and SIMD offload of element-wise operations.
+//! * [`baseline`] — the sequential baseline scheduler (every kernel gets the whole
+//!   array, strictly in dependency order) used by the ablation studies (Fig. 13a,
+//!   Fig. 19).
+//!
+//! # Example
+//!
+//! ```rust
+//! use cogsys_scheduler::{AdSchScheduler, OpGraph, SequentialScheduler, Scheduler};
+//! use cogsys_sim::{AcceleratorConfig, ComputeArray, Kernel};
+//!
+//! let mut graph = OpGraph::new();
+//! let conv = graph.add_op(0, Kernel::Conv2d { output_pixels: 1024, out_channels: 64, reduction: 576 }, &[]);
+//! let _sym = graph.add_op(0, Kernel::CircConv { dim: 1024, count: 64 }, &[conv]);
+//! // A second, independent task whose symbolic work can interleave with the first.
+//! let conv2 = graph.add_op(1, Kernel::Conv2d { output_pixels: 1024, out_channels: 64, reduction: 576 }, &[]);
+//! let _sym2 = graph.add_op(1, Kernel::CircConv { dim: 1024, count: 64 }, &[conv2]);
+//!
+//! let array = ComputeArray::new(AcceleratorConfig::cogsys()).unwrap();
+//! let adsch = AdSchScheduler::new(Default::default()).schedule(&array, &graph).unwrap();
+//! let seq = SequentialScheduler.schedule(&array, &graph).unwrap();
+//! assert!(adsch.makespan_cycles <= seq.makespan_cycles);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adsch;
+pub mod baseline;
+pub mod error;
+pub mod graph;
+pub mod schedule;
+
+pub use adsch::{AdSchConfig, AdSchScheduler};
+pub use baseline::SequentialScheduler;
+pub use error::ScheduleError;
+pub use graph::{OpGraph, OpId, OpNode};
+pub use schedule::{ExecUnit, Schedule, ScheduleEntry, Scheduler};

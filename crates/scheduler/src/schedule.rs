@@ -1,0 +1,340 @@
+//! Schedule representation, metrics, and the `Scheduler` trait.
+
+use crate::error::ScheduleError;
+use crate::graph::{OpGraph, OpId};
+use cogsys_sim::{ComputeArray, KernelClass};
+use serde::{Deserialize, Serialize};
+
+/// The execution unit an operation was assigned to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ExecUnit {
+    /// The reconfigurable compute array (a subset of its cells).
+    Array,
+    /// The custom SIMD unit.
+    Simd,
+}
+
+/// One scheduled operation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScheduleEntry {
+    /// The operation this entry schedules.
+    pub op: OpId,
+    /// Task the operation belongs to.
+    pub task: usize,
+    /// Kernel class (neural/symbolic) for reporting.
+    pub class: KernelClass,
+    /// Start cycle.
+    pub start: u64,
+    /// End cycle (exclusive).
+    pub end: u64,
+    /// Indices of the array cells used (empty for SIMD work).
+    pub cells: Vec<usize>,
+    /// Which unit executed the operation.
+    pub unit: ExecUnit,
+}
+
+impl ScheduleEntry {
+    /// Duration in cycles.
+    pub fn duration(&self) -> u64 {
+        self.end - self.start
+    }
+}
+
+/// A complete schedule of an operation graph.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct Schedule {
+    /// Scheduled entries in start-time order.
+    pub entries: Vec<ScheduleEntry>,
+    /// Total latency in cycles.
+    pub makespan_cycles: u64,
+    /// Total off-chip traffic in bytes.
+    pub dram_bytes: u64,
+    /// Number of array cells in the hardware configuration the schedule targets.
+    pub total_cells: usize,
+}
+
+impl Schedule {
+    /// Average compute-array utilisation: busy cell-cycles divided by
+    /// `makespan × total_cells`.
+    pub fn array_utilization(&self) -> f64 {
+        if self.makespan_cycles == 0 || self.total_cells == 0 {
+            return 0.0;
+        }
+        let busy: u64 = self
+            .entries
+            .iter()
+            .filter(|e| e.unit == ExecUnit::Array)
+            .map(|e| e.duration() * e.cells.len() as u64)
+            .sum();
+        busy as f64 / (self.makespan_cycles * self.total_cells as u64) as f64
+    }
+
+    /// Cycles during which at least one entry of the given class was running.
+    pub fn busy_cycles_by_class(&self, class: KernelClass) -> u64 {
+        let mut intervals: Vec<(u64, u64)> = self
+            .entries
+            .iter()
+            .filter(|e| e.class == class)
+            .map(|e| (e.start, e.end))
+            .collect();
+        intervals.sort_unstable();
+        let mut total = 0u64;
+        let mut current: Option<(u64, u64)> = None;
+        for (s, e) in intervals {
+            match current {
+                Some((cs, ce)) if s <= ce => current = Some((cs, ce.max(e))),
+                Some((cs, ce)) => {
+                    total += ce - cs;
+                    current = Some((s, e));
+                }
+                None => current = Some((s, e)),
+            }
+        }
+        if let Some((cs, ce)) = current {
+            total += ce - cs;
+        }
+        total
+    }
+
+    /// Makespan in seconds at the given clock frequency.
+    pub fn makespan_seconds(&self, frequency_ghz: f64) -> f64 {
+        self.makespan_cycles as f64 / (frequency_ghz * 1e9)
+    }
+
+    /// Checks the structural invariants every valid schedule must satisfy:
+    /// each operation appears exactly once, dependencies finish before dependents start,
+    /// and no array cell is used by two overlapping entries.
+    ///
+    /// Returns a human-readable description of the first violation, or `None`.
+    pub fn find_violation(&self, graph: &OpGraph) -> Option<String> {
+        // Every op scheduled exactly once.
+        let mut seen = vec![false; graph.len()];
+        for entry in &self.entries {
+            if entry.op >= graph.len() {
+                return Some(format!("entry references unknown op {}", entry.op));
+            }
+            if seen[entry.op] {
+                return Some(format!("op {} scheduled twice", entry.op));
+            }
+            seen[entry.op] = true;
+        }
+        if let Some(missing) = seen.iter().position(|s| !s) {
+            return Some(format!("op {missing} never scheduled"));
+        }
+        // Dependencies.
+        let mut finish = vec![0u64; graph.len()];
+        for entry in &self.entries {
+            finish[entry.op] = entry.end;
+        }
+        for entry in &self.entries {
+            let node = graph.node(entry.op).expect("checked above");
+            for &dep in &node.deps {
+                if finish[dep] > entry.start {
+                    return Some(format!(
+                        "op {} starts at {} before dependency {} finishes at {}",
+                        entry.op, entry.start, dep, finish[dep]
+                    ));
+                }
+            }
+        }
+        // Cell conflicts.
+        for (i, a) in self.entries.iter().enumerate() {
+            for b in self.entries.iter().skip(i + 1) {
+                if a.unit != ExecUnit::Array || b.unit != ExecUnit::Array {
+                    continue;
+                }
+                let overlap_time = a.start < b.end && b.start < a.end;
+                if !overlap_time {
+                    continue;
+                }
+                if a.cells.iter().any(|c| b.cells.contains(c)) {
+                    return Some(format!(
+                        "ops {} and {} overlap in time and share a cell",
+                        a.op, b.op
+                    ));
+                }
+            }
+        }
+        // SIMD conflicts (the SIMD unit is a single resource).
+        let mut simd: Vec<(u64, u64, OpId)> = self
+            .entries
+            .iter()
+            .filter(|e| e.unit == ExecUnit::Simd)
+            .map(|e| (e.start, e.end, e.op))
+            .collect();
+        simd.sort_unstable();
+        for pair in simd.windows(2) {
+            if pair[1].0 < pair[0].1 {
+                return Some(format!(
+                    "SIMD ops {} and {} overlap",
+                    pair[0].2, pair[1].2
+                ));
+            }
+        }
+        None
+    }
+}
+
+/// A scheduling policy: maps an operation graph onto a [`ComputeArray`].
+pub trait Scheduler {
+    /// Produces a schedule for `graph` on `array`.
+    ///
+    /// # Errors
+    /// Returns [`ScheduleError`] if the graph is invalid or a kernel cannot be executed.
+    fn schedule(&self, array: &ComputeArray, graph: &OpGraph) -> Result<Schedule, ScheduleError>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cogsys_sim::Kernel;
+
+    fn two_op_graph() -> OpGraph {
+        let mut g = OpGraph::new();
+        let a = g.add_op(0, Kernel::Gemm { m: 4, n: 4, k: 4 }, &[]);
+        g.add_op(0, Kernel::CircConv { dim: 32, count: 1 }, &[a]);
+        g
+    }
+
+    fn entry(op: OpId, start: u64, end: u64, cells: Vec<usize>, class: KernelClass) -> ScheduleEntry {
+        ScheduleEntry {
+            op,
+            task: 0,
+            class,
+            start,
+            end,
+            cells,
+            unit: ExecUnit::Array,
+        }
+    }
+
+    #[test]
+    fn utilization_and_duration() {
+        let s = Schedule {
+            entries: vec![
+                entry(0, 0, 10, vec![0, 1], KernelClass::Neural),
+                entry(1, 10, 20, vec![0], KernelClass::Symbolic),
+            ],
+            makespan_cycles: 20,
+            dram_bytes: 0,
+            total_cells: 2,
+        };
+        assert_eq!(s.entries[0].duration(), 10);
+        // Busy cell-cycles: 10*2 + 10*1 = 30 over 20*2 = 40.
+        assert!((s.array_utilization() - 0.75).abs() < 1e-12);
+        assert_eq!(s.busy_cycles_by_class(KernelClass::Neural), 10);
+        assert_eq!(s.busy_cycles_by_class(KernelClass::Symbolic), 10);
+        assert!((s.makespan_seconds(0.8) - 25e-9).abs() < 1e-15);
+    }
+
+    #[test]
+    fn empty_schedule_has_zero_utilization() {
+        let s = Schedule::default();
+        assert_eq!(s.array_utilization(), 0.0);
+        assert_eq!(s.busy_cycles_by_class(KernelClass::Neural), 0);
+    }
+
+    #[test]
+    fn violation_detection_missing_and_duplicate_ops() {
+        let g = two_op_graph();
+        let s = Schedule {
+            entries: vec![entry(0, 0, 5, vec![0], KernelClass::Neural)],
+            makespan_cycles: 5,
+            dram_bytes: 0,
+            total_cells: 16,
+        };
+        assert!(s.find_violation(&g).unwrap().contains("never scheduled"));
+
+        let s = Schedule {
+            entries: vec![
+                entry(0, 0, 5, vec![0], KernelClass::Neural),
+                entry(0, 5, 6, vec![0], KernelClass::Neural),
+            ],
+            makespan_cycles: 6,
+            dram_bytes: 0,
+            total_cells: 16,
+        };
+        assert!(s.find_violation(&g).unwrap().contains("twice"));
+    }
+
+    #[test]
+    fn violation_detection_dependency_and_conflicts() {
+        let g = two_op_graph();
+        // Dependency violated: op 1 starts before op 0 ends.
+        let s = Schedule {
+            entries: vec![
+                entry(0, 0, 10, vec![0], KernelClass::Neural),
+                entry(1, 5, 15, vec![1], KernelClass::Symbolic),
+            ],
+            makespan_cycles: 15,
+            dram_bytes: 0,
+            total_cells: 16,
+        };
+        assert!(s.find_violation(&g).unwrap().contains("dependency"));
+
+        // Cell conflict: same cell, overlapping times, independent ops.
+        let mut g2 = OpGraph::new();
+        g2.add_op(0, Kernel::Gemm { m: 1, n: 1, k: 1 }, &[]);
+        g2.add_op(1, Kernel::Gemm { m: 1, n: 1, k: 1 }, &[]);
+        let s = Schedule {
+            entries: vec![
+                entry(0, 0, 10, vec![3], KernelClass::Neural),
+                entry(1, 5, 12, vec![3], KernelClass::Neural),
+            ],
+            makespan_cycles: 12,
+            dram_bytes: 0,
+            total_cells: 16,
+        };
+        assert!(s.find_violation(&g2).unwrap().contains("share a cell"));
+
+        // A correct schedule passes.
+        let s = Schedule {
+            entries: vec![
+                entry(0, 0, 10, vec![0], KernelClass::Neural),
+                entry(1, 10, 20, vec![0], KernelClass::Symbolic),
+            ],
+            makespan_cycles: 20,
+            dram_bytes: 0,
+            total_cells: 16,
+        };
+        assert_eq!(s.find_violation(&g), None);
+    }
+
+    #[test]
+    fn simd_overlap_is_a_violation() {
+        let mut g = OpGraph::new();
+        g.add_op(0, Kernel::ElementWise { elements: 8, op: "relu".into() }, &[]);
+        g.add_op(1, Kernel::ElementWise { elements: 8, op: "relu".into() }, &[]);
+        let mk = |op: OpId, start: u64, end: u64| ScheduleEntry {
+            op,
+            task: op,
+            class: KernelClass::Symbolic,
+            start,
+            end,
+            cells: vec![],
+            unit: ExecUnit::Simd,
+        };
+        let s = Schedule {
+            entries: vec![mk(0, 0, 10), mk(1, 5, 15)],
+            makespan_cycles: 15,
+            dram_bytes: 0,
+            total_cells: 16,
+        };
+        assert!(s.find_violation(&g).unwrap().contains("SIMD"));
+    }
+
+    #[test]
+    fn busy_cycles_merges_overlapping_intervals() {
+        let s = Schedule {
+            entries: vec![
+                entry(0, 0, 10, vec![0], KernelClass::Symbolic),
+                entry(1, 5, 15, vec![1], KernelClass::Symbolic),
+                entry(2, 20, 25, vec![2], KernelClass::Symbolic),
+            ],
+            makespan_cycles: 25,
+            dram_bytes: 0,
+            total_cells: 16,
+        };
+        assert_eq!(s.busy_cycles_by_class(KernelClass::Symbolic), 20);
+    }
+}

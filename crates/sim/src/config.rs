@@ -1,0 +1,284 @@
+//! Accelerator configuration (Fig. 9, Fig. 14).
+
+use crate::error::SimError;
+use cogsys_vsa::Precision;
+use serde::{Deserialize, Serialize};
+
+/// Geometry of the reconfigurable compute array.
+///
+/// The paper's design is 16 systolic cells of 32×32 nsPEs (16 384 PEs total), which can
+/// be composed into scale-up (one large logical array) or scale-out (independent cells)
+/// configurations (Sec. V-E).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ArrayGeometry {
+    /// Number of systolic cells.
+    pub cells: usize,
+    /// Rows of nsPEs per cell.
+    pub rows: usize,
+    /// Columns of nsPEs per cell.
+    pub cols: usize,
+}
+
+impl ArrayGeometry {
+    /// The paper's CogSys configuration: 16 cells of 32×32.
+    pub fn cogsys() -> Self {
+        Self {
+            cells: 16,
+            rows: 32,
+            cols: 32,
+        }
+    }
+
+    /// TPU-like monolithic systolic array: one 128×128 cell.
+    pub fn tpu_like() -> Self {
+        Self {
+            cells: 1,
+            rows: 128,
+            cols: 128,
+        }
+    }
+
+    /// MTIA-like array: 16 cells of 32×32 (same PE count as CogSys, no reconfiguration).
+    pub fn mtia_like() -> Self {
+        Self::cogsys()
+    }
+
+    /// Gemmini-like array: 64 cells of 16×16.
+    pub fn gemmini_like() -> Self {
+        Self {
+            cells: 64,
+            rows: 16,
+            cols: 16,
+        }
+    }
+
+    /// Total number of PEs.
+    pub fn total_pes(&self) -> usize {
+        self.cells * self.rows * self.cols
+    }
+
+    /// PEs per cell.
+    pub fn pes_per_cell(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// Validates the geometry.
+    ///
+    /// # Errors
+    /// Returns [`SimError::InvalidConfig`] if any dimension is zero.
+    pub fn validate(&self) -> Result<(), SimError> {
+        if self.cells == 0 || self.rows == 0 || self.cols == 0 {
+            return Err(SimError::InvalidConfig {
+                field: "array geometry",
+                message: format!(
+                    "cells ({}), rows ({}) and cols ({}) must all be positive",
+                    self.cells, self.rows, self.cols
+                ),
+            });
+        }
+        Ok(())
+    }
+}
+
+impl Default for ArrayGeometry {
+    fn default() -> Self {
+        Self::cogsys()
+    }
+}
+
+/// Full accelerator configuration (Fig. 14's specification box).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AcceleratorConfig {
+    /// Compute-array geometry.
+    pub geometry: ArrayGeometry,
+    /// Number of SIMD PEs in the custom SIMD unit (512 in the paper).
+    pub simd_pes: usize,
+    /// Clock frequency in GHz (0.8 in the paper).
+    pub frequency_ghz: f64,
+    /// SRAM A capacity in bytes — shared weight buffer (256 KiB in the paper).
+    pub sram_a_bytes: usize,
+    /// SRAM B capacity in bytes — distributed activation buffer (4 MiB in the paper).
+    pub sram_b_bytes: usize,
+    /// SRAM C capacity in bytes — output buffer (the remainder of the 4.5 MiB budget).
+    pub sram_c_bytes: usize,
+    /// DRAM bandwidth in GB/s (700 in the paper).
+    pub dram_bandwidth_gbps: f64,
+    /// Arithmetic precision of the datapath.
+    pub precision: Precision,
+    /// Whether the nsPEs are reconfigurable (can run both GEMM and circular
+    /// convolution). Setting this to `false` models the "w/o nsPE" ablation of Fig. 19,
+    /// where symbolic kernels fall back to the GEMV lowering.
+    pub reconfigurable_pe: bool,
+    /// Whether scale-out composition is available ("w/o SO" ablation disables it and
+    /// forces a single scale-up array).
+    pub scale_out_enabled: bool,
+}
+
+impl AcceleratorConfig {
+    /// The paper's CogSys accelerator configuration (Fig. 14): 16×32×32 PEs, 512 SIMD
+    /// PEs, 0.8 GHz, 4.5 MiB SRAM, 700 GB/s DRAM, INT8 datapath.
+    pub fn cogsys() -> Self {
+        Self {
+            geometry: ArrayGeometry::cogsys(),
+            simd_pes: 512,
+            frequency_ghz: 0.8,
+            sram_a_bytes: 256 * 1024,
+            sram_b_bytes: 4 * 1024 * 1024,
+            sram_c_bytes: 256 * 1024,
+            dram_bandwidth_gbps: 700.0,
+            precision: Precision::Int8,
+            reconfigurable_pe: true,
+            scale_out_enabled: true,
+        }
+    }
+
+    /// A TPU-like baseline with the same SRAM budget but a monolithic 128×128 array and
+    /// no reconfigurable symbolic support.
+    pub fn tpu_like() -> Self {
+        Self {
+            geometry: ArrayGeometry::tpu_like(),
+            reconfigurable_pe: false,
+            scale_out_enabled: false,
+            ..Self::cogsys()
+        }
+    }
+
+    /// Gemmini-like baseline (64 cells of 16×16, no symbolic support).
+    pub fn gemmini_like() -> Self {
+        Self {
+            geometry: ArrayGeometry::gemmini_like(),
+            reconfigurable_pe: false,
+            ..Self::cogsys()
+        }
+    }
+
+    /// MTIA-like baseline (16 cells of 32×32, no symbolic support).
+    pub fn mtia_like() -> Self {
+        Self {
+            geometry: ArrayGeometry::mtia_like(),
+            reconfigurable_pe: false,
+            ..Self::cogsys()
+        }
+    }
+
+    /// Returns a copy with a different precision.
+    pub fn with_precision(mut self, precision: Precision) -> Self {
+        self.precision = precision;
+        self
+    }
+
+    /// Total SRAM capacity.
+    pub fn total_sram_bytes(&self) -> usize {
+        self.sram_a_bytes + self.sram_b_bytes + self.sram_c_bytes
+    }
+
+    /// Cycle time in nanoseconds.
+    pub fn cycle_time_ns(&self) -> f64 {
+        1.0 / self.frequency_ghz
+    }
+
+    /// Converts a cycle count to seconds at the configured frequency.
+    pub fn cycles_to_seconds(&self, cycles: u64) -> f64 {
+        cycles as f64 * self.cycle_time_ns() * 1e-9
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    /// Returns [`SimError::InvalidConfig`] for non-positive frequency, bandwidth, SIMD
+    /// width, or an invalid geometry.
+    pub fn validate(&self) -> Result<(), SimError> {
+        self.geometry.validate()?;
+        if self.frequency_ghz <= 0.0 {
+            return Err(SimError::InvalidConfig {
+                field: "frequency_ghz",
+                message: "must be positive".into(),
+            });
+        }
+        if self.dram_bandwidth_gbps <= 0.0 {
+            return Err(SimError::InvalidConfig {
+                field: "dram_bandwidth_gbps",
+                message: "must be positive".into(),
+            });
+        }
+        if self.simd_pes == 0 {
+            return Err(SimError::InvalidConfig {
+                field: "simd_pes",
+                message: "must be positive".into(),
+            });
+        }
+        Ok(())
+    }
+}
+
+impl Default for AcceleratorConfig {
+    fn default() -> Self {
+        Self::cogsys()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cogsys_geometry_matches_paper() {
+        let g = ArrayGeometry::cogsys();
+        assert_eq!(g.total_pes(), 16 * 32 * 32);
+        assert_eq!(g.pes_per_cell(), 1024);
+        // TPU-like baseline has the same PE count (fair comparison in Fig. 17/18).
+        assert_eq!(ArrayGeometry::tpu_like().total_pes(), g.total_pes());
+        assert_eq!(ArrayGeometry::gemmini_like().total_pes(), g.total_pes());
+    }
+
+    #[test]
+    fn invalid_geometry_is_rejected() {
+        let g = ArrayGeometry {
+            cells: 0,
+            rows: 32,
+            cols: 32,
+        };
+        assert!(g.validate().is_err());
+        assert!(ArrayGeometry::cogsys().validate().is_ok());
+    }
+
+    #[test]
+    fn cogsys_config_matches_paper_specs() {
+        let c = AcceleratorConfig::cogsys();
+        assert_eq!(c.total_sram_bytes(), 4 * 1024 * 1024 + 512 * 1024);
+        assert_eq!(c.simd_pes, 512);
+        assert!((c.frequency_ghz - 0.8).abs() < 1e-12);
+        assert!((c.dram_bandwidth_gbps - 700.0).abs() < 1e-12);
+        assert!(c.validate().is_ok());
+        assert!((c.cycle_time_ns() - 1.25).abs() < 1e-12);
+        // 800 M cycles is one second.
+        assert!((c.cycles_to_seconds(800_000_000) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn baseline_configs_disable_symbolic_support() {
+        assert!(!AcceleratorConfig::tpu_like().reconfigurable_pe);
+        assert!(!AcceleratorConfig::gemmini_like().reconfigurable_pe);
+        assert!(!AcceleratorConfig::mtia_like().reconfigurable_pe);
+        assert!(AcceleratorConfig::cogsys().reconfigurable_pe);
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        let mut c = AcceleratorConfig::cogsys();
+        c.frequency_ghz = 0.0;
+        assert!(c.validate().is_err());
+        let mut c = AcceleratorConfig::cogsys();
+        c.dram_bandwidth_gbps = -1.0;
+        assert!(c.validate().is_err());
+        let mut c = AcceleratorConfig::cogsys();
+        c.simd_pes = 0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn with_precision_builder() {
+        let c = AcceleratorConfig::cogsys().with_precision(Precision::Fp32);
+        assert_eq!(c.precision, Precision::Fp32);
+    }
+}

@@ -1,0 +1,452 @@
+//! Analytical models of the baseline devices (Tab. VI) and the GPU kernel-efficiency
+//! data of Tab. II.
+//!
+//! The paper profiles four neurosymbolic workloads on physical devices (Coral TPU,
+//! Jetson TX2, Xavier NX, RTX 2080Ti, Xeon CPU) and later compares CogSys against those
+//! devices plus V100/A100 GPUs. We do not have the hardware, so each baseline is a
+//! roofline-style analytical model with *kernel-class-dependent efficiency factors*
+//! calibrated from the paper's own profiling (Tab. II): neural kernels achieve ~95% of
+//! peak compute, symbolic kernels achieve only a few percent of peak compute while
+//! saturating DRAM bandwidth, and every symbolic kernel pays a launch/dispatch overhead
+//! (the paper attributes about half of the symbolic latency to data movement and launch
+//! overheads, >80% of it host→device).
+
+use crate::kernel::{Kernel, KernelClass};
+use crate::roofline::Roofline;
+use cogsys_vsa::Precision;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The baseline hardware platforms modelled in this crate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DeviceKind {
+    /// NVIDIA Jetson TX2 edge SoC (15 W).
+    JetsonTx2,
+    /// NVIDIA Xavier NX edge SoC (20 W).
+    XavierNx,
+    /// Intel Xeon server CPU (145 W).
+    XeonCpu,
+    /// NVIDIA RTX 2080 Ti desktop GPU (250 W).
+    RtxGpu,
+    /// NVIDIA V100 datacenter GPU (300 W).
+    V100,
+    /// NVIDIA A100 datacenter GPU (400 W).
+    A100,
+    /// Google Coral edge TPU (4 W).
+    CoralTpu,
+}
+
+impl DeviceKind {
+    /// All modelled devices.
+    pub fn all() -> [DeviceKind; 7] {
+        [
+            DeviceKind::JetsonTx2,
+            DeviceKind::XavierNx,
+            DeviceKind::XeonCpu,
+            DeviceKind::RtxGpu,
+            DeviceKind::V100,
+            DeviceKind::A100,
+            DeviceKind::CoralTpu,
+        ]
+    }
+
+    /// The four devices used in the end-to-end comparison of Fig. 15 / Fig. 16.
+    pub fn fig15_baselines() -> [DeviceKind; 4] {
+        [
+            DeviceKind::JetsonTx2,
+            DeviceKind::XavierNx,
+            DeviceKind::XeonCpu,
+            DeviceKind::RtxGpu,
+        ]
+    }
+}
+
+impl fmt::Display for DeviceKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            DeviceKind::JetsonTx2 => "Jetson TX2",
+            DeviceKind::XavierNx => "Xavier NX",
+            DeviceKind::XeonCpu => "Xeon CPU",
+            DeviceKind::RtxGpu => "RTX 2080Ti",
+            DeviceKind::V100 => "V100",
+            DeviceKind::A100 => "A100",
+            DeviceKind::CoralTpu => "Coral TPU",
+        };
+        write!(f, "{name}")
+    }
+}
+
+/// Per-kernel-class efficiency factors of a device (fractions of peak).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct KernelEfficiency {
+    /// Fraction of peak compute achieved.
+    pub compute: f64,
+    /// Fraction of peak memory bandwidth achieved.
+    pub bandwidth: f64,
+    /// Fixed dispatch/launch overhead per kernel in seconds (includes the host↔device
+    /// transfer latency the paper measures for symbolic kernels).
+    pub dispatch_overhead_s: f64,
+}
+
+/// An analytical device model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DeviceModel {
+    /// Which platform this models.
+    pub kind: DeviceKind,
+    /// Peak FP32 compute in GFLOP/s.
+    pub peak_gflops: f64,
+    /// Peak DRAM bandwidth in GB/s.
+    pub peak_bandwidth_gbps: f64,
+    /// Board/TDP power in watts (used for the energy comparison of Fig. 16).
+    pub power_watts: f64,
+    /// Efficiency on neural (GEMM/conv) kernels.
+    pub neural: KernelEfficiency,
+    /// Efficiency on symbolic (vector/element-wise) kernels.
+    pub symbolic: KernelEfficiency,
+}
+
+impl DeviceModel {
+    /// Builds the model for a device, with parameters from vendor datasheets and the
+    /// efficiency factors calibrated from Tab. II and the Fig. 4 profiling.
+    pub fn new(kind: DeviceKind) -> Self {
+        // (peak GFLOPs, bandwidth GB/s, power W)
+        let (peak, bw, power) = match kind {
+            DeviceKind::JetsonTx2 => (665.0, 58.3, 15.0),
+            DeviceKind::XavierNx => (1_300.0, 59.7, 20.0),
+            DeviceKind::XeonCpu => (1_800.0, 120.0, 145.0),
+            DeviceKind::RtxGpu => (13_450.0, 616.0, 250.0),
+            DeviceKind::V100 => (15_700.0, 900.0, 300.0),
+            DeviceKind::A100 => (19_500.0, 1_555.0, 400.0),
+            DeviceKind::CoralTpu => (2_000.0, 25.6, 4.0),
+        };
+        // Neural kernels: ~95% compute throughput, modest bandwidth demand (Tab. II
+        // sgemm row). CPUs reach a smaller fraction of their nominal peak on DNN layers.
+        let neural = match kind {
+            DeviceKind::XeonCpu => KernelEfficiency {
+                compute: 0.55,
+                bandwidth: 0.60,
+                dispatch_overhead_s: 2e-6,
+            },
+            DeviceKind::CoralTpu => KernelEfficiency {
+                compute: 0.80,
+                bandwidth: 0.50,
+                dispatch_overhead_s: 1e-4,
+            },
+            DeviceKind::JetsonTx2 | DeviceKind::XavierNx => KernelEfficiency {
+                compute: 0.80,
+                bandwidth: 0.55,
+                dispatch_overhead_s: 8e-5,
+            },
+            _ => KernelEfficiency {
+                compute: 0.95,
+                bandwidth: 0.60,
+                dispatch_overhead_s: 2e-5,
+            },
+        };
+        // Symbolic kernels: a few percent of peak compute (Tab. II: 3.0% / 2.3%),
+        // bandwidth-saturating (78-91% DRAM utilisation), and each of the many small
+        // kernels pays launch plus host↔device transfer overheads.
+        let symbolic = match kind {
+            DeviceKind::XeonCpu => KernelEfficiency {
+                compute: 0.06,
+                bandwidth: 0.70,
+                dispatch_overhead_s: 3e-6,
+            },
+            DeviceKind::CoralTpu => KernelEfficiency {
+                compute: 0.01,
+                bandwidth: 0.60,
+                dispatch_overhead_s: 5e-4,
+            },
+            DeviceKind::JetsonTx2 => KernelEfficiency {
+                compute: 0.02,
+                bandwidth: 0.75,
+                dispatch_overhead_s: 4e-4,
+            },
+            DeviceKind::XavierNx => KernelEfficiency {
+                compute: 0.025,
+                bandwidth: 0.78,
+                dispatch_overhead_s: 2.5e-4,
+            },
+            _ => KernelEfficiency {
+                compute: 0.03,
+                bandwidth: 0.85,
+                dispatch_overhead_s: 5e-5,
+            },
+        };
+        Self {
+            kind,
+            peak_gflops: peak,
+            peak_bandwidth_gbps: bw,
+            power_watts: power,
+            neural,
+            symbolic,
+        }
+    }
+
+    /// The efficiency factors used for a kernel class.
+    pub fn efficiency(&self, class: KernelClass) -> KernelEfficiency {
+        match class {
+            KernelClass::Neural => self.neural,
+            KernelClass::Symbolic => self.symbolic,
+        }
+    }
+
+    /// The device's roofline (Fig. 5 uses the RTX one).
+    pub fn roofline(&self) -> Roofline {
+        Roofline::new(self.peak_gflops, self.peak_bandwidth_gbps)
+    }
+
+    /// Execution time of one kernel in seconds.
+    ///
+    /// `time = max(flops / (peak·eff_c), bytes / (bw·eff_b)) + dispatch_overhead`.
+    pub fn kernel_seconds(&self, kernel: &Kernel, precision: Precision) -> f64 {
+        let eff = self.efficiency(kernel.class());
+        let flops = kernel.flops() as f64;
+        let bytes = kernel.min_bytes(precision) as f64;
+        let compute_s = flops / (self.peak_gflops * 1e9 * eff.compute);
+        let memory_s = bytes / (self.peak_bandwidth_gbps * 1e9 * eff.bandwidth);
+        compute_s.max(memory_s) + eff.dispatch_overhead_s
+    }
+
+    /// Execution time of a kernel sequence in seconds (kernels run back to back — the
+    /// sequential neural→symbolic dependence the paper highlights).
+    pub fn sequence_seconds(&self, kernels: &[Kernel], precision: Precision) -> f64 {
+        kernels
+            .iter()
+            .map(|k| self.kernel_seconds(k, precision))
+            .sum()
+    }
+
+    /// Energy in joules for a given runtime (board power × time).
+    pub fn energy_joules(&self, seconds: f64) -> f64 {
+        self.power_watts * seconds
+    }
+}
+
+/// One row of the Tab. II kernel-inefficiency analysis.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GpuKernelStats {
+    /// Kernel name as reported by the profiler.
+    pub kernel: &'static str,
+    /// Neural or symbolic.
+    pub class: KernelClass,
+    /// Compute throughput (% of peak).
+    pub compute_throughput_pct: f64,
+    /// ALU utilisation (%).
+    pub alu_utilization_pct: f64,
+    /// L1 cache throughput (%).
+    pub l1_throughput_pct: f64,
+    /// L2 cache throughput (%).
+    pub l2_throughput_pct: f64,
+    /// L1 hit rate (%).
+    pub l1_hit_rate_pct: f64,
+    /// L2 hit rate (%).
+    pub l2_hit_rate_pct: f64,
+    /// DRAM bandwidth utilisation (%).
+    pub dram_bw_utilization_pct: f64,
+}
+
+/// The measured kernel statistics of Tab. II (reproduced verbatim as reference data for
+/// the `tab02_kernel_stats` experiment and used to calibrate [`DeviceModel`]).
+pub fn tab2_kernel_stats() -> Vec<GpuKernelStats> {
+    vec![
+        GpuKernelStats {
+            kernel: "sgemm_nn",
+            class: KernelClass::Neural,
+            compute_throughput_pct: 95.1,
+            alu_utilization_pct: 90.1,
+            l1_throughput_pct: 79.7,
+            l2_throughput_pct: 19.2,
+            l1_hit_rate_pct: 1.6,
+            l2_hit_rate_pct: 86.8,
+            dram_bw_utilization_pct: 14.9,
+        },
+        GpuKernelStats {
+            kernel: "relu_nn",
+            class: KernelClass::Neural,
+            compute_throughput_pct: 92.9,
+            alu_utilization_pct: 48.3,
+            l1_throughput_pct: 82.6,
+            l2_throughput_pct: 17.5,
+            l1_hit_rate_pct: 51.6,
+            l2_hit_rate_pct: 65.5,
+            dram_bw_utilization_pct: 24.2,
+        },
+        GpuKernelStats {
+            kernel: "vectorized_elem",
+            class: KernelClass::Symbolic,
+            compute_throughput_pct: 3.0,
+            alu_utilization_pct: 5.9,
+            l1_throughput_pct: 28.4,
+            l2_throughput_pct: 29.8,
+            l1_hit_rate_pct: 29.5,
+            l2_hit_rate_pct: 48.6,
+            dram_bw_utilization_pct: 90.9,
+        },
+        GpuKernelStats {
+            kernel: "elementwise",
+            class: KernelClass::Symbolic,
+            compute_throughput_pct: 2.3,
+            alu_utilization_pct: 4.5,
+            l1_throughput_pct: 10.8,
+            l2_throughput_pct: 22.8,
+            l1_hit_rate_pct: 33.3,
+            l2_hit_rate_pct: 34.3,
+            dram_bw_utilization_pct: 78.4,
+        },
+    ]
+}
+
+/// Convenience wrapper bundling a [`DeviceModel`] with a display name, used by the
+/// figure-regeneration binaries.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Device {
+    /// The underlying analytical model.
+    pub model: DeviceModel,
+}
+
+impl Device {
+    /// Creates the device of the given kind.
+    pub fn of(kind: DeviceKind) -> Self {
+        Self {
+            model: DeviceModel::new(kind),
+        }
+    }
+
+    /// Display name.
+    pub fn name(&self) -> String {
+        self.model.kind.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_devices_have_positive_parameters() {
+        for kind in DeviceKind::all() {
+            let m = DeviceModel::new(kind);
+            assert!(m.peak_gflops > 0.0);
+            assert!(m.peak_bandwidth_gbps > 0.0);
+            assert!(m.power_watts > 0.0);
+            assert!(m.neural.compute > m.symbolic.compute, "{kind}");
+            assert!(m.symbolic.bandwidth > 0.0);
+        }
+        assert_eq!(DeviceKind::fig15_baselines().len(), 4);
+    }
+
+    #[test]
+    fn device_power_matches_tab6() {
+        assert_eq!(DeviceModel::new(DeviceKind::XeonCpu).power_watts, 145.0);
+        assert_eq!(DeviceModel::new(DeviceKind::RtxGpu).power_watts, 250.0);
+        assert_eq!(DeviceModel::new(DeviceKind::JetsonTx2).power_watts, 15.0);
+        assert_eq!(DeviceModel::new(DeviceKind::XavierNx).power_watts, 20.0);
+        assert_eq!(DeviceModel::new(DeviceKind::CoralTpu).power_watts, 4.0);
+    }
+
+    #[test]
+    fn neural_kernels_run_near_peak_symbolic_kernels_do_not() {
+        let gpu = DeviceModel::new(DeviceKind::RtxGpu);
+        let gemm = Kernel::Gemm {
+            m: 2048,
+            n: 2048,
+            k: 2048,
+        };
+        let circ = Kernel::CircConv { dim: 1024, count: 1 };
+        let gemm_s = gpu.kernel_seconds(&gemm, Precision::Fp32);
+        // Achieved GFLOP/s on the large GEMM should be close to peak * efficiency.
+        let achieved = gemm.flops() as f64 / gemm_s / 1e9;
+        assert!(achieved > 0.7 * gpu.peak_gflops, "achieved {achieved}");
+        // The circular convolution is dominated by overhead + bandwidth, reaching only a
+        // tiny fraction of peak.
+        let circ_s = gpu.kernel_seconds(&circ, Precision::Fp32);
+        let circ_achieved = circ.flops() as f64 / circ_s / 1e9;
+        assert!(circ_achieved < 0.05 * gpu.peak_gflops, "achieved {circ_achieved}");
+    }
+
+    #[test]
+    fn edge_devices_are_slower_than_desktop_gpu() {
+        // Fig. 4b / Fig. 15 ordering: TX2 > NX > Xeon > RTX in runtime.
+        let gemm = Kernel::Gemm {
+            m: 512,
+            n: 512,
+            k: 512,
+        };
+        let circ = Kernel::CircConv {
+            dim: 1024,
+            count: 200,
+        };
+        let kernels = [gemm, circ];
+        let time = |kind: DeviceKind| {
+            DeviceModel::new(kind).sequence_seconds(&kernels, Precision::Fp32)
+        };
+        let tx2 = time(DeviceKind::JetsonTx2);
+        let nx = time(DeviceKind::XavierNx);
+        let xeon = time(DeviceKind::XeonCpu);
+        let rtx = time(DeviceKind::RtxGpu);
+        assert!(tx2 > nx, "tx2 {tx2} vs nx {nx}");
+        assert!(nx > xeon, "nx {nx} vs xeon {xeon}");
+        assert!(xeon > rtx, "xeon {xeon} vs rtx {rtx}");
+    }
+
+    #[test]
+    fn datacenter_gpus_beat_rtx() {
+        let circ = Kernel::CircConv {
+            dim: 1024,
+            count: 500,
+        };
+        let rtx = DeviceModel::new(DeviceKind::RtxGpu).kernel_seconds(&circ, Precision::Fp32);
+        let v100 = DeviceModel::new(DeviceKind::V100).kernel_seconds(&circ, Precision::Fp32);
+        let a100 = DeviceModel::new(DeviceKind::A100).kernel_seconds(&circ, Precision::Fp32);
+        assert!(v100 < rtx);
+        assert!(a100 < v100);
+    }
+
+    #[test]
+    fn tab2_data_matches_paper() {
+        let stats = tab2_kernel_stats();
+        assert_eq!(stats.len(), 4);
+        assert_eq!(stats[0].kernel, "sgemm_nn");
+        assert_eq!(stats[0].compute_throughput_pct, 95.1);
+        assert_eq!(stats[2].dram_bw_utilization_pct, 90.9);
+        // Symbolic kernels: low compute throughput, high DRAM utilisation.
+        for s in stats.iter().filter(|s| s.class == KernelClass::Symbolic) {
+            assert!(s.compute_throughput_pct < 5.0);
+            assert!(s.dram_bw_utilization_pct > 70.0);
+        }
+        for s in stats.iter().filter(|s| s.class == KernelClass::Neural) {
+            assert!(s.compute_throughput_pct > 90.0);
+            assert!(s.dram_bw_utilization_pct < 30.0);
+        }
+    }
+
+    #[test]
+    fn energy_scales_with_power_and_time() {
+        let gpu = DeviceModel::new(DeviceKind::RtxGpu);
+        let tx2 = DeviceModel::new(DeviceKind::JetsonTx2);
+        assert!((gpu.energy_joules(2.0) - 500.0).abs() < 1e-9);
+        assert!((tx2.energy_joules(2.0) - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn device_wrapper_names() {
+        assert_eq!(Device::of(DeviceKind::RtxGpu).name(), "RTX 2080Ti");
+        assert_eq!(DeviceKind::CoralTpu.to_string(), "Coral TPU");
+    }
+
+    #[test]
+    fn symbolic_dispatch_overhead_dominates_small_kernels() {
+        // A tiny element-wise op's latency is essentially the dispatch overhead — this
+        // is why thousands of small sequential symbolic ops crush GPU performance
+        // (Sec. III-D).
+        let gpu = DeviceModel::new(DeviceKind::RtxGpu);
+        let tiny = Kernel::ElementWise {
+            elements: 64,
+            op: "mult".into(),
+        };
+        let t = gpu.kernel_seconds(&tiny, Precision::Fp32);
+        assert!(t >= gpu.symbolic.dispatch_overhead_s);
+        assert!(t < 2.0 * gpu.symbolic.dispatch_overhead_s);
+    }
+}

@@ -1,0 +1,288 @@
+//! Area, power and energy models (Tab. IX, Fig. 14).
+//!
+//! The paper implements CogSys in RTL and reports post-synthesis area and power under
+//! TSMC 28 nm at 0.8 GHz. We cannot run the ASIC flow, so this module is an analytical
+//! model *anchored to the paper's published component numbers* and extrapolated linearly
+//! in PE count and SRAM capacity. The anchored values (16×32×32 reconfigurable array,
+//! 512-PE SIMD unit, 4.5 MiB SRAM) are:
+//!
+//! | Component | FP32 | FP8 | INT8 |
+//! |---|---|---|---|
+//! | Array area (mm²) | 28.9 | 9.9 | 3.8 |
+//! | Array power (mW) | 4468.5 | 1237.8 | 1104.6 |
+//! | SIMD area (mm²) | 2.01 | 0.28 | 0.21 |
+//! | SIMD power (mW) | 297.0 | 64.8 | 80.4 |
+//!
+//! and the whole accelerator occupies 4.0 mm² / 1.48 W at INT8 (Fig. 14), with a
+//! reconfigurability overhead of 4.8 % over a plain systolic array at FP8 and 12.1 % at
+//! INT8 (Tab. IX).
+
+use crate::config::AcceleratorConfig;
+use cogsys_vsa::Precision;
+use serde::{Deserialize, Serialize};
+
+/// Reference PE count of the anchored array numbers (16 cells × 32 × 32).
+const REF_ARRAY_PES: f64 = 16.0 * 32.0 * 32.0;
+/// Reference SIMD PE count.
+const REF_SIMD_PES: f64 = 512.0;
+/// Incremental SRAM area per MiB. The paper's 4.0 mm² total (Fig. 14) is accounted for
+/// by the INT8 array (3.8 mm²) and SIMD unit (0.21 mm²) alone, so the 4.5 MiB SRAM
+/// macros are evidently folded into the anchored array number; we therefore attribute
+/// no *additional* area to SRAM and scale only with PE count.
+const SRAM_MM2_PER_MIB: f64 = 0.0;
+/// SRAM leakage+access power per MiB (mW), chosen so that array + SIMD + SRAM match the
+/// 1.48 W average power of Fig. 14 at INT8.
+const SRAM_MW_PER_MIB: f64 = 65.0;
+
+/// Per-precision anchored component numbers from Tab. IX.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+struct PrecisionAnchor {
+    array_area_mm2: f64,
+    array_power_mw: f64,
+    simd_area_mm2: f64,
+    simd_power_mw: f64,
+    /// Area overhead of the reconfigurable array over a plain systolic array.
+    reconfig_overhead: f64,
+}
+
+fn anchor(precision: Precision) -> PrecisionAnchor {
+    match precision {
+        Precision::Fp32 => PrecisionAnchor {
+            array_area_mm2: 28.9,
+            array_power_mw: 4468.5,
+            simd_area_mm2: 2.01,
+            simd_power_mw: 297.0,
+            reconfig_overhead: 0.01,
+        },
+        Precision::Fp8 => PrecisionAnchor {
+            array_area_mm2: 9.9,
+            array_power_mw: 1237.8,
+            simd_area_mm2: 0.28,
+            simd_power_mw: 64.8,
+            reconfig_overhead: 0.048,
+        },
+        Precision::Int8 => PrecisionAnchor {
+            array_area_mm2: 3.8,
+            array_power_mw: 1104.6,
+            simd_area_mm2: 0.21,
+            simd_power_mw: 80.4,
+            reconfig_overhead: 0.121,
+        },
+    }
+}
+
+/// Area breakdown of an accelerator instance in mm² (28 nm).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AreaBreakdown {
+    /// Reconfigurable compute array.
+    pub array_mm2: f64,
+    /// Custom SIMD unit.
+    pub simd_mm2: f64,
+    /// On-chip SRAM.
+    pub sram_mm2: f64,
+}
+
+impl AreaBreakdown {
+    /// Total area.
+    pub fn total_mm2(&self) -> f64 {
+        self.array_mm2 + self.simd_mm2 + self.sram_mm2
+    }
+}
+
+/// Power breakdown of an accelerator instance in watts.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PowerBreakdown {
+    /// Compute array power.
+    pub array_w: f64,
+    /// SIMD unit power.
+    pub simd_w: f64,
+    /// SRAM power.
+    pub sram_w: f64,
+}
+
+impl PowerBreakdown {
+    /// Total power.
+    pub fn total_w(&self) -> f64 {
+        self.array_w + self.simd_w + self.sram_w
+    }
+}
+
+/// The area / power / energy model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EnergyModel {
+    config: AcceleratorConfig,
+}
+
+impl EnergyModel {
+    /// Creates a model for an accelerator configuration.
+    pub fn new(config: AcceleratorConfig) -> Self {
+        Self { config }
+    }
+
+    /// The configuration this model describes.
+    pub fn config(&self) -> &AcceleratorConfig {
+        &self.config
+    }
+
+    /// Area breakdown, scaled linearly from the anchored component numbers.
+    pub fn area(&self) -> AreaBreakdown {
+        let a = anchor(self.config.precision);
+        let pe_scale = self.config.geometry.total_pes() as f64 / REF_ARRAY_PES;
+        let simd_scale = self.config.simd_pes as f64 / REF_SIMD_PES;
+        let sram_mib = self.config.total_sram_bytes() as f64 / (1024.0 * 1024.0);
+        let reconfig = if self.config.reconfigurable_pe {
+            1.0
+        } else {
+            // A plain systolic array saves the reconfiguration muxes/registers.
+            1.0 / (1.0 + a.reconfig_overhead)
+        };
+        AreaBreakdown {
+            array_mm2: a.array_area_mm2 * pe_scale * reconfig,
+            simd_mm2: a.simd_area_mm2 * simd_scale,
+            sram_mm2: sram_mib * SRAM_MM2_PER_MIB,
+        }
+    }
+
+    /// Average power breakdown at full activity.
+    pub fn power(&self) -> PowerBreakdown {
+        let a = anchor(self.config.precision);
+        let pe_scale = self.config.geometry.total_pes() as f64 / REF_ARRAY_PES;
+        let simd_scale = self.config.simd_pes as f64 / REF_SIMD_PES;
+        let freq_scale = self.config.frequency_ghz / 0.8;
+        let sram_mib = self.config.total_sram_bytes() as f64 / (1024.0 * 1024.0);
+        PowerBreakdown {
+            array_w: a.array_power_mw * pe_scale * freq_scale / 1000.0,
+            simd_w: a.simd_power_mw * simd_scale * freq_scale / 1000.0,
+            sram_w: sram_mib * SRAM_MW_PER_MIB / 1000.0,
+        }
+    }
+
+    /// Area overhead of the reconfigurable array relative to a plain systolic array of
+    /// the same size and precision (Tab. IX bottom row: <1 % FP32, 4.8 % FP8, 12.1 %
+    /// INT8).
+    pub fn reconfigurability_overhead(&self) -> f64 {
+        anchor(self.config.precision).reconfig_overhead
+    }
+
+    /// Energy in joules for running the accelerator for `cycles` cycles with an average
+    /// compute-array utilisation of `utilization` (0–1). Idle components draw 10 % of
+    /// their active power (clock tree + leakage).
+    pub fn energy_joules(&self, cycles: u64, utilization: f64) -> f64 {
+        let seconds = self.config.cycles_to_seconds(cycles);
+        let p = self.power();
+        let u = utilization.clamp(0.0, 1.0);
+        let active = p.array_w * (0.1 + 0.9 * u) + p.simd_w * (0.1 + 0.9 * u) + p.sram_w;
+        active * seconds
+    }
+
+    /// Energy per multiply–accumulate in picojoules at full utilisation — a convenient
+    /// scalar for cross-checking against the per-op energy numbers common for 28 nm.
+    pub fn energy_per_mac_pj(&self) -> f64 {
+        let p = self.power();
+        let macs_per_second =
+            self.config.geometry.total_pes() as f64 * self.config.frequency_ghz * 1e9;
+        (p.array_w / macs_per_second) * 1e12
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cogsys_int8_matches_fig14_area_and_power() {
+        let model = EnergyModel::new(AcceleratorConfig::cogsys());
+        let area = model.area();
+        let power = model.power();
+        // Fig. 14: 4.0 mm^2 and 1.48 W. Allow 10% slack for the SRAM estimate.
+        assert!(
+            (area.total_mm2() - 4.0).abs() < 0.4,
+            "area {}",
+            area.total_mm2()
+        );
+        assert!(
+            (power.total_w() - 1.48).abs() < 0.15,
+            "power {}",
+            power.total_w()
+        );
+        // Component anchors are reproduced exactly.
+        assert!((area.array_mm2 - 3.8).abs() < 1e-9);
+        assert!((area.simd_mm2 - 0.21).abs() < 1e-9);
+        assert!((power.array_w - 1.1046).abs() < 1e-9);
+    }
+
+    #[test]
+    fn precision_scaling_matches_tab9() {
+        let fp32 = EnergyModel::new(AcceleratorConfig::cogsys().with_precision(Precision::Fp32));
+        let fp8 = EnergyModel::new(AcceleratorConfig::cogsys().with_precision(Precision::Fp8));
+        let int8 = EnergyModel::new(AcceleratorConfig::cogsys().with_precision(Precision::Int8));
+        // Tab. IX: FP32 -> INT8 gives 7.71x array area and 4.02x array power savings.
+        let area_saving = fp32.area().array_mm2 / int8.area().array_mm2;
+        let power_saving = fp32.power().array_w / int8.power().array_w;
+        assert!((area_saving - 7.6).abs() < 0.2, "area saving {area_saving}");
+        assert!((power_saving - 4.05).abs() < 0.1, "power saving {power_saving}");
+        // FP8 sits between the two.
+        assert!(fp8.area().array_mm2 < fp32.area().array_mm2);
+        assert!(fp8.area().array_mm2 > int8.area().array_mm2);
+    }
+
+    #[test]
+    fn reconfig_overhead_matches_tab9() {
+        assert!(
+            (EnergyModel::new(AcceleratorConfig::cogsys().with_precision(Precision::Fp8))
+                .reconfigurability_overhead()
+                - 0.048)
+                .abs()
+                < 1e-9
+        );
+        assert!(
+            EnergyModel::new(AcceleratorConfig::cogsys().with_precision(Precision::Fp32))
+                .reconfigurability_overhead()
+                < 0.01 + 1e-9
+        );
+    }
+
+    #[test]
+    fn plain_systolic_array_is_slightly_smaller() {
+        let cogsys = EnergyModel::new(AcceleratorConfig::cogsys());
+        let mut sa_config = AcceleratorConfig::cogsys();
+        sa_config.reconfigurable_pe = false;
+        let sa = EnergyModel::new(sa_config);
+        let overhead = cogsys.area().array_mm2 / sa.area().array_mm2 - 1.0;
+        assert!((overhead - 0.121).abs() < 1e-6, "overhead {overhead}");
+    }
+
+    #[test]
+    fn energy_scales_with_cycles_and_utilization() {
+        let model = EnergyModel::new(AcceleratorConfig::cogsys());
+        let e1 = model.energy_joules(800_000_000, 1.0); // one second, fully busy
+        let e2 = model.energy_joules(1_600_000_000, 1.0);
+        assert!((e2 / e1 - 2.0).abs() < 1e-9);
+        let idle = model.energy_joules(800_000_000, 0.0);
+        assert!(idle < e1);
+        assert!(idle > 0.0);
+        // One busy second is roughly the Fig. 14 average power in joules.
+        assert!((e1 - 1.48).abs() < 0.2, "energy {e1}");
+    }
+
+    #[test]
+    fn per_mac_energy_is_plausible_for_28nm() {
+        // INT8 MACs in 28 nm cost on the order of 0.05-0.5 pJ; FP32 several times more.
+        let int8 = EnergyModel::new(AcceleratorConfig::cogsys());
+        let fp32 = EnergyModel::new(AcceleratorConfig::cogsys().with_precision(Precision::Fp32));
+        let int8_pj = int8.energy_per_mac_pj();
+        let fp32_pj = fp32.energy_per_mac_pj();
+        assert!(int8_pj > 0.01 && int8_pj < 1.0, "int8 {int8_pj} pJ");
+        assert!(fp32_pj > int8_pj);
+    }
+
+    #[test]
+    fn area_scales_linearly_with_pe_count() {
+        let full = EnergyModel::new(AcceleratorConfig::cogsys());
+        let mut half_config = AcceleratorConfig::cogsys();
+        half_config.geometry.cells = 8;
+        let half = EnergyModel::new(half_config);
+        assert!((full.area().array_mm2 / half.area().array_mm2 - 2.0).abs() < 1e-9);
+        assert!((full.power().array_w / half.power().array_w - 2.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,98 @@
+//! Error type for the simulator.
+
+use std::fmt;
+
+/// Errors produced by the accelerator simulator.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// A kernel was issued with a shape the target unit cannot execute.
+    UnsupportedShape {
+        /// Which unit rejected the kernel.
+        unit: &'static str,
+        /// Why it was rejected.
+        message: String,
+    },
+    /// A configuration value was invalid (zero-sized array, zero frequency, ...).
+    InvalidConfig {
+        /// Name of the offending field.
+        field: &'static str,
+        /// Description of the constraint that was violated.
+        message: String,
+    },
+    /// The simulated memory could not hold a required buffer.
+    CapacityExceeded {
+        /// Which memory overflowed.
+        memory: &'static str,
+        /// Bytes requested.
+        requested: usize,
+        /// Bytes available.
+        available: usize,
+    },
+    /// Functional inputs disagreed in dimension.
+    DimensionMismatch {
+        /// Left-hand size.
+        left: usize,
+        /// Right-hand size.
+        right: usize,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::UnsupportedShape { unit, message } => {
+                write!(f, "unsupported shape for {unit}: {message}")
+            }
+            SimError::InvalidConfig { field, message } => {
+                write!(f, "invalid configuration `{field}`: {message}")
+            }
+            SimError::CapacityExceeded {
+                memory,
+                requested,
+                available,
+            } => write!(
+                f,
+                "{memory} capacity exceeded: requested {requested} bytes, available {available} bytes"
+            ),
+            SimError::DimensionMismatch { left, right } => {
+                write!(f, "dimension mismatch: {left} vs {right}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = SimError::CapacityExceeded {
+            memory: "SRAM A",
+            requested: 100,
+            available: 50,
+        };
+        assert!(e.to_string().contains("SRAM A"));
+        assert!(e.to_string().contains("100"));
+        let e = SimError::InvalidConfig {
+            field: "frequency_ghz",
+            message: "must be positive".into(),
+        };
+        assert!(e.to_string().contains("frequency_ghz"));
+        let e = SimError::UnsupportedShape {
+            unit: "nsPE column",
+            message: "zero-length vector".into(),
+        };
+        assert!(e.to_string().contains("nsPE column"));
+        let e = SimError::DimensionMismatch { left: 2, right: 3 };
+        assert!(e.to_string().contains("2 vs 3"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SimError>();
+    }
+}

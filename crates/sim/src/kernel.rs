@@ -1,0 +1,314 @@
+//! Kernel descriptors shared by the simulator, scheduler and workload models.
+//!
+//! A [`Kernel`] describes one unit of work (a GEMM, a convolution layer, a batch of
+//! circular convolutions, an element-wise stage, ...) together with enough shape
+//! information to derive FLOP counts, byte traffic, and — via the dataflow models —
+//! cycle counts on each hardware target.
+
+use cogsys_vsa::Precision;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Whether a kernel belongs to the neural or the symbolic part of a workload.
+///
+/// The paper's profiling (Fig. 4–6) and the adSCH scheduler both treat this distinction
+/// as first-class: neural kernels are GEMM/conv shaped and compute-bound, symbolic
+/// kernels are vector-operation shaped and memory-bound.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum KernelClass {
+    /// Neural kernels: convolutions, fully-connected layers, attention GEMMs.
+    Neural,
+    /// Symbolic kernels: VSA binding/unbinding, similarity search, rule abduction.
+    Symbolic,
+}
+
+impl fmt::Display for KernelClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KernelClass::Neural => write!(f, "neural"),
+            KernelClass::Symbolic => write!(f, "symbolic"),
+        }
+    }
+}
+
+/// A schedulable unit of computation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Kernel {
+    /// Dense matrix multiplication `C[m×n] = A[m×k] · B[k×n]`.
+    Gemm {
+        /// Output rows.
+        m: usize,
+        /// Output columns.
+        n: usize,
+        /// Inner (reduction) dimension.
+        k: usize,
+    },
+    /// 2-D convolution, described by its GEMM lowering (im2col):
+    /// output pixels × output channels × (kernel volume · input channels).
+    Conv2d {
+        /// Output height × width (number of output pixels).
+        output_pixels: usize,
+        /// Number of output channels.
+        out_channels: usize,
+        /// Kernel height × width × input channels (reduction length).
+        reduction: usize,
+    },
+    /// A batch of `count` circular convolutions between `dim`-dimensional vectors.
+    CircConv {
+        /// Vector dimensionality `d`.
+        dim: usize,
+        /// Number of independent circular convolutions `k`.
+        count: usize,
+    },
+    /// A batch of matrix–vector similarity searches (`rows × dim` codebook against
+    /// `count` query vectors) — the factorizer's Step 2 and codebook cleanup.
+    Similarity {
+        /// Codebook rows.
+        rows: usize,
+        /// Vector dimensionality.
+        dim: usize,
+        /// Number of query vectors.
+        count: usize,
+    },
+    /// Element-wise / reduction work executed on the SIMD unit (additions,
+    /// multiplications, norms, softmax, activation functions).
+    ElementWise {
+        /// Total number of scalar elements processed.
+        elements: usize,
+        /// Human-readable operation name (e.g. `"softmax"`, `"relu"`).
+        op: String,
+    },
+}
+
+impl Kernel {
+    /// Floating-point (or integer MAC-equivalent) operation count.
+    pub fn flops(&self) -> u64 {
+        match self {
+            Kernel::Gemm { m, n, k } => 2 * (*m as u64) * (*n as u64) * (*k as u64),
+            Kernel::Conv2d {
+                output_pixels,
+                out_channels,
+                reduction,
+            } => 2 * (*output_pixels as u64) * (*out_channels as u64) * (*reduction as u64),
+            Kernel::CircConv { dim, count } => {
+                // d multiply-accumulates per output element, d outputs, per convolution.
+                2 * (*dim as u64) * (*dim as u64) * (*count as u64)
+            }
+            Kernel::Similarity { rows, dim, count } => {
+                2 * (*rows as u64) * (*dim as u64) * (*count as u64)
+            }
+            Kernel::ElementWise { elements, .. } => *elements as u64,
+        }
+    }
+
+    /// Bytes moved to/from memory assuming each operand is read once and each result
+    /// written once at the given precision (no reuse). The dataflow models refine this.
+    pub fn min_bytes(&self, precision: Precision) -> u64 {
+        let b = precision.bytes_per_element() as u64;
+        match self {
+            Kernel::Gemm { m, n, k } => {
+                b * ((*m as u64) * (*k as u64) + (*k as u64) * (*n as u64) + (*m as u64) * (*n as u64))
+            }
+            Kernel::Conv2d {
+                output_pixels,
+                out_channels,
+                reduction,
+            } => {
+                b * ((*output_pixels as u64) * (*reduction as u64)
+                    + (*reduction as u64) * (*out_channels as u64)
+                    + (*output_pixels as u64) * (*out_channels as u64))
+            }
+            Kernel::CircConv { dim, count } => b * 3 * (*dim as u64) * (*count as u64),
+            Kernel::Similarity { rows, dim, count } => {
+                b * ((*rows as u64) * (*dim as u64)
+                    + (*count as u64) * (*dim as u64)
+                    + (*rows as u64) * (*count as u64))
+            }
+            Kernel::ElementWise { elements, .. } => b * 2 * (*elements as u64),
+        }
+    }
+
+    /// Arithmetic intensity in FLOPs per byte.
+    pub fn arithmetic_intensity(&self, precision: Precision) -> f64 {
+        let bytes = self.min_bytes(precision);
+        if bytes == 0 {
+            return 0.0;
+        }
+        self.flops() as f64 / bytes as f64
+    }
+
+    /// Neural/symbolic classification used for profiling and scheduling.
+    pub fn class(&self) -> KernelClass {
+        match self {
+            Kernel::Gemm { .. } | Kernel::Conv2d { .. } => KernelClass::Neural,
+            Kernel::CircConv { .. } | Kernel::Similarity { .. } | Kernel::ElementWise { .. } => {
+                KernelClass::Symbolic
+            }
+        }
+    }
+
+    /// Returns `true` if the kernel maps onto the compute array (as opposed to the SIMD
+    /// unit).
+    pub fn uses_compute_array(&self) -> bool {
+        !matches!(self, Kernel::ElementWise { .. })
+    }
+
+    /// Short human-readable label used in schedules and reports.
+    pub fn label(&self) -> String {
+        match self {
+            Kernel::Gemm { m, n, k } => format!("gemm {m}x{n}x{k}"),
+            Kernel::Conv2d {
+                output_pixels,
+                out_channels,
+                reduction,
+            } => format!("conv {output_pixels}px x{out_channels}c r{reduction}"),
+            Kernel::CircConv { dim, count } => format!("circconv d={dim} k={count}"),
+            Kernel::Similarity { rows, dim, count } => {
+                format!("similarity {rows}x{dim} q={count}")
+            }
+            Kernel::ElementWise { elements, op } => format!("{op} n={elements}"),
+        }
+    }
+}
+
+impl fmt::Display for Kernel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.label())
+    }
+}
+
+/// Cost of executing a kernel on some unit: cycles plus the off-chip traffic incurred.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct KernelCost {
+    /// Latency in cycles of the executing unit.
+    pub cycles: u64,
+    /// Bytes transferred between DRAM and on-chip memory.
+    pub dram_bytes: u64,
+    /// Number of PEs (or lanes) that were busy, for utilization accounting.
+    pub active_pes: usize,
+}
+
+impl KernelCost {
+    /// Sums two costs assuming sequential execution.
+    pub fn then(self, next: KernelCost) -> KernelCost {
+        KernelCost {
+            cycles: self.cycles + next.cycles,
+            dram_bytes: self.dram_bytes + next.dram_bytes,
+            active_pes: self.active_pes.max(next.active_pes),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gemm_flops_and_bytes() {
+        let k = Kernel::Gemm { m: 4, n: 8, k: 16 };
+        assert_eq!(k.flops(), 2 * 4 * 8 * 16);
+        assert_eq!(
+            k.min_bytes(Precision::Fp32),
+            4 * (4 * 16 + 16 * 8 + 4 * 8)
+        );
+        assert_eq!(k.class(), KernelClass::Neural);
+        assert!(k.uses_compute_array());
+    }
+
+    #[test]
+    fn circconv_flops_quadratic_in_dim() {
+        let k = Kernel::CircConv { dim: 1024, count: 3 };
+        assert_eq!(k.flops(), 2 * 1024 * 1024 * 3);
+        assert_eq!(k.min_bytes(Precision::Int8), 3 * 1024 * 3);
+        assert_eq!(k.class(), KernelClass::Symbolic);
+    }
+
+    #[test]
+    fn circconv_intensity_higher_than_elementwise() {
+        // The roofline positions in Fig. 5: symbolic element-wise ops sit far left,
+        // circular convolution has higher intensity, GEMMs higher still.
+        let ew = Kernel::ElementWise {
+            elements: 1 << 20,
+            op: "mult".into(),
+        };
+        let cc = Kernel::CircConv { dim: 1024, count: 1 };
+        let gemm = Kernel::Gemm {
+            m: 512,
+            n: 512,
+            k: 512,
+        };
+        let p = Precision::Fp32;
+        assert!(ew.arithmetic_intensity(p) < cc.arithmetic_intensity(p));
+        assert!(ew.arithmetic_intensity(p) < gemm.arithmetic_intensity(p));
+        // Note: these are *algorithmic* intensities (BS-style O(d) traffic for the
+        // circular convolution); the GPU's GEMV lowering is what drags symbolic kernels
+        // to the memory-bound region in Fig. 5 (see `dataflow::gemv_arithmetic_intensity`).
+    }
+
+    #[test]
+    fn conv_lowering_counts() {
+        let k = Kernel::Conv2d {
+            output_pixels: 56 * 56,
+            out_channels: 64,
+            reduction: 3 * 3 * 64,
+        };
+        assert_eq!(k.flops(), 2 * (56 * 56) as u64 * 64 * (3 * 3 * 64) as u64);
+        assert_eq!(k.class(), KernelClass::Neural);
+    }
+
+    #[test]
+    fn similarity_and_elementwise_are_symbolic() {
+        let s = Kernel::Similarity {
+            rows: 100,
+            dim: 1024,
+            count: 5,
+        };
+        assert_eq!(s.class(), KernelClass::Symbolic);
+        assert_eq!(s.flops(), 2 * 100 * 1024 * 5);
+        let e = Kernel::ElementWise {
+            elements: 2048,
+            op: "softmax".into(),
+        };
+        assert_eq!(e.class(), KernelClass::Symbolic);
+        assert!(!e.uses_compute_array());
+        assert_eq!(e.flops(), 2048);
+    }
+
+    #[test]
+    fn labels_are_descriptive() {
+        assert_eq!(
+            Kernel::CircConv { dim: 512, count: 7 }.to_string(),
+            "circconv d=512 k=7"
+        );
+        assert!(Kernel::Gemm { m: 1, n: 2, k: 3 }.label().contains("1x2x3"));
+        assert_eq!(KernelClass::Neural.to_string(), "neural");
+        assert_eq!(KernelClass::Symbolic.to_string(), "symbolic");
+    }
+
+    #[test]
+    fn cost_chaining_accumulates() {
+        let a = KernelCost {
+            cycles: 10,
+            dram_bytes: 100,
+            active_pes: 256,
+        };
+        let b = KernelCost {
+            cycles: 5,
+            dram_bytes: 50,
+            active_pes: 1024,
+        };
+        let c = a.then(b);
+        assert_eq!(c.cycles, 15);
+        assert_eq!(c.dram_bytes, 150);
+        assert_eq!(c.active_pes, 1024);
+    }
+
+    #[test]
+    fn empty_elementwise_has_zero_intensity() {
+        let e = Kernel::ElementWise {
+            elements: 0,
+            op: "noop".into(),
+        };
+        assert_eq!(e.arithmetic_intensity(Precision::Fp32), 0.0);
+    }
+}

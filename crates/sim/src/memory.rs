@@ -1,0 +1,257 @@
+//! On-chip SRAM and off-chip DRAM models.
+//!
+//! The CogSys accelerator (Fig. 9) is backed by three double-buffered SRAMs — SRAM A
+//! (shared weight buffer, 256 KiB), SRAM B (distributed activation buffer, 4 MiB) and
+//! SRAM C (output buffer) — plus a 700 GB/s DRAM interface. Double buffering hides the
+//! load/store latency of the next tile behind the computation of the current one; the
+//! model here tracks capacity, per-transfer cycles, and the stalls that remain when a
+//! transfer is longer than the computation it is hidden behind.
+
+use crate::error::SimError;
+use serde::{Deserialize, Serialize};
+
+/// One double-buffered SRAM.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DoubleBufferedSram {
+    name: &'static str,
+    capacity_bytes: usize,
+    /// Bytes that can be written into the shadow buffer per cycle (fill bandwidth).
+    fill_bytes_per_cycle: f64,
+    resident_bytes: usize,
+}
+
+impl DoubleBufferedSram {
+    /// Creates an SRAM with the given capacity and fill bandwidth.
+    ///
+    /// # Errors
+    /// Returns [`SimError::InvalidConfig`] if the capacity or bandwidth is zero.
+    pub fn new(
+        name: &'static str,
+        capacity_bytes: usize,
+        fill_bytes_per_cycle: f64,
+    ) -> Result<Self, SimError> {
+        if capacity_bytes == 0 {
+            return Err(SimError::InvalidConfig {
+                field: "sram capacity",
+                message: format!("{name} capacity must be positive"),
+            });
+        }
+        if fill_bytes_per_cycle <= 0.0 {
+            return Err(SimError::InvalidConfig {
+                field: "sram fill bandwidth",
+                message: format!("{name} fill bandwidth must be positive"),
+            });
+        }
+        Ok(Self {
+            name,
+            capacity_bytes,
+            fill_bytes_per_cycle,
+            resident_bytes: 0,
+        })
+    }
+
+    /// SRAM name (for diagnostics).
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Capacity of one buffer in bytes.
+    pub fn capacity_bytes(&self) -> usize {
+        self.capacity_bytes
+    }
+
+    /// Bytes currently resident in the active buffer.
+    pub fn resident_bytes(&self) -> usize {
+        self.resident_bytes
+    }
+
+    /// Marks a working set as resident.
+    ///
+    /// # Errors
+    /// Returns [`SimError::CapacityExceeded`] if the working set does not fit.
+    pub fn allocate(&mut self, bytes: usize) -> Result<(), SimError> {
+        if self.resident_bytes + bytes > self.capacity_bytes {
+            return Err(SimError::CapacityExceeded {
+                memory: self.name,
+                requested: bytes,
+                available: self.capacity_bytes - self.resident_bytes,
+            });
+        }
+        self.resident_bytes += bytes;
+        Ok(())
+    }
+
+    /// Releases the active working set (tile switch).
+    pub fn reset(&mut self) {
+        self.resident_bytes = 0;
+    }
+
+    /// Cycles needed to fill the shadow buffer with `bytes`.
+    pub fn fill_cycles(&self, bytes: usize) -> u64 {
+        (bytes as f64 / self.fill_bytes_per_cycle).ceil() as u64
+    }
+
+    /// Stall cycles remaining when a `bytes`-sized prefetch must hide behind
+    /// `compute_cycles` of computation: zero when double buffering fully hides it.
+    pub fn stall_cycles(&self, bytes: usize, compute_cycles: u64) -> u64 {
+        self.fill_cycles(bytes).saturating_sub(compute_cycles)
+    }
+}
+
+/// Off-chip DRAM bandwidth model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DramModel {
+    /// Sustained bandwidth in GB/s.
+    pub bandwidth_gbps: f64,
+    /// Accelerator clock in GHz (to convert transfer time to cycles).
+    pub frequency_ghz: f64,
+}
+
+impl DramModel {
+    /// Creates a DRAM model.
+    ///
+    /// # Errors
+    /// Returns [`SimError::InvalidConfig`] for non-positive bandwidth or frequency.
+    pub fn new(bandwidth_gbps: f64, frequency_ghz: f64) -> Result<Self, SimError> {
+        if bandwidth_gbps <= 0.0 || frequency_ghz <= 0.0 {
+            return Err(SimError::InvalidConfig {
+                field: "dram model",
+                message: "bandwidth and frequency must be positive".into(),
+            });
+        }
+        Ok(Self {
+            bandwidth_gbps,
+            frequency_ghz,
+        })
+    }
+
+    /// Bytes transferred per accelerator cycle.
+    pub fn bytes_per_cycle(&self) -> f64 {
+        // GB/s divided by cycles/s: (bandwidth * 1e9) / (frequency * 1e9).
+        self.bandwidth_gbps / self.frequency_ghz
+    }
+
+    /// Cycles to transfer `bytes` at full bandwidth.
+    pub fn transfer_cycles(&self, bytes: u64) -> u64 {
+        (bytes as f64 / self.bytes_per_cycle()).ceil() as u64
+    }
+
+    /// Transfer time in seconds.
+    pub fn transfer_seconds(&self, bytes: u64) -> f64 {
+        bytes as f64 / (self.bandwidth_gbps * 1e9)
+    }
+}
+
+/// The accelerator's full memory subsystem (three SRAMs + DRAM).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MemorySystem {
+    /// SRAM A — shared weight buffer.
+    pub sram_a: DoubleBufferedSram,
+    /// SRAM B — distributed activation buffer.
+    pub sram_b: DoubleBufferedSram,
+    /// SRAM C — output buffer.
+    pub sram_c: DoubleBufferedSram,
+    /// DRAM interface.
+    pub dram: DramModel,
+}
+
+impl MemorySystem {
+    /// Builds the memory system from an accelerator configuration.
+    ///
+    /// # Errors
+    /// Propagates [`SimError::InvalidConfig`] from any component.
+    pub fn from_config(config: &crate::config::AcceleratorConfig) -> Result<Self, SimError> {
+        let dram = DramModel::new(config.dram_bandwidth_gbps, config.frequency_ghz)?;
+        // The fill bandwidth of each SRAM is bounded by the DRAM interface; assume the
+        // bus is shared equally when all three stream simultaneously.
+        let fill = dram.bytes_per_cycle().max(1.0);
+        Ok(Self {
+            sram_a: DoubleBufferedSram::new("SRAM A", config.sram_a_bytes, fill)?,
+            sram_b: DoubleBufferedSram::new("SRAM B", config.sram_b_bytes, fill)?,
+            sram_c: DoubleBufferedSram::new("SRAM C", config.sram_c_bytes, fill)?,
+            dram,
+        })
+    }
+
+    /// Total SRAM capacity.
+    pub fn total_sram_bytes(&self) -> usize {
+        self.sram_a.capacity_bytes() + self.sram_b.capacity_bytes() + self.sram_c.capacity_bytes()
+    }
+
+    /// Whether a working set (weights + activations + outputs) fits entirely on-chip.
+    pub fn fits_on_chip(&self, weights: usize, activations: usize, outputs: usize) -> bool {
+        weights <= self.sram_a.capacity_bytes()
+            && activations <= self.sram_b.capacity_bytes()
+            && outputs <= self.sram_c.capacity_bytes()
+    }
+
+    /// DRAM stall cycles for a kernel that moves `dram_bytes` while computing for
+    /// `compute_cycles` (double buffering overlaps the two).
+    pub fn dram_stall_cycles(&self, dram_bytes: u64, compute_cycles: u64) -> u64 {
+        self.dram.transfer_cycles(dram_bytes).saturating_sub(compute_cycles)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::AcceleratorConfig;
+
+    #[test]
+    fn sram_capacity_tracking() {
+        let mut s = DoubleBufferedSram::new("SRAM A", 1024, 8.0).unwrap();
+        assert_eq!(s.capacity_bytes(), 1024);
+        s.allocate(512).unwrap();
+        s.allocate(512).unwrap();
+        assert_eq!(s.resident_bytes(), 1024);
+        let err = s.allocate(1).unwrap_err();
+        assert!(matches!(err, SimError::CapacityExceeded { available: 0, .. }));
+        s.reset();
+        assert_eq!(s.resident_bytes(), 0);
+        assert_eq!(s.name(), "SRAM A");
+    }
+
+    #[test]
+    fn sram_rejects_degenerate_configs() {
+        assert!(DoubleBufferedSram::new("x", 0, 8.0).is_err());
+        assert!(DoubleBufferedSram::new("x", 128, 0.0).is_err());
+    }
+
+    #[test]
+    fn double_buffering_hides_short_transfers() {
+        let s = DoubleBufferedSram::new("SRAM B", 4096, 16.0).unwrap();
+        assert_eq!(s.fill_cycles(1600), 100);
+        // A 100-cycle fill behind a 500-cycle compute causes no stall.
+        assert_eq!(s.stall_cycles(1600, 500), 0);
+        // Behind a 40-cycle compute it stalls for the remainder.
+        assert_eq!(s.stall_cycles(1600, 40), 60);
+    }
+
+    #[test]
+    fn dram_transfer_arithmetic() {
+        let d = DramModel::new(700.0, 0.8).unwrap();
+        assert!((d.bytes_per_cycle() - 875.0).abs() < 1e-9);
+        assert_eq!(d.transfer_cycles(875_000), 1000);
+        assert!((d.transfer_seconds(700_000_000_000) - 1.0).abs() < 1e-9);
+        assert!(DramModel::new(0.0, 1.0).is_err());
+        assert!(DramModel::new(100.0, 0.0).is_err());
+    }
+
+    #[test]
+    fn memory_system_matches_cogsys_config() {
+        let m = MemorySystem::from_config(&AcceleratorConfig::cogsys()).unwrap();
+        assert_eq!(m.total_sram_bytes(), 4 * 1024 * 1024 + 512 * 1024);
+        // The factored NVSA codebooks (~190 KB, Fig. 8) fit in SRAM B; the original
+        // 13.56 MB codebook does not fit on chip at all.
+        assert!(m.fits_on_chip(100 * 1024, 190 * 1024, 64 * 1024));
+        assert!(!m.fits_on_chip(100 * 1024, 13_560 * 1024, 64 * 1024));
+    }
+
+    #[test]
+    fn dram_stalls_only_when_compute_is_short() {
+        let m = MemorySystem::from_config(&AcceleratorConfig::cogsys()).unwrap();
+        let bytes = 875_000; // 1000 cycles of DRAM traffic.
+        assert_eq!(m.dram_stall_cycles(bytes, 2000), 0);
+        assert_eq!(m.dram_stall_cycles(bytes, 400), 600);
+    }
+}

@@ -1,0 +1,420 @@
+//! Reconfigurable neuro/symbolic processing element (nsPE) and 1-D column model.
+//!
+//! Each nsPE (Fig. 10) has four registers — **stationary**, **passing**, **streaming**
+//! and **partial-sum** — and supports three modes:
+//!
+//! * **Load** — the stationary vector (GEMM weights or the circular-convolution
+//!   stationary operand A) is shifted in through the `top_in_A` links.
+//! * **GEMM** — the PE behaves like a TPU MAC cell: inputs stream in from the left,
+//!   partial sums reduce downward.
+//! * **Circular convolution** — operand B streams downward *through the passing
+//!   register*, spending one extra cycle per PE (the "bubble"), which realises the
+//!   circular shift without materialising the `O(d²)` shifted matrix.
+//!
+//! [`PeColumn`] is a register-transfer-level simulation of one column executing the
+//! bubble-streaming dataflow; its numerical output is tested against the functional
+//! circular convolution of `cogsys-vsa`, and its cycle count against the analytical
+//! model in [`crate::dataflow`].
+
+use crate::error::SimError;
+use serde::{Deserialize, Serialize};
+
+/// Operating mode of an nsPE (Fig. 10a–c).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum PeMode {
+    /// Loading the stationary register through the `top_in_A` chain.
+    Load,
+    /// TPU-style GEMM / convolution mode.
+    #[default]
+    Gemm,
+    /// Bubble-streaming circular convolution (or correlation) mode.
+    CircConv,
+}
+
+/// One reconfigurable neuro/symbolic processing element.
+///
+/// The struct mirrors the four architectural registers. The combinational MAC is
+/// modelled by [`NsPe::mac`].
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct NsPe {
+    /// Stationary register (weight / stationary operand element).
+    pub stationary: f32,
+    /// Passing register — the "bubble" that delays the streaming operand by one cycle.
+    pub passing: Option<f32>,
+    /// Streaming register — the operand element currently feeding the MAC.
+    pub streaming: Option<f32>,
+    /// Partial-sum register (accumulator output of the MAC).
+    pub psum: f32,
+    /// Current operating mode.
+    pub mode: PeMode,
+}
+
+impl NsPe {
+    /// Creates an idle PE in the given mode.
+    pub fn new(mode: PeMode) -> Self {
+        Self {
+            mode,
+            ..Self::default()
+        }
+    }
+
+    /// The multiply–accumulate the PE performs in one cycle: `psum_in + stationary · x`.
+    ///
+    /// In GEMM mode `x` is the left-streaming input; in circular-convolution mode it is
+    /// the value in the streaming register.
+    pub fn mac(&self, psum_in: f32, x: f32) -> f32 {
+        psum_in + self.stationary * x
+    }
+}
+
+/// A partial sum travelling down the column, tagged with the output index it belongs to.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct TaggedPsum {
+    output_index: usize,
+    value: f32,
+}
+
+/// Result of simulating a kernel on a [`PeColumn`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnRun {
+    /// The produced output vector.
+    pub output: Vec<f32>,
+    /// Number of simulated cycles, including the stationary-load phase.
+    pub cycles: u64,
+}
+
+/// A 1-D column of `M` nsPEs executing the bubble-streaming dataflow.
+#[derive(Debug, Clone)]
+pub struct PeColumn {
+    pes: Vec<NsPe>,
+}
+
+impl PeColumn {
+    /// Creates a column of `height` PEs.
+    ///
+    /// # Errors
+    /// Returns [`SimError::InvalidConfig`] if `height` is zero.
+    pub fn new(height: usize) -> Result<Self, SimError> {
+        if height == 0 {
+            return Err(SimError::InvalidConfig {
+                field: "column height",
+                message: "must be positive".into(),
+            });
+        }
+        Ok(Self {
+            pes: vec![NsPe::default(); height],
+        })
+    }
+
+    /// Number of PEs in the column.
+    pub fn height(&self) -> usize {
+        self.pes.len()
+    }
+
+    /// Returns the PEs (for inspection in tests and visualisations).
+    pub fn pes(&self) -> &[NsPe] {
+        &self.pes
+    }
+
+    /// Loads the stationary operand, one element per PE, through the `top_in_A` chain.
+    ///
+    /// Returns the number of cycles the load takes (one per PE, as in the paper's
+    /// cycle analysis).
+    ///
+    /// # Errors
+    /// Returns [`SimError::DimensionMismatch`] if `values.len()` differs from the column
+    /// height.
+    pub fn load_stationary(&mut self, values: &[f32]) -> Result<u64, SimError> {
+        if values.len() != self.pes.len() {
+            return Err(SimError::DimensionMismatch {
+                left: values.len(),
+                right: self.pes.len(),
+            });
+        }
+        for (pe, &v) in self.pes.iter_mut().zip(values) {
+            pe.mode = PeMode::Load;
+            pe.stationary = v;
+            pe.passing = None;
+            pe.streaming = None;
+            pe.psum = 0.0;
+        }
+        Ok(self.pes.len() as u64)
+    }
+
+    /// Executes one circular convolution `C = A ⊛ B` with `A` stationary (already loaded
+    /// via [`PeColumn::load_stationary`]) and `B` streamed through the bubbles.
+    ///
+    /// Requires `B.len() == height` (a single fold; multi-fold execution is composed by
+    /// the dataflow layer). The simulation is register-accurate: every cycle the passing
+    /// and streaming registers shift exactly as described in Sec. V-C, and the tagged
+    /// partial sums move one PE per cycle.
+    ///
+    /// # Errors
+    /// Returns [`SimError::DimensionMismatch`] if `b.len()` differs from the column
+    /// height.
+    pub fn circular_convolve_streaming(&mut self, b: &[f32]) -> Result<ColumnRun, SimError> {
+        let m = self.pes.len();
+        if b.len() != m {
+            return Err(SimError::DimensionMismatch {
+                left: b.len(),
+                right: m,
+            });
+        }
+        for pe in &mut self.pes {
+            pe.mode = PeMode::CircConv;
+            pe.passing = None;
+            pe.streaming = None;
+            pe.psum = 0.0;
+        }
+
+        let d = m;
+        let mut outputs = vec![None::<f32>; d];
+        let mut created = vec![false; d];
+        let mut produced = 0usize;
+
+        // Pipeline state: psum[i] is the tagged partial sum sitting in PE i's partial-sum
+        // register at the end of the current cycle.
+        let mut psums: Vec<Option<TaggedPsum>> = vec![None; m];
+
+        let mut cycle: u64 = 0;
+        // Upper bound on cycles; the loop exits as soon as all outputs are produced.
+        let max_cycles = (4 * d + 4 * m + 8) as u64;
+
+        while produced < d && cycle < max_cycles {
+            // 1. The bottom PE's partial sum from the previous cycle leaves the array.
+            if let Some(p) = psums[m - 1].take() {
+                if outputs[p.output_index].is_none() {
+                    outputs[p.output_index] = Some(p.value);
+                    produced += 1;
+                }
+            }
+
+            // 2. Streaming/passing registers advance (bottom-up so we read old values).
+            //    passing[i] -> streaming[i]; streaming[i] -> passing[i+1]; the stream
+            //    input feeds passing[0].
+            for i in (0..m).rev() {
+                let incoming = if i == 0 {
+                    // Stream B cyclically: stream element t is B[t mod d].
+                    let t = cycle as usize;
+                    if t < d + 2 * (m - 1) + 2 {
+                        Some(b[t % d])
+                    } else {
+                        None
+                    }
+                } else {
+                    self.pes[i - 1].streaming
+                };
+                let new_streaming = self.pes[i].passing;
+                self.pes[i].passing = incoming;
+                self.pes[i].streaming = new_streaming;
+            }
+
+            // 3. Partial sums advance one PE per cycle and accumulate the MAC of the PE
+            //    they arrive at (top-down order, moving from the bottom to avoid
+            //    overwriting).
+            for i in (1..m).rev() {
+                psums[i] = psums[i - 1].take().map(|p| {
+                    let x = self.pes[i].streaming.unwrap_or(0.0);
+                    TaggedPsum {
+                        output_index: p.output_index,
+                        value: self.pes[i].mac(p.value, x),
+                    }
+                });
+            }
+            // A new partial sum is born in PE 0 once the stream has run long enough that
+            // every downstream PE will find its (circularly shifted) operand in a
+            // bubble: that happens from cycle M onwards, which is why the paper counts
+            // "2M cycles for the streaming vector to reach the final nsPE" before the
+            // remaining outputs drain at one per cycle. The output index is the stream
+            // position currently sitting in PE 0's streaming register.
+            psums[0] = None;
+            if cycle >= m as u64 {
+                let n = ((cycle - 1) as usize) % d;
+                if !created[n] {
+                    if let Some(x) = self.pes[0].streaming {
+                        psums[0] = Some(TaggedPsum {
+                            output_index: n,
+                            value: self.pes[0].mac(0.0, x),
+                        });
+                        created[n] = true;
+                    }
+                }
+            }
+
+            cycle += 1;
+        }
+
+        // Account for the stationary-load phase the caller performed separately plus the
+        // streaming cycles just simulated.
+        let output: Vec<f32> = outputs
+            .into_iter()
+            .map(|o| o.unwrap_or(0.0))
+            .collect();
+        Ok(ColumnRun {
+            output,
+            cycles: cycle,
+        })
+    }
+
+    /// Convenience wrapper: load `a` as the stationary operand then stream `b`,
+    /// returning the circular convolution and the total cycles (load + stream).
+    ///
+    /// # Errors
+    /// Returns [`SimError::DimensionMismatch`] if either operand length differs from the
+    /// column height.
+    pub fn circular_convolve(&mut self, a: &[f32], b: &[f32]) -> Result<ColumnRun, SimError> {
+        let load_cycles = self.load_stationary(a)?;
+        let run = self.circular_convolve_streaming(b)?;
+        Ok(ColumnRun {
+            output: run.output,
+            cycles: run.cycles + load_cycles,
+        })
+    }
+
+    /// Circular correlation, realised exactly as the paper describes: "the reconfigurable
+    /// nsPE can also support efficient circular correlation by reversing stationary
+    /// vector A".
+    ///
+    /// # Errors
+    /// Returns [`SimError::DimensionMismatch`] if either operand length differs from the
+    /// column height.
+    pub fn circular_correlate(&mut self, a: &[f32], b: &[f32]) -> Result<ColumnRun, SimError> {
+        if a.len() != self.pes.len() {
+            return Err(SimError::DimensionMismatch {
+                left: a.len(),
+                right: self.pes.len(),
+            });
+        }
+        // Correlation corr(b, a)[n] = Σ_k b[k] a[(n+k) mod d] equals the convolution of
+        // b with the involution of a.
+        let mut reversed = Vec::with_capacity(a.len());
+        reversed.push(a[0]);
+        reversed.extend(a[1..].iter().rev().copied());
+        self.circular_convolve(&reversed, b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cogsys_vsa::ops;
+    use cogsys_vsa::Hypervector;
+    use proptest::prelude::*;
+    use rand::Rng;
+
+    fn reference_circconv(a: &[f32], b: &[f32]) -> Vec<f32> {
+        ops::circular_convolve_naive(a, b)
+    }
+
+    #[test]
+    fn pe_mac_behaviour() {
+        let pe = NsPe {
+            stationary: 3.0,
+            ..NsPe::new(PeMode::Gemm)
+        };
+        assert_eq!(pe.mac(10.0, 2.0), 16.0);
+        assert_eq!(NsPe::default().mode, PeMode::Gemm);
+    }
+
+    #[test]
+    fn column_rejects_zero_height_and_mismatches() {
+        assert!(PeColumn::new(0).is_err());
+        let mut col = PeColumn::new(4).unwrap();
+        assert!(col.load_stationary(&[1.0, 2.0]).is_err());
+        col.load_stationary(&[1.0; 4]).unwrap();
+        assert!(col.circular_convolve_streaming(&[1.0; 3]).is_err());
+        assert!(col.circular_convolve(&[1.0; 3], &[1.0; 4]).is_err());
+        assert!(col.circular_correlate(&[1.0; 3], &[1.0; 4]).is_err());
+    }
+
+    #[test]
+    fn bubble_streaming_matches_reference_small() {
+        let a = vec![1.0, 2.0, 3.0];
+        let b = vec![10.0, 20.0, 30.0];
+        let mut col = PeColumn::new(3).unwrap();
+        let run = col.circular_convolve(&a, &b).unwrap();
+        assert_eq!(run.output, reference_circconv(&a, &b));
+        // Cycle count is linear in d, not quadratic, and within the paper's 4d-1 bound
+        // plus pipeline slack.
+        assert!(run.cycles <= (4 * 3 + 8) as u64, "cycles = {}", run.cycles);
+    }
+
+    #[test]
+    fn bubble_streaming_matches_reference_dim_64() {
+        let mut rng = cogsys_vsa::rng(60);
+        let a: Vec<f32> = (0..64).map(|_| rng.gen_range(-2.0..2.0)).collect();
+        let b: Vec<f32> = (0..64).map(|_| rng.gen_range(-2.0..2.0)).collect();
+        let mut col = PeColumn::new(64).unwrap();
+        let run = col.circular_convolve(&a, &b).unwrap();
+        let reference = reference_circconv(&a, &b);
+        for (x, y) in run.output.iter().zip(&reference) {
+            assert!((x - y).abs() < 1e-3, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn cycle_count_is_linear_in_dimension() {
+        for d in [8usize, 16, 32, 64, 128] {
+            let a = vec![1.0f32; d];
+            let b = vec![1.0f32; d];
+            let mut col = PeColumn::new(d).unwrap();
+            let run = col.circular_convolve(&a, &b).unwrap();
+            // Between 2d and 4d+constant: linear, unlike the O(d^2) GEMV lowering.
+            assert!(run.cycles >= (2 * d) as u64);
+            assert!(run.cycles <= (4 * d + 8) as u64, "d={d}, cycles={}", run.cycles);
+        }
+    }
+
+    #[test]
+    fn correlation_matches_functional_correlation() {
+        let mut rng = cogsys_vsa::rng(61);
+        let d = 32;
+        let a: Vec<f32> = (0..d).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let b: Vec<f32> = (0..d).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let mut col = PeColumn::new(d).unwrap();
+        let run = col.circular_correlate(&a, &b).unwrap();
+        let expected = ops::circular_correlate(
+            &Hypervector::from_values(b.clone()),
+            &Hypervector::from_values(a.clone()),
+        );
+        for (x, y) in run.output.iter().zip(expected.values()) {
+            assert!((x - y).abs() < 1e-3, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn correlation_unbinds_convolution_on_hardware() {
+        // End-to-end hardware check of the bind→unbind story: convolve two random
+        // bipolar vectors on the column, then correlate with the first factor and check
+        // the result resembles the second factor.
+        let mut rng = cogsys_vsa::rng(62);
+        let d = 128;
+        let x = Hypervector::random_bipolar(d, &mut rng);
+        let y = Hypervector::random_bipolar(d, &mut rng);
+        let mut col = PeColumn::new(d).unwrap();
+        let bound = col.circular_convolve(x.values(), y.values()).unwrap();
+        let recovered = col
+            .circular_correlate(x.values(), &bound.output)
+            .unwrap();
+        let recovered_hv = Hypervector::from_values(recovered.output);
+        let sim = ops::cosine_similarity(&recovered_hv, &y);
+        assert!(sim > 0.4, "similarity {sim}");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        #[test]
+        fn prop_column_matches_functional_reference(seed in 0u64..1000, d_pow in 2u32..7) {
+            let d = 1usize << d_pow;
+            let mut rng = cogsys_vsa::rng(seed);
+            let a: Vec<f32> = (0..d).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+            let b: Vec<f32> = (0..d).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+            let mut col = PeColumn::new(d).unwrap();
+            let run = col.circular_convolve(&a, &b).unwrap();
+            let reference = reference_circconv(&a, &b);
+            for (x, y) in run.output.iter().zip(&reference) {
+                prop_assert!((x - y).abs() < 1e-2);
+            }
+        }
+    }
+}

@@ -1,0 +1,173 @@
+//! Roofline model (Fig. 5 and Fig. 11c).
+//!
+//! A roofline bounds attainable performance by `min(peak_compute, intensity × peak_bw)`.
+//! The paper uses it twice: to show that symbolic kernels are memory-bound on GPUs
+//! (Fig. 5), and to show that the BS dataflow turns circular convolution into a
+//! compute-bound kernel on CogSys while the GEMV lowering stays memory-bound (Fig. 11c).
+
+use serde::{Deserialize, Serialize};
+
+/// A roofline: peak compute throughput and peak memory bandwidth.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Roofline {
+    /// Peak compute throughput in GFLOP/s.
+    pub peak_gflops: f64,
+    /// Peak memory bandwidth in GB/s.
+    pub peak_bandwidth_gbps: f64,
+}
+
+impl Roofline {
+    /// Creates a roofline from peak compute (GFLOP/s) and bandwidth (GB/s).
+    pub fn new(peak_gflops: f64, peak_bandwidth_gbps: f64) -> Self {
+        Self {
+            peak_gflops,
+            peak_bandwidth_gbps,
+        }
+    }
+
+    /// The RTX 2080Ti roofline used in Fig. 5 (FP32: ~13.4 TFLOP/s, 616 GB/s).
+    pub fn rtx_2080ti() -> Self {
+        Self::new(13_450.0, 616.0)
+    }
+
+    /// Roofline of a PE array: `pes × 2 FLOP/cycle × frequency`, with the given on-chip
+    /// bandwidth (the paper quotes 2 TB/s for the TPU-style cell and 15 TB/s for CogSys
+    /// in Fig. 11c).
+    pub fn from_array(pes: usize, frequency_ghz: f64, onchip_bandwidth_gbps: f64) -> Self {
+        Self::new(pes as f64 * 2.0 * frequency_ghz, onchip_bandwidth_gbps)
+    }
+
+    /// The arithmetic intensity (FLOP/byte) at which the kernel transitions from
+    /// memory-bound to compute-bound.
+    pub fn ridge_point(&self) -> f64 {
+        if self.peak_bandwidth_gbps == 0.0 {
+            return f64::INFINITY;
+        }
+        self.peak_gflops / self.peak_bandwidth_gbps
+    }
+
+    /// Attainable performance (GFLOP/s) at a given arithmetic intensity.
+    pub fn attainable_gflops(&self, intensity: f64) -> f64 {
+        (intensity * self.peak_bandwidth_gbps).min(self.peak_gflops)
+    }
+
+    /// Whether a kernel of the given intensity is memory-bound on this roofline.
+    pub fn is_memory_bound(&self, intensity: f64) -> bool {
+        intensity < self.ridge_point()
+    }
+
+    /// Execution time in seconds for a kernel with the given FLOPs and bytes.
+    pub fn execution_seconds(&self, flops: u64, bytes: u64) -> f64 {
+        let compute = flops as f64 / (self.peak_gflops * 1e9);
+        let memory = bytes as f64 / (self.peak_bandwidth_gbps * 1e9);
+        compute.max(memory)
+    }
+}
+
+/// One labelled point on a roofline plot.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RooflinePoint {
+    /// Label, e.g. `"NVSA (symbolic)"`.
+    pub label: String,
+    /// Arithmetic intensity (FLOP/byte).
+    pub intensity: f64,
+    /// Attainable performance on the associated roofline (GFLOP/s).
+    pub attainable_gflops: f64,
+    /// Whether the point sits on the bandwidth slope (memory-bound).
+    pub memory_bound: bool,
+}
+
+impl RooflinePoint {
+    /// Evaluates a kernel (given as FLOPs and bytes) against a roofline.
+    pub fn evaluate(label: impl Into<String>, roofline: &Roofline, flops: u64, bytes: u64) -> Self {
+        let intensity = if bytes == 0 {
+            0.0
+        } else {
+            flops as f64 / bytes as f64
+        };
+        Self {
+            label: label.into(),
+            intensity,
+            attainable_gflops: roofline.attainable_gflops(intensity),
+            memory_bound: roofline.is_memory_bound(intensity),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataflow;
+    use proptest::prelude::*;
+
+    #[test]
+    fn ridge_point_and_attainable_performance() {
+        let r = Roofline::new(1000.0, 100.0);
+        assert!((r.ridge_point() - 10.0).abs() < 1e-12);
+        assert!((r.attainable_gflops(5.0) - 500.0).abs() < 1e-9);
+        assert!((r.attainable_gflops(50.0) - 1000.0).abs() < 1e-9);
+        assert!(r.is_memory_bound(5.0));
+        assert!(!r.is_memory_bound(50.0));
+    }
+
+    #[test]
+    fn execution_time_takes_the_max_of_compute_and_memory() {
+        let r = Roofline::new(1000.0, 100.0); // ridge at 10 FLOP/byte
+        // Memory-bound kernel: 1 GFLOP over 1 GB -> limited by bandwidth (10 ms).
+        let t = r.execution_seconds(1_000_000_000, 1_000_000_000);
+        assert!((t - 0.01).abs() < 1e-9);
+        // Compute-bound kernel: 1000 GFLOP over 1 GB -> limited by compute (1 s).
+        let t = r.execution_seconds(1_000_000_000_000, 1_000_000_000);
+        assert!((t - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gpu_circconv_is_memory_bound_cogsys_is_compute_bound() {
+        // Fig. 11c: circular convolution as GEMV on the GPU sits on the bandwidth slope;
+        // under the BS dataflow on CogSys it is compute-bound.
+        let gpu = Roofline::rtx_2080ti();
+        let cogsys = Roofline::from_array(16 * 1024, 0.8, 15_000.0);
+        let d = 2048usize;
+        assert!(gpu.is_memory_bound(dataflow::gemv_arithmetic_intensity(d)));
+        assert!(!cogsys.is_memory_bound(dataflow::bs_arithmetic_intensity(d)));
+    }
+
+    #[test]
+    fn cogsys_peak_matches_fig11c_annotation() {
+        // Fig. 11c annotates the CogSys roofline at ~26 TFLOP/s for 2^14 PEs at 0.8 GHz
+        // (2 ops/cycle/PE); the TPU-style cell with the same PE count has the same peak
+        // but a much lower on-chip bandwidth, which is what separates the two curves.
+        let cogsys = Roofline::from_array(1 << 14, 0.8, 15_000.0);
+        assert!((cogsys.peak_gflops - 26_214.4).abs() < 1.0);
+        let tpu = Roofline::from_array(1 << 14, 0.8, 2_000.0);
+        assert!(tpu.ridge_point() > cogsys.ridge_point());
+    }
+
+    #[test]
+    fn roofline_point_evaluation() {
+        let r = Roofline::new(100.0, 10.0);
+        let p = RooflinePoint::evaluate("symbolic", &r, 1000, 1000);
+        assert_eq!(p.label, "symbolic");
+        assert!((p.intensity - 1.0).abs() < 1e-12);
+        assert!(p.memory_bound);
+        let p = RooflinePoint::evaluate("neural", &r, 100_000, 1000);
+        assert!(!p.memory_bound);
+        let p = RooflinePoint::evaluate("empty", &r, 10, 0);
+        assert_eq!(p.intensity, 0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_attainable_never_exceeds_peak(intensity in 0.0f64..1e6) {
+            let r = Roofline::rtx_2080ti();
+            prop_assert!(r.attainable_gflops(intensity) <= r.peak_gflops + 1e-9);
+        }
+
+        #[test]
+        fn prop_attainable_monotone(a in 0.0f64..1e4, b in 0.0f64..1e4) {
+            let r = Roofline::new(500.0, 50.0);
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            prop_assert!(r.attainable_gflops(lo) <= r.attainable_gflops(hi) + 1e-9);
+        }
+    }
+}

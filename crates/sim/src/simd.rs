@@ -1,0 +1,180 @@
+//! Custom SIMD unit model (Sec. V-F).
+//!
+//! CogSys offloads vector reductions and element-wise operations (sum, mult/div,
+//! exp/log/tanh, norm, softmax, batch-norm, activations) to a 512-PE SIMD unit so the
+//! compute array never stalls on them. Each operation class has a per-element cycle
+//! cost; the unit processes `lanes` elements per cycle.
+
+use crate::error::SimError;
+use crate::kernel::KernelCost;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Classes of operations the SIMD unit supports, with increasing per-element cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SimdOp {
+    /// Element-wise add / subtract / compare.
+    Add,
+    /// Element-wise multiply or divide.
+    Mul,
+    /// Reduction to a scalar (sum, max, L2 norm accumulation).
+    Reduce,
+    /// Transcendentals: exp, log, tanh, sigmoid.
+    Transcendental,
+    /// Softmax (max + exp + sum + divide, fused).
+    Softmax,
+    /// Normalisation (mean/variance + scale/shift), batch-norm style.
+    Normalize,
+}
+
+impl SimdOp {
+    /// Cycles each lane spends per element for this operation class.
+    pub fn cycles_per_element(self) -> u64 {
+        match self {
+            SimdOp::Add => 1,
+            SimdOp::Mul => 1,
+            SimdOp::Reduce => 1,
+            SimdOp::Transcendental => 4,
+            SimdOp::Softmax => 6,
+            SimdOp::Normalize => 4,
+        }
+    }
+
+    /// Parses the operation names used by workload descriptions ("relu", "softmax", ...).
+    pub fn from_name(name: &str) -> SimdOp {
+        match name.to_ascii_lowercase().as_str() {
+            "add" | "sub" | "relu" | "bias" | "residual" | "compare" => SimdOp::Add,
+            "mul" | "mult" | "div" | "scale" | "hadamard" | "unbind" | "bind" => SimdOp::Mul,
+            "sum" | "reduce" | "max" | "argmax" | "dot" => SimdOp::Reduce,
+            "exp" | "log" | "tanh" | "sigmoid" | "gelu" => SimdOp::Transcendental,
+            "softmax" => SimdOp::Softmax,
+            "norm" | "layernorm" | "batchnorm" | "bn" | "normalize" => SimdOp::Normalize,
+            _ => SimdOp::Mul,
+        }
+    }
+}
+
+impl fmt::Display for SimdOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            SimdOp::Add => "add",
+            SimdOp::Mul => "mul",
+            SimdOp::Reduce => "reduce",
+            SimdOp::Transcendental => "transcendental",
+            SimdOp::Softmax => "softmax",
+            SimdOp::Normalize => "normalize",
+        };
+        write!(f, "{name}")
+    }
+}
+
+/// The custom SIMD unit.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SimdUnit {
+    lanes: usize,
+}
+
+impl SimdUnit {
+    /// Creates a SIMD unit with `lanes` parallel PEs (512 in the paper).
+    ///
+    /// # Errors
+    /// Returns [`SimError::InvalidConfig`] if `lanes` is zero.
+    pub fn new(lanes: usize) -> Result<Self, SimError> {
+        if lanes == 0 {
+            return Err(SimError::InvalidConfig {
+                field: "simd lanes",
+                message: "must be positive".into(),
+            });
+        }
+        Ok(Self { lanes })
+    }
+
+    /// Number of lanes.
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// Cycles to process `elements` elements of operation `op`.
+    pub fn cycles(&self, op: SimdOp, elements: usize) -> u64 {
+        if elements == 0 {
+            return 0;
+        }
+        let waves = elements.div_ceil(self.lanes) as u64;
+        waves * op.cycles_per_element()
+    }
+
+    /// Full cost of an element-wise kernel, including the bytes it streams (each element
+    /// read and written once at `bytes_per_element`).
+    pub fn execute(&self, op: SimdOp, elements: usize, bytes_per_element: usize) -> KernelCost {
+        KernelCost {
+            cycles: self.cycles(op, elements),
+            dram_bytes: (2 * elements * bytes_per_element) as u64,
+            active_pes: self.lanes.min(elements.max(1)),
+        }
+    }
+}
+
+impl Default for SimdUnit {
+    /// The paper's 512-lane unit.
+    fn default() -> Self {
+        Self { lanes: 512 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn lane_parallelism_divides_cycles() {
+        let unit = SimdUnit::new(512).unwrap();
+        assert_eq!(unit.cycles(SimdOp::Add, 512), 1);
+        assert_eq!(unit.cycles(SimdOp::Add, 513), 2);
+        assert_eq!(unit.cycles(SimdOp::Add, 1024), 2);
+        assert_eq!(unit.cycles(SimdOp::Add, 0), 0);
+        assert_eq!(unit.lanes(), 512);
+    }
+
+    #[test]
+    fn op_costs_are_ordered() {
+        assert!(SimdOp::Softmax.cycles_per_element() > SimdOp::Transcendental.cycles_per_element());
+        assert!(SimdOp::Transcendental.cycles_per_element() > SimdOp::Add.cycles_per_element());
+    }
+
+    #[test]
+    fn op_name_parsing() {
+        assert_eq!(SimdOp::from_name("ReLU"), SimdOp::Add);
+        assert_eq!(SimdOp::from_name("softmax"), SimdOp::Softmax);
+        assert_eq!(SimdOp::from_name("LayerNorm"), SimdOp::Normalize);
+        assert_eq!(SimdOp::from_name("exp"), SimdOp::Transcendental);
+        assert_eq!(SimdOp::from_name("unbind"), SimdOp::Mul);
+        assert_eq!(SimdOp::from_name("unknown-op"), SimdOp::Mul);
+        assert_eq!(SimdOp::Softmax.to_string(), "softmax");
+    }
+
+    #[test]
+    fn execute_reports_traffic_and_occupancy() {
+        let unit = SimdUnit::default();
+        let cost = unit.execute(SimdOp::Softmax, 2048, 1);
+        assert_eq!(cost.cycles, 4 * 6);
+        assert_eq!(cost.dram_bytes, 2 * 2048);
+        assert_eq!(cost.active_pes, 512);
+        let small = unit.execute(SimdOp::Add, 10, 4);
+        assert_eq!(small.active_pes, 10);
+    }
+
+    #[test]
+    fn zero_lane_unit_is_rejected() {
+        assert!(SimdUnit::new(0).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_cycles_monotone_in_elements(a in 0usize..100_000, b in 0usize..100_000) {
+            let unit = SimdUnit::default();
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            prop_assert!(unit.cycles(SimdOp::Mul, lo) <= unit.cycles(SimdOp::Mul, hi));
+        }
+    }
+}

@@ -1,0 +1,82 @@
+//! Error types for the VSA substrate.
+
+use std::fmt;
+
+/// Errors produced by VSA operations.
+///
+/// Every fallible public function in this crate returns `Result<_, VsaError>`. The
+/// variants carry enough context to diagnose shape mismatches without a debugger.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VsaError {
+    /// Two operands had different dimensionalities.
+    DimensionMismatch {
+        /// Dimensionality of the left-hand operand.
+        left: usize,
+        /// Dimensionality of the right-hand operand.
+        right: usize,
+    },
+    /// An operation required a non-empty vector or codebook but received an empty one.
+    Empty {
+        /// Description of what was empty ("hypervector", "codebook", ...).
+        what: &'static str,
+    },
+    /// A codebook lookup used an out-of-range index.
+    IndexOutOfRange {
+        /// The requested index.
+        index: usize,
+        /// The number of available entries.
+        len: usize,
+    },
+    /// A parameter was outside its valid range.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Human-readable description of the constraint that was violated.
+        message: String,
+    },
+}
+
+impl fmt::Display for VsaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VsaError::DimensionMismatch { left, right } => {
+                write!(f, "dimension mismatch: {left} vs {right}")
+            }
+            VsaError::Empty { what } => write!(f, "{what} must not be empty"),
+            VsaError::IndexOutOfRange { index, len } => {
+                write!(f, "index {index} out of range for length {len}")
+            }
+            VsaError::InvalidParameter { name, message } => {
+                write!(f, "invalid parameter `{name}`: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for VsaError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_are_lowercase_and_informative() {
+        let e = VsaError::DimensionMismatch { left: 3, right: 5 };
+        assert_eq!(e.to_string(), "dimension mismatch: 3 vs 5");
+        let e = VsaError::Empty { what: "codebook" };
+        assert_eq!(e.to_string(), "codebook must not be empty");
+        let e = VsaError::IndexOutOfRange { index: 9, len: 4 };
+        assert_eq!(e.to_string(), "index 9 out of range for length 4");
+        let e = VsaError::InvalidParameter {
+            name: "dim",
+            message: "must be > 0".into(),
+        };
+        assert!(e.to_string().contains("dim"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<VsaError>();
+    }
+}

@@ -1,0 +1,67 @@
+//! # cogsys-vsa — Vector-Symbolic Architecture substrate
+//!
+//! This crate implements the hypervector algebra that every other part of the CogSys
+//! reproduction builds on: dense hypervectors, binding via circular convolution or
+//! element-wise (Hadamard) multiplication, unbinding via circular correlation, bundling,
+//! permutation, similarity search, attribute codebooks, and reduced-precision
+//! (FP8 / INT8) arithmetic.
+//!
+//! The paper (Sec. II-C) describes symbolic knowledge as a set of attribute codebooks
+//! whose codevectors are combined by *binding* into product vectors representing
+//! composite objects; queries produced by the neural frontend are compared against
+//! codebooks by cosine similarity. The key compute kernel is block-wise **circular
+//! convolution**:
+//!
+//! ```text
+//! C[n] = sum_{k=0}^{N-1} A[k] * B[(n - k) mod N]
+//! ```
+//!
+//! # Example
+//!
+//! ```rust
+//! use cogsys_vsa::{Hypervector, ops};
+//!
+//! let mut rng = cogsys_vsa::rng(7);
+//! let a = Hypervector::random_bipolar(512, &mut rng);
+//! let b = Hypervector::random_bipolar(512, &mut rng);
+//! // Bind the two symbols; the result is dissimilar to both factors...
+//! let bound = ops::circular_convolve(&a, &b);
+//! assert!(ops::cosine_similarity(&bound, &a).abs() < 0.2);
+//! // ...but correlating with one factor approximately recovers the other.
+//! let recovered = ops::circular_correlate(&bound, &a);
+//! assert!(ops::cosine_similarity(&recovered, &b) > 0.5);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod codebook;
+pub mod error;
+pub mod fft;
+pub mod hypervector;
+pub mod ops;
+pub mod quant;
+
+pub use codebook::{Codebook, CodebookSet, ProductCodebook};
+pub use error::VsaError;
+pub use hypervector::{Hypervector, VsaKind};
+pub use quant::{Precision, QuantizedVector};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Convenience constructor for a deterministic random-number generator.
+///
+/// All stochastic components of the reproduction (codebook generation, noise injection,
+/// dataset synthesis) take an explicit `&mut impl Rng` so experiments are reproducible;
+/// this helper gives callers a seeded [`StdRng`] without importing `rand` themselves.
+///
+/// # Example
+/// ```
+/// let mut rng = cogsys_vsa::rng(42);
+/// let hv = cogsys_vsa::Hypervector::random_bipolar(64, &mut rng);
+/// assert_eq!(hv.dim(), 64);
+/// ```
+pub fn rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}

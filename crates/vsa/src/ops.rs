@@ -1,0 +1,609 @@
+//! Core VSA operations: binding, unbinding, bundling, similarity, noise.
+//!
+//! The operations here are the *functional* reference implementations. The hardware
+//! simulator in `cogsys-sim` re-implements circular convolution cycle-by-cycle on the
+//! nsPE array and is cross-checked against these functions in its tests.
+
+use crate::error::VsaError;
+use crate::fft;
+use crate::hypervector::{Hypervector, VsaKind};
+use rand::Rng;
+use rand_distr::{Distribution, Normal};
+
+/// Circular convolution of two hypervectors: `C[n] = Σ_k A[k]·B[(n−k) mod d]`.
+///
+/// This is the paper's binding operation (Sec. II-C). Power-of-two dimensions use an
+/// FFT path (`O(d log d)`); other dimensions fall back to the `O(d²)` definition.
+///
+/// # Panics
+/// Panics if the operands have different dimensionalities; use [`try_circular_convolve`]
+/// for the checked variant.
+///
+/// # Example
+/// ```
+/// use cogsys_vsa::{Hypervector, ops};
+/// let a = Hypervector::from_values(vec![1.0, 2.0, 3.0]);
+/// let b = Hypervector::from_values(vec![4.0, 5.0, 6.0]);
+/// let c = ops::circular_convolve(&a, &b);
+/// // C[0] = 1*4 + 2*6 + 3*5 = 31
+/// assert_eq!(c.values()[0], 31.0);
+/// ```
+pub fn circular_convolve(a: &Hypervector, b: &Hypervector) -> Hypervector {
+    try_circular_convolve(a, b).expect("hypervector dimension mismatch")
+}
+
+/// Checked circular convolution.
+///
+/// # Errors
+/// Returns [`VsaError::DimensionMismatch`] when the operands differ in dimension.
+pub fn try_circular_convolve(a: &Hypervector, b: &Hypervector) -> Result<Hypervector, VsaError> {
+    if a.dim() != b.dim() {
+        return Err(VsaError::DimensionMismatch {
+            left: a.dim(),
+            right: b.dim(),
+        });
+    }
+    if let Some(values) = fft::circular_convolve_fft(a.values(), b.values()) {
+        return Ok(Hypervector::with_kind(values, VsaKind::Real));
+    }
+    Ok(Hypervector::with_kind(
+        circular_convolve_naive(a.values(), b.values()),
+        VsaKind::Real,
+    ))
+}
+
+/// Time-domain `O(d²)` circular convolution over raw slices.
+///
+/// Exposed publicly because the hardware simulator and benchmarks need the exact
+/// reference kernel the nsPE array implements.
+pub fn circular_convolve_naive(a: &[f32], b: &[f32]) -> Vec<f32> {
+    let d = a.len();
+    debug_assert_eq!(d, b.len());
+    let mut out = vec![0.0f32; d];
+    for (n, slot) in out.iter_mut().enumerate() {
+        let mut acc = 0.0f32;
+        for k in 0..d {
+            // (n - k) mod d, avoiding negative intermediate values.
+            let idx = (n + d - k % d) % d;
+            acc += a[k] * b[idx];
+        }
+        *slot = acc;
+    }
+    out
+}
+
+/// Circular correlation of `a` with `b`: `C[n] = Σ_k A[k]·B[(n+k) mod d]`.
+///
+/// Circular correlation approximately inverts circular-convolution binding: if
+/// `q = x ⊛ y` then `correlate(q, x) ≈ y` (exactly so for unitary `x`). The nsPE
+/// supports it by reversing the stationary vector (Sec. V-B).
+///
+/// # Panics
+/// Panics on dimension mismatch; use [`try_circular_correlate`] for the checked variant.
+pub fn circular_correlate(a: &Hypervector, b: &Hypervector) -> Hypervector {
+    try_circular_correlate(a, b).expect("hypervector dimension mismatch")
+}
+
+/// Checked circular correlation.
+///
+/// # Errors
+/// Returns [`VsaError::DimensionMismatch`] when the operands differ in dimension.
+pub fn try_circular_correlate(a: &Hypervector, b: &Hypervector) -> Result<Hypervector, VsaError> {
+    if a.dim() != b.dim() {
+        return Err(VsaError::DimensionMismatch {
+            left: a.dim(),
+            right: b.dim(),
+        });
+    }
+    if let Some(values) = fft::circular_correlate_fft(a.values(), b.values()) {
+        return Ok(Hypervector::with_kind(values, VsaKind::Real));
+    }
+    let d = a.dim();
+    let av = a.values();
+    let bv = b.values();
+    let mut out = vec![0.0f32; d];
+    for (n, slot) in out.iter_mut().enumerate() {
+        let mut acc = 0.0f32;
+        for k in 0..d {
+            acc += av[k] * bv[(n + k) % d];
+        }
+        *slot = acc;
+    }
+    Ok(Hypervector::with_kind(out, VsaKind::Real))
+}
+
+/// Element-wise (Hadamard) binding, the MAP-style multiplicative binding used by NVSA's
+/// attribute codebooks.
+///
+/// For bipolar vectors Hadamard binding is exactly self-inverse: `bind(bind(a,b),b) = a`.
+///
+/// # Errors
+/// Returns [`VsaError::DimensionMismatch`] when the operands differ in dimension.
+pub fn hadamard_bind(a: &Hypervector, b: &Hypervector) -> Result<Hypervector, VsaError> {
+    if a.dim() != b.dim() {
+        return Err(VsaError::DimensionMismatch {
+            left: a.dim(),
+            right: b.dim(),
+        });
+    }
+    let values = a
+        .values()
+        .iter()
+        .zip(b.values())
+        .map(|(x, y)| x * y)
+        .collect();
+    Ok(Hypervector::with_kind(values, VsaKind::Dense))
+}
+
+/// Element-wise unbinding (for bipolar vectors identical to [`hadamard_bind`]).
+///
+/// The factorizer's Step 1 (Fig. 8) "factor unbinding via element-wise multiplication ⊘"
+/// is this operation.
+///
+/// # Errors
+/// Returns [`VsaError::DimensionMismatch`] when the operands differ in dimension.
+pub fn hadamard_unbind(a: &Hypervector, b: &Hypervector) -> Result<Hypervector, VsaError> {
+    hadamard_bind(a, b)
+}
+
+/// Bundles (superposes) a set of hypervectors by element-wise summation.
+///
+/// # Errors
+/// Returns [`VsaError::Empty`] when `items` is empty and
+/// [`VsaError::DimensionMismatch`] when members disagree in dimension.
+pub fn bundle<'a, I>(items: I) -> Result<Hypervector, VsaError>
+where
+    I: IntoIterator<Item = &'a Hypervector>,
+{
+    let mut iter = items.into_iter();
+    let first = iter.next().ok_or(VsaError::Empty {
+        what: "bundle input",
+    })?;
+    let mut acc = first.values().to_vec();
+    for hv in iter {
+        if hv.dim() != acc.len() {
+            return Err(VsaError::DimensionMismatch {
+                left: acc.len(),
+                right: hv.dim(),
+            });
+        }
+        for (slot, v) in acc.iter_mut().zip(hv.values()) {
+            *slot += v;
+        }
+    }
+    Ok(Hypervector::with_kind(acc, VsaKind::Dense))
+}
+
+/// Bundles bipolar vectors and snaps the result back to `{-1, +1}` by majority vote.
+///
+/// Ties (possible with an even number of inputs) resolve to `+1`, matching
+/// [`Hypervector::sign`].
+///
+/// # Errors
+/// Propagates the errors of [`bundle`].
+pub fn majority_bundle<'a, I>(items: I) -> Result<Hypervector, VsaError>
+where
+    I: IntoIterator<Item = &'a Hypervector>,
+{
+    Ok(bundle(items)?.sign())
+}
+
+/// Cosine similarity between two hypervectors, in `[-1, 1]`.
+///
+/// Returns 0 when either vector has zero norm.
+///
+/// # Panics
+/// Panics on dimension mismatch; use [`try_cosine_similarity`] for the checked variant.
+pub fn cosine_similarity(a: &Hypervector, b: &Hypervector) -> f32 {
+    try_cosine_similarity(a, b).expect("hypervector dimension mismatch")
+}
+
+/// Checked cosine similarity.
+///
+/// # Errors
+/// Returns [`VsaError::DimensionMismatch`] when the operands differ in dimension.
+pub fn try_cosine_similarity(a: &Hypervector, b: &Hypervector) -> Result<f32, VsaError> {
+    let dot = a.dot(b)?;
+    let denom = a.norm() * b.norm();
+    if denom == 0.0 {
+        return Ok(0.0);
+    }
+    Ok(dot / denom)
+}
+
+/// Normalised Hamming-style similarity for bipolar vectors: fraction of positions with
+/// matching sign, mapped to `[-1, 1]`.
+///
+/// # Errors
+/// Returns [`VsaError::DimensionMismatch`] when the operands differ in dimension.
+pub fn sign_similarity(a: &Hypervector, b: &Hypervector) -> Result<f32, VsaError> {
+    let agree = a.sign_agreement(b)? as f32;
+    let d = a.dim().max(1) as f32;
+    Ok(2.0 * agree / d - 1.0)
+}
+
+/// Adds i.i.d. Gaussian noise with standard deviation `sigma` to a copy of `hv`.
+///
+/// This is the stochasticity-injection primitive of Sec. IV-B: noise added to the
+/// similarity and projection steps lets the factorizer escape limit cycles.
+pub fn add_gaussian_noise<R: Rng + ?Sized>(
+    hv: &Hypervector,
+    sigma: f32,
+    rng: &mut R,
+) -> Hypervector {
+    if sigma <= 0.0 {
+        return hv.clone();
+    }
+    let normal = Normal::new(0.0_f32, sigma).expect("sigma is positive and finite");
+    let values = hv.values().iter().map(|v| v + normal.sample(rng)).collect();
+    Hypervector::with_kind(values, VsaKind::Dense)
+}
+
+/// Flips the sign of each entry independently with probability `p` (bit-flip noise).
+///
+/// Used by the dataset generators to emulate imperfect neural perception.
+pub fn flip_noise<R: Rng + ?Sized>(hv: &Hypervector, p: f64, rng: &mut R) -> Hypervector {
+    let values = hv
+        .values()
+        .iter()
+        .map(|&v| if rng.gen_bool(p.clamp(0.0, 1.0)) { -v } else { v })
+        .collect();
+    Hypervector::with_kind(values, hv.kind())
+}
+
+/// Matrix–vector similarity: the dot product of `query` with every row of `matrix`.
+///
+/// This is the factorizer's Step 2 ("similarity search via matrix–vector
+/// multiplication") and the codebook cleanup operation; on the accelerator it maps onto
+/// GEMV in GEMM mode.
+///
+/// # Errors
+/// Returns [`VsaError::DimensionMismatch`] if any row disagrees with the query dimension.
+pub fn matvec_similarity(matrix: &[Hypervector], query: &Hypervector) -> Result<Vec<f32>, VsaError> {
+    matrix.iter().map(|row| row.dot(query)).collect()
+}
+
+/// Weighted sum of rows: `Σ_i weights[i] · matrix[i]`.
+///
+/// This is the factorizer's Step 3 projection (`α_f(t) · X_fᵀ`) before the sign
+/// non-linearity.
+///
+/// # Errors
+/// Returns [`VsaError::Empty`] for an empty matrix, [`VsaError::DimensionMismatch`] if
+/// `weights.len() != matrix.len()`.
+pub fn weighted_superposition(
+    matrix: &[Hypervector],
+    weights: &[f32],
+) -> Result<Hypervector, VsaError> {
+    if matrix.is_empty() {
+        return Err(VsaError::Empty { what: "codebook" });
+    }
+    if matrix.len() != weights.len() {
+        return Err(VsaError::DimensionMismatch {
+            left: matrix.len(),
+            right: weights.len(),
+        });
+    }
+    let dim = matrix[0].dim();
+    let mut acc = vec![0.0f32; dim];
+    for (row, &w) in matrix.iter().zip(weights) {
+        if row.dim() != dim {
+            return Err(VsaError::DimensionMismatch {
+                left: dim,
+                right: row.dim(),
+            });
+        }
+        for (slot, v) in acc.iter_mut().zip(row.values()) {
+            *slot += w * v;
+        }
+    }
+    Ok(Hypervector::with_kind(acc, VsaKind::Dense))
+}
+
+/// Softmax over a similarity vector with an inverse-temperature parameter `beta`.
+///
+/// Used by the probabilistic abduction pipelines (LVRF/PrAE style) to turn similarity
+/// scores into rule probabilities; on the accelerator it runs on the custom SIMD unit.
+pub fn softmax(scores: &[f32], beta: f32) -> Vec<f32> {
+    if scores.is_empty() {
+        return Vec::new();
+    }
+    let max = scores.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let exps: Vec<f32> = scores.iter().map(|&s| ((s - max) * beta).exp()).collect();
+    let sum: f32 = exps.iter().sum();
+    if sum == 0.0 {
+        return vec![1.0 / scores.len() as f32; scores.len()];
+    }
+    exps.iter().map(|e| e / sum).collect()
+}
+
+/// Returns the index of the largest element (ties resolve to the first).
+///
+/// Returns `None` for an empty slice.
+pub fn argmax(scores: &[f32]) -> Option<usize> {
+    let mut best: Option<(usize, f32)> = None;
+    for (i, &s) in scores.iter().enumerate() {
+        match best {
+            Some((_, b)) if s <= b => {}
+            _ => best = Some((i, s)),
+        }
+    }
+    best.map(|(i, _)| i)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng;
+    use proptest::prelude::*;
+
+    #[test]
+    fn convolution_matches_hand_computed_example() {
+        // Example from Fig. 11b of the paper:
+        // (A1,A2,A3) ⊛ (B1,B2,B3) = (A1B1+A2B3+A3B2, A1B2+A2B1+A3B3, A1B3+A2B2+A3B1)
+        // with the paper's indexing convention C[n] = Σ A[k] B[(n-k) mod N].
+        let a = Hypervector::from_values(vec![1.0, 2.0, 3.0]);
+        let b = Hypervector::from_values(vec![10.0, 20.0, 30.0]);
+        let c = circular_convolve(&a, &b);
+        assert_eq!(c.values()[0], 1.0 * 10.0 + 2.0 * 30.0 + 3.0 * 20.0);
+        assert_eq!(c.values()[1], 1.0 * 20.0 + 2.0 * 10.0 + 3.0 * 30.0);
+        assert_eq!(c.values()[2], 1.0 * 30.0 + 2.0 * 20.0 + 3.0 * 10.0);
+    }
+
+    #[test]
+    fn convolution_identity_element() {
+        let mut r = rng(3);
+        let a = Hypervector::random_bipolar(64, &mut r);
+        let id = Hypervector::identity(64);
+        let c = circular_convolve(&a, &id);
+        for (x, y) in c.values().iter().zip(a.values()) {
+            assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn correlation_recovers_bound_factor() {
+        let mut r = rng(4);
+        let d = 1024;
+        let x = Hypervector::random_real(d, &mut r);
+        let y = Hypervector::random_real(d, &mut r);
+        let bound = circular_convolve(&x, &y);
+        let recovered = circular_correlate(&bound, &x);
+        let sim = cosine_similarity(&recovered, &y);
+        assert!(sim > 0.5, "similarity {sim} too low");
+        // And the recovered vector should not resemble an unrelated vector.
+        let z = Hypervector::random_real(d, &mut r);
+        assert!(cosine_similarity(&recovered, &z).abs() < 0.2);
+    }
+
+    #[test]
+    fn hadamard_binding_is_self_inverse_for_bipolar() {
+        let mut r = rng(5);
+        let a = Hypervector::random_bipolar(256, &mut r);
+        let b = Hypervector::random_bipolar(256, &mut r);
+        let bound = hadamard_bind(&a, &b).unwrap();
+        let recovered = hadamard_unbind(&bound, &b).unwrap();
+        assert_eq!(recovered.values(), a.values());
+    }
+
+    #[test]
+    fn bundle_preserves_similarity_to_members() {
+        let mut r = rng(6);
+        let members: Vec<_> = (0..5)
+            .map(|_| Hypervector::random_bipolar(2048, &mut r))
+            .collect();
+        let sum = bundle(members.iter()).unwrap();
+        for m in &members {
+            assert!(cosine_similarity(&sum, m) > 0.3);
+        }
+        let outsider = Hypervector::random_bipolar(2048, &mut r);
+        assert!(cosine_similarity(&sum, &outsider).abs() < 0.15);
+    }
+
+    #[test]
+    fn bundle_of_empty_set_is_error() {
+        let empty: Vec<Hypervector> = Vec::new();
+        assert!(matches!(
+            bundle(empty.iter()),
+            Err(VsaError::Empty { .. })
+        ));
+    }
+
+    #[test]
+    fn majority_bundle_is_bipolar() {
+        let mut r = rng(7);
+        let members: Vec<_> = (0..3)
+            .map(|_| Hypervector::random_bipolar(128, &mut r))
+            .collect();
+        let m = majority_bundle(members.iter()).unwrap();
+        assert!(m.values().iter().all(|&v| v == 1.0 || v == -1.0));
+    }
+
+    #[test]
+    fn cosine_similarity_bounds() {
+        let mut r = rng(8);
+        let a = Hypervector::random_bipolar(512, &mut r);
+        assert!((cosine_similarity(&a, &a) - 1.0).abs() < 1e-6);
+        let neg = -a.clone();
+        assert!((cosine_similarity(&a, &neg) + 1.0).abs() < 1e-6);
+        let zero = Hypervector::zeros(512);
+        assert_eq!(cosine_similarity(&a, &zero), 0.0);
+    }
+
+    #[test]
+    fn sign_similarity_matches_cosine_for_bipolar() {
+        let mut r = rng(9);
+        let a = Hypervector::random_bipolar(4096, &mut r);
+        let b = Hypervector::random_bipolar(4096, &mut r);
+        let cs = cosine_similarity(&a, &b);
+        let ss = sign_similarity(&a, &b).unwrap();
+        assert!((cs - ss).abs() < 1e-4);
+    }
+
+    #[test]
+    fn gaussian_noise_zero_sigma_is_identity() {
+        let mut r = rng(10);
+        let a = Hypervector::random_bipolar(64, &mut r);
+        let noisy = add_gaussian_noise(&a, 0.0, &mut r);
+        assert_eq!(noisy.values(), a.values());
+    }
+
+    #[test]
+    fn gaussian_noise_perturbs_but_preserves_similarity() {
+        let mut r = rng(11);
+        let a = Hypervector::random_bipolar(1024, &mut r);
+        let noisy = add_gaussian_noise(&a, 0.5, &mut r);
+        assert_ne!(noisy.values(), a.values());
+        assert!(cosine_similarity(&a, &noisy) > 0.7);
+    }
+
+    #[test]
+    fn flip_noise_extremes() {
+        let mut r = rng(12);
+        let a = Hypervector::random_bipolar(128, &mut r);
+        let same = flip_noise(&a, 0.0, &mut r);
+        assert_eq!(same.values(), a.values());
+        let flipped = flip_noise(&a, 1.0, &mut r);
+        for (x, y) in flipped.values().iter().zip(a.values()) {
+            assert_eq!(*x, -*y);
+        }
+    }
+
+    #[test]
+    fn matvec_similarity_identifies_member() {
+        let mut r = rng(13);
+        let rows: Vec<_> = (0..8)
+            .map(|_| Hypervector::random_bipolar(512, &mut r))
+            .collect();
+        let sims = matvec_similarity(&rows, &rows[3]).unwrap();
+        assert_eq!(argmax(&sims), Some(3));
+    }
+
+    #[test]
+    fn weighted_superposition_one_hot_selects_row() {
+        let mut r = rng(14);
+        let rows: Vec<_> = (0..4)
+            .map(|_| Hypervector::random_bipolar(64, &mut r))
+            .collect();
+        let mut w = vec![0.0; 4];
+        w[2] = 1.0;
+        let hv = weighted_superposition(&rows, &w).unwrap();
+        assert_eq!(hv.values(), rows[2].values());
+    }
+
+    #[test]
+    fn weighted_superposition_validates_lengths() {
+        let rows = vec![Hypervector::zeros(4)];
+        assert!(weighted_superposition(&rows, &[1.0, 2.0]).is_err());
+        let empty: Vec<Hypervector> = vec![];
+        assert!(matches!(
+            weighted_superposition(&empty, &[]),
+            Err(VsaError::Empty { .. })
+        ));
+    }
+
+    #[test]
+    fn softmax_sums_to_one_and_orders_correctly() {
+        let p = softmax(&[1.0, 3.0, 2.0], 1.0);
+        assert!((p.iter().sum::<f32>() - 1.0).abs() < 1e-5);
+        assert!(p[1] > p[2] && p[2] > p[0]);
+        assert!(softmax(&[], 1.0).is_empty());
+    }
+
+    #[test]
+    fn softmax_high_beta_approaches_argmax() {
+        let p = softmax(&[0.1, 0.9, 0.3], 50.0);
+        assert!(p[1] > 0.99);
+    }
+
+    #[test]
+    fn argmax_handles_ties_and_empty() {
+        assert_eq!(argmax(&[1.0, 3.0, 3.0]), Some(1));
+        assert_eq!(argmax(&[]), None);
+    }
+
+    #[test]
+    fn checked_variants_report_mismatch() {
+        let a = Hypervector::zeros(4);
+        let b = Hypervector::zeros(6);
+        assert!(try_circular_convolve(&a, &b).is_err());
+        assert!(try_circular_correlate(&a, &b).is_err());
+        assert!(try_cosine_similarity(&a, &b).is_err());
+        assert!(hadamard_bind(&a, &b).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_convolution_commutative(seed in 0u64..500, dim in 2usize..64) {
+            let mut r = rng(seed);
+            let a = Hypervector::random_bipolar(dim, &mut r);
+            let b = Hypervector::random_bipolar(dim, &mut r);
+            let ab = circular_convolve(&a, &b);
+            let ba = circular_convolve(&b, &a);
+            for (x, y) in ab.values().iter().zip(ba.values()) {
+                prop_assert!((x - y).abs() < 1e-2);
+            }
+        }
+
+        #[test]
+        fn prop_convolution_associative(seed in 0u64..200) {
+            let mut r = rng(seed);
+            let dim = 32;
+            let a = Hypervector::random_bipolar(dim, &mut r);
+            let b = Hypervector::random_bipolar(dim, &mut r);
+            let c = Hypervector::random_bipolar(dim, &mut r);
+            let left = circular_convolve(&circular_convolve(&a, &b), &c);
+            let right = circular_convolve(&a, &circular_convolve(&b, &c));
+            for (x, y) in left.values().iter().zip(right.values()) {
+                prop_assert!((x - y).abs() < 1e-1 * dim as f32);
+            }
+        }
+
+        #[test]
+        fn prop_convolution_distributes_over_addition(seed in 0u64..200) {
+            let mut r = rng(seed);
+            let dim = 16;
+            let a = Hypervector::random_bipolar(dim, &mut r);
+            let b = Hypervector::random_bipolar(dim, &mut r);
+            let c = Hypervector::random_bipolar(dim, &mut r);
+            let lhs = circular_convolve(&a, &(&b + &c));
+            let rhs = &circular_convolve(&a, &b) + &circular_convolve(&a, &c);
+            for (x, y) in lhs.values().iter().zip(rhs.values()) {
+                prop_assert!((x - y).abs() < 1e-2 * dim as f32);
+            }
+        }
+
+        #[test]
+        fn prop_naive_and_fft_agree(seed in 0u64..200) {
+            let mut r = rng(seed);
+            let dim = 64; // power of two so the FFT path is taken
+            let a = Hypervector::random_bipolar(dim, &mut r);
+            let b = Hypervector::random_bipolar(dim, &mut r);
+            let fft = circular_convolve(&a, &b);
+            let naive = circular_convolve_naive(a.values(), b.values());
+            for (x, y) in fft.values().iter().zip(&naive) {
+                prop_assert!((x - y).abs() < 1e-2);
+            }
+        }
+
+        #[test]
+        fn prop_hadamard_bind_unbind_roundtrip(seed in 0u64..500, dim in 1usize..256) {
+            let mut r = rng(seed);
+            let a = Hypervector::random_bipolar(dim, &mut r);
+            let b = Hypervector::random_bipolar(dim, &mut r);
+            let round = hadamard_unbind(&hadamard_bind(&a, &b).unwrap(), &b).unwrap();
+            prop_assert_eq!(round.values(), a.values());
+        }
+
+        #[test]
+        fn prop_cosine_similarity_symmetric_and_bounded(seed in 0u64..500) {
+            let mut r = rng(seed);
+            let a = Hypervector::random_real(128, &mut r);
+            let b = Hypervector::random_real(128, &mut r);
+            let ab = cosine_similarity(&a, &b);
+            let ba = cosine_similarity(&b, &a);
+            prop_assert!((ab - ba).abs() < 1e-6);
+            prop_assert!((-1.0001..=1.0001).contains(&ab));
+        }
+    }
+}

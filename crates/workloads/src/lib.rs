@@ -1,0 +1,37 @@
+//! # cogsys-workloads — neurosymbolic workload models
+//!
+//! Two complementary views of the paper's four workloads (NVSA, MIMONet, LVRF, PrAE —
+//! Tab. I):
+//!
+//! * [`spec`] — *performance* view: each workload as a parameterised [`WorkloadSpec`]
+//!   with its neural layer shapes, symbolic kernel counts, vector dimensionality and
+//!   memory footprints, from which operation graphs for the scheduler/simulator and
+//!   kernel lists for the baseline device models are generated. These drive every
+//!   latency/energy figure (Fig. 4, 15, 16, 18, 19, Tab. X).
+//! * [`pipeline`] — *functional* view: an end-to-end VSA abduction reasoner (perception
+//!   encoding → codebook factorization → rule abduction → execution → answer selection)
+//!   built on `cogsys-vsa`, `cogsys-factorizer` and `cogsys-datasets`. This produces the
+//!   reasoning-accuracy numbers (Tab. VII, Tab. VIII).
+//!
+//! # Example
+//!
+//! ```rust
+//! use cogsys_workloads::{WorkloadKind, WorkloadSpec};
+//!
+//! let nvsa = WorkloadSpec::new(WorkloadKind::Nvsa);
+//! let graph = nvsa.operation_graph(2);
+//! assert!(graph.len() > 4);
+//! // Symbolic FLOPs are a small fraction of the total, yet dominate runtime on
+//! // conventional hardware — the core observation of the paper's Sec. III.
+//! let (neural, symbolic) = graph.flops_by_class();
+//! assert!(symbolic < neural);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod pipeline;
+pub mod spec;
+
+pub use pipeline::{NeurosymbolicSolver, SolverConfig, SolverReport};
+pub use spec::{MemoryFootprint, TaskSize, WorkloadKind, WorkloadSpec};

@@ -1,0 +1,71 @@
+//! Hardware walk-through: run the NVSA kernel mix through the cycle-level CogSys
+//! accelerator model with and without its three techniques (reconfigurable nsPE,
+//! scalable array, adSCH scheduling), and against the TPU-/MTIA-/Gemmini-like baselines
+//! (paper Sec. V-VII, Fig. 18/19).
+//!
+//! Run with: `cargo run --release --example accelerator_comparison`
+
+use cogsys::{AblationVariant, CogSysConfig, CogSysSystem};
+use cogsys_scheduler::{AdSchScheduler, Scheduler, SequentialScheduler};
+use cogsys_sim::{AcceleratorConfig, ComputeArray, EnergyModel, Kernel};
+use cogsys_workloads::{WorkloadKind, WorkloadSpec};
+
+fn main() {
+    let spec = WorkloadSpec::new(WorkloadKind::Nvsa);
+    let graph = spec.operation_graph(4);
+
+    println!("NVSA batch of 4 reasoning tasks: {} operations\n", graph.len());
+
+    // Scheduling on the CogSys array: adSCH vs sequential.
+    let array = ComputeArray::new(AcceleratorConfig::cogsys()).expect("valid configuration");
+    let adsch = AdSchScheduler::default()
+        .schedule(&array, &graph)
+        .expect("valid graph");
+    let sequential = SequentialScheduler
+        .schedule(&array, &graph)
+        .expect("valid graph");
+    println!("CogSys accelerator (16 cells of 32x32 nsPEs, 0.8 GHz):");
+    println!(
+        "  adSCH schedule     : {:>10} cycles ({:.3} ms), utilisation {:.1} %",
+        adsch.makespan_cycles,
+        adsch.makespan_seconds(0.8) * 1e3,
+        100.0 * adsch.array_utilization()
+    );
+    println!(
+        "  sequential schedule: {:>10} cycles ({:.3} ms)",
+        sequential.makespan_cycles,
+        sequential.makespan_seconds(0.8) * 1e3
+    );
+
+    // The headline symbolic kernel on each accelerator.
+    println!("\nSymbolic circular convolution (d=1024, k=210) across accelerators:");
+    let kernel = Kernel::CircConv { dim: 1024, count: 210 };
+    for (name, config) in [
+        ("CogSys", AcceleratorConfig::cogsys()),
+        ("TPU-like", AcceleratorConfig::tpu_like()),
+        ("MTIA-like", AcceleratorConfig::mtia_like()),
+        ("Gemmini-like", AcceleratorConfig::gemmini_like()),
+    ] {
+        let accel = ComputeArray::new(config).expect("valid configuration");
+        let cells = accel.config().geometry.cells;
+        let record = accel.execute(&kernel, cells).expect("valid kernel");
+        println!("  {:<13} {:>12} cycles", name, record.cycles);
+    }
+
+    // Ablation of the three techniques (Fig. 19) plus the area/power budget (Fig. 14).
+    println!("\nAblation (normalised runtime, full CogSys = 1.0):");
+    let system = CogSysSystem::new(CogSysConfig::default());
+    for variant in AblationVariant::ALL {
+        let relative = system
+            .ablation_relative_runtime(variant)
+            .expect("valid configuration");
+        println!("  {:<22} {:.2}x", format!("{variant:?}"), relative);
+    }
+
+    let energy = EnergyModel::new(AcceleratorConfig::cogsys());
+    println!(
+        "\nAccelerator budget (INT8, 28 nm): {:.2} mm^2, {:.2} W",
+        energy.area().total_mm2(),
+        energy.power().total_w()
+    );
+}

@@ -1,0 +1,56 @@
+//! Scheduler trace: print the adSCH schedule of a small NVSA batch entry by entry, to
+//! see the cell-wise neural/symbolic partitioning and cross-task interleaving of
+//! Fig. 13 in action.
+//!
+//! Run with: `cargo run --release --example scheduler_trace`
+
+use cogsys_scheduler::{AdSchScheduler, ExecUnit, Scheduler};
+use cogsys_sim::{AcceleratorConfig, ComputeArray};
+use cogsys_workloads::{WorkloadKind, WorkloadSpec};
+
+fn main() {
+    let spec = WorkloadSpec::new(WorkloadKind::Nvsa);
+    let graph = spec.operation_graph(2);
+    let array = ComputeArray::new(AcceleratorConfig::cogsys()).expect("valid configuration");
+    let schedule = AdSchScheduler::default()
+        .schedule(&array, &graph)
+        .expect("valid graph");
+
+    println!(
+        "adSCH schedule of 2 NVSA tasks ({} ops, makespan {} cycles, utilisation {:.1} %):\n",
+        graph.len(),
+        schedule.makespan_cycles,
+        100.0 * schedule.array_utilization()
+    );
+    println!(
+        "{:>5} {:>5} {:<10} {:<6} {:>12} {:>12} {:>7}  kernel",
+        "op", "task", "class", "unit", "start", "end", "cells"
+    );
+    for entry in &schedule.entries {
+        let node = graph.node(entry.op).expect("entry references a graph node");
+        let unit = match entry.unit {
+            ExecUnit::Array => "array",
+            ExecUnit::Simd => "simd",
+        };
+        println!(
+            "{:>5} {:>5} {:<10} {:<6} {:>12} {:>12} {:>7}  {}",
+            entry.op,
+            entry.task,
+            entry.class.to_string(),
+            unit,
+            entry.start,
+            entry.end,
+            entry.cells.len(),
+            node.kernel.label()
+        );
+    }
+
+    println!(
+        "\ncycles with symbolic work in flight: {}",
+        schedule.busy_cycles_by_class(cogsys_sim::KernelClass::Symbolic)
+    );
+    println!(
+        "cycles with neural work in flight  : {}",
+        schedule.busy_cycles_by_class(cogsys_sim::KernelClass::Neural)
+    );
+}

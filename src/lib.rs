@@ -1,0 +1,11 @@
+//! Workspace-level umbrella crate for the CogSys reproduction.
+//!
+//! This crate exists to host repository-level integration tests (`tests/`) and runnable
+//! examples (`examples/`); all functionality lives in the `cogsys-*` crates.
+pub use cogsys;
+pub use cogsys_datasets as datasets;
+pub use cogsys_factorizer as factorizer;
+pub use cogsys_scheduler as scheduler;
+pub use cogsys_sim as sim;
+pub use cogsys_vsa as vsa;
+pub use cogsys_workloads as workloads;

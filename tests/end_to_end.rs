@@ -1,0 +1,92 @@
+//! Cross-crate integration tests: the full algorithm → hardware → scheduler pipeline.
+
+use cogsys::{AblationVariant, CogSysConfig, CogSysSystem};
+use cogsys_datasets::DatasetKind;
+use cogsys_scheduler::{AdSchScheduler, Scheduler, SequentialScheduler};
+use cogsys_sim::{AcceleratorConfig, ComputeArray, DeviceKind};
+use cogsys_vsa::Precision;
+use cogsys_workloads::{WorkloadKind, WorkloadSpec};
+
+#[test]
+fn reasoning_accuracy_latency_and_energy_are_jointly_sane() {
+    let system = CogSysSystem::new(CogSysConfig::default());
+    let outcome = system
+        .run_reasoning(DatasetKind::Raven, 4, 99)
+        .expect("default configuration is valid");
+    assert_eq!(outcome.report.problems, 4);
+    assert!(outcome.report.factorization_accuracy() > 0.5);
+    // Real-time bound from the paper's abstract: 0.3 s per reasoning task.
+    assert!(outcome.seconds_per_task < 0.3);
+    assert!(outcome.joules_per_task > 0.0);
+    assert!(outcome.utilization > 0.0 && outcome.utilization <= 1.0);
+}
+
+#[test]
+fn every_workload_schedules_validly_on_every_accelerator_variant() {
+    for kind in WorkloadKind::ALL {
+        let graph = WorkloadSpec::new(kind).operation_graph(2);
+        for config in [
+            AcceleratorConfig::cogsys(),
+            AcceleratorConfig::tpu_like(),
+            AcceleratorConfig::mtia_like(),
+            AcceleratorConfig::gemmini_like(),
+        ] {
+            let array = ComputeArray::new(config).expect("valid configuration");
+            let adsch = AdSchScheduler::default()
+                .schedule(&array, &graph)
+                .expect("valid graph");
+            let seq = SequentialScheduler
+                .schedule(&array, &graph)
+                .expect("valid graph");
+            assert_eq!(adsch.find_violation(&graph), None, "{kind}");
+            assert_eq!(seq.find_violation(&graph), None, "{kind}");
+            assert!(adsch.makespan_cycles > 0);
+        }
+    }
+}
+
+#[test]
+fn speedup_ordering_matches_fig15_for_all_workloads() {
+    for kind in WorkloadKind::ALL {
+        let mut config = CogSysConfig::default();
+        config.workload = kind;
+        let system = CogSysSystem::new(config);
+        let cogsys = system.seconds_per_task().expect("valid configuration");
+        let rtx = system.device_seconds_per_task(DeviceKind::RtxGpu);
+        let tx2 = system.device_seconds_per_task(DeviceKind::JetsonTx2);
+        assert!(cogsys < rtx, "{kind}: CogSys should beat the RTX GPU");
+        assert!(rtx < tx2, "{kind}: the RTX GPU should beat the TX2");
+    }
+}
+
+#[test]
+fn ablation_ordering_holds_for_non_default_workloads() {
+    let mut config = CogSysConfig::default();
+    config.workload = WorkloadKind::Lvrf;
+    config.batch_tasks = 2;
+    let system = CogSysSystem::new(config);
+    let full = system
+        .ablation_relative_runtime(AblationVariant::Full)
+        .expect("valid configuration");
+    let no_nspe = system
+        .ablation_relative_runtime(AblationVariant::WithoutNsPe)
+        .expect("valid configuration");
+    assert!((full - 1.0).abs() < 1e-9);
+    assert!(no_nspe > 1.5, "removing the nsPE should hurt LVRF badly: {no_nspe}");
+}
+
+#[test]
+fn precision_sweep_trades_area_for_negligible_accuracy() {
+    let fp32 = CogSysSystem::new(CogSysConfig::default().with_precision(Precision::Fp32));
+    let int8 = CogSysSystem::new(CogSysConfig::default().with_precision(Precision::Int8));
+    let fp32_outcome = fp32
+        .run_reasoning(DatasetKind::IRaven, 3, 5)
+        .expect("valid configuration");
+    let int8_outcome = int8
+        .run_reasoning(DatasetKind::IRaven, 3, 5)
+        .expect("valid configuration");
+    // INT8 keeps factorization working (Tab. VIII) ...
+    assert!(int8_outcome.report.factorization_accuracy() > 0.5);
+    // ... and never increases energy per task relative to FP32 (Tab. IX).
+    assert!(int8_outcome.joules_per_task <= fp32_outcome.joules_per_task * 1.05);
+}

@@ -1,0 +1,68 @@
+//! Smoke tests over the figure/table regeneration entry points: every experiment can be
+//! produced and has the expected shape (row labels, column counts, non-degenerate
+//! values). The heavyweight accuracy sweeps (Tab. VII/VIII) run with tiny trial counts
+//! here; the bench binaries use larger ones.
+
+use cogsys::experiments;
+
+#[test]
+fn all_fast_experiments_produce_well_formed_tables() {
+    let fig04 = experiments::fig04_profiling();
+    assert_eq!(fig04.len(), 4);
+    for table in &fig04 {
+        assert_eq!(table.rows.len(), 4, "{}", table.title);
+    }
+
+    assert_eq!(experiments::fig05_roofline().rows.len(), 8);
+    assert_eq!(experiments::fig06_symbolic_ops().rows.len(), 5);
+    assert_eq!(experiments::tab02_kernel_stats().rows.len(), 4);
+
+    let fig11 = experiments::fig11_bs_dataflow();
+    assert_eq!(fig11.len(), 2);
+    assert_eq!(experiments::fig12_st_mapping().rows.len(), 4);
+    assert_eq!(experiments::tab05_pe_choice().rows.len(), 2);
+    assert_eq!(experiments::fig13_adsch().rows.len(), 2);
+    assert_eq!(experiments::tab09_precision().rows.len(), 3);
+    assert_eq!(experiments::fig15_runtime().rows.len(), 5);
+    assert_eq!(experiments::fig16_energy().rows.len(), 7);
+    let fig17 = experiments::fig17_circconv_speedup();
+    assert_eq!(fig17.len(), 2);
+    assert_eq!(fig17[0].rows.len(), 5);
+    assert_eq!(experiments::fig18_accelerators().rows.len(), 3);
+    assert_eq!(experiments::fig19_ablation().rows.len(), 3);
+    assert_eq!(experiments::tab10_codesign().rows.len(), 5);
+}
+
+#[test]
+fn factorization_experiments_report_accuracy_and_reductions() {
+    let fig08 = experiments::fig08_factorization(1);
+    assert_eq!(fig08.rows.len(), 1);
+    assert!(fig08.rows[0].1[2] > 10.0, "memory reduction should be large");
+
+    // Tiny trial counts keep this test fast while still exercising the full path.
+    let tab07 = experiments::tab07_factorization_accuracy(1, 3);
+    assert_eq!(tab07.rows.len(), 14, "7 constellations + 7 rule types");
+    for (label, values) in &tab07.rows {
+        assert!(
+            (0.0..=100.0).contains(&values[0]),
+            "{label}: accuracy {} out of range",
+            values[0]
+        );
+    }
+
+    let tab08 = experiments::tab08_reasoning_accuracy(2, 3);
+    assert_eq!(tab08.rows.len(), 3);
+    for (_, values) in &tab08.rows {
+        assert!(values[0] >= 0.0 && values[0] <= 100.0);
+        assert!(values[2] > 0.0, "codebook size should be positive");
+    }
+}
+
+#[test]
+fn experiment_tables_render_to_text() {
+    let table = experiments::tab09_precision();
+    let rendered = table.to_string();
+    assert!(rendered.contains("INT8"));
+    assert!(rendered.contains("FP32"));
+    assert!(rendered.lines().count() >= 5);
+}

@@ -1,0 +1,63 @@
+//! Integration tests tying the functional VSA algebra to the register-level hardware
+//! model: the nsPE array must compute the same numbers the algorithm crates rely on.
+
+use cogsys_factorizer::{Factorizer, FactorizerConfig};
+use cogsys_sim::pe::PeColumn;
+use cogsys_vsa::codebook::{BindingOp, CodebookSet};
+use cogsys_vsa::{ops, Hypervector};
+
+#[test]
+fn nspe_column_results_feed_the_functional_unbinding_path() {
+    // Bind two symbols functionally, unbind them on the simulated hardware, and check
+    // the cleanup still identifies the right codevector — i.e. the hardware's circular
+    // correlation is accurate enough for the symbolic pipeline.
+    let mut rng = cogsys_vsa::rng(123);
+    let d = 256;
+    let role = Hypervector::random_bipolar(d, &mut rng);
+    let filler = Hypervector::random_bipolar(d, &mut rng);
+    let bound = ops::circular_convolve(&role, &filler);
+
+    let mut column = PeColumn::new(d).expect("non-zero height");
+    let recovered = column
+        .circular_correlate(role.values(), bound.values())
+        .expect("matching dimensions");
+    let recovered_hv = Hypervector::from_values(recovered.output);
+
+    let candidates: Vec<Hypervector> = (0..16)
+        .map(|i| {
+            if i == 7 {
+                filler.clone()
+            } else {
+                Hypervector::random_bipolar(d, &mut rng)
+            }
+        })
+        .collect();
+    let sims = ops::matvec_similarity(&candidates, &recovered_hv).expect("same dimension");
+    assert_eq!(ops::argmax(&sims), Some(7));
+}
+
+#[test]
+fn factorizer_converges_on_hardware_generated_queries() {
+    // Build the query vector with the cycle-level nsPE model (circular-convolution
+    // binding) instead of the functional ops, then factorize it.
+    let mut rng = cogsys_vsa::rng(321);
+    let d = 512;
+    let set = CodebookSet::random(&[6, 6], d, BindingOp::CircularConvolution, &mut rng);
+    let a = set.factor(0).unwrap().vector(2).unwrap().clone();
+    let b = set.factor(1).unwrap().vector(4).unwrap().clone();
+
+    let mut column = PeColumn::new(d).expect("non-zero height");
+    let run = column
+        .circular_convolve(a.values(), b.values())
+        .expect("matching dimensions");
+    let query = Hypervector::from_values(run.output);
+
+    let config = FactorizerConfig {
+        convergence_threshold: 0.3,
+        ..FactorizerConfig::default()
+    };
+    let result = Factorizer::new(config)
+        .factorize(&set, &query, &mut rng)
+        .expect("query matches codebook dimension");
+    assert_eq!(result.indices, vec![2, 4]);
+}
