@@ -1,0 +1,89 @@
+//! Reference-vs-parallel backend comparison on the two hot batch kernels:
+//! circular-convolution binding and codebook cleanup, across dimensionality
+//! d ∈ {256, 1024, 4096} and batch size ∈ {1, 32, 256}.
+//!
+//! Run with `cargo bench --bench backends`. The headline acceptance number for the
+//! batched execution engine is the cleanup speedup at d = 1024, batch = 256.
+
+use cogsys_vsa::batch::{BackendKind, HvMatrix, VsaBackend};
+use cogsys_vsa::codebook::BindingOp;
+use cogsys_vsa::{Codebook, Hypervector};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+
+const DIMS: [usize; 3] = [256, 1024, 4096];
+const BATCHES: [usize; 3] = [1, 32, 256];
+const CODEBOOK_ROWS: usize = 64;
+
+fn backends() -> Vec<Arc<dyn VsaBackend>> {
+    BackendKind::ALL.iter().map(|k| k.create()).collect()
+}
+
+fn random_matrix(rows: usize, dim: usize, seed: u64) -> HvMatrix {
+    let mut rng = cogsys_vsa::rng(seed);
+    let hvs: Vec<Hypervector> = (0..rows)
+        .map(|_| Hypervector::random_bipolar(dim, &mut rng))
+        .collect();
+    HvMatrix::from_rows(&hvs).expect("rows share a dimension")
+}
+
+fn bench_bind(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bind_circular");
+    group.sample_size(10);
+    for dim in DIMS {
+        for batch in BATCHES {
+            let a = random_matrix(batch, dim, 1);
+            let b = random_matrix(batch, dim, 2);
+            for backend in backends() {
+                let mut out = HvMatrix::zeros(batch, dim);
+                group.bench_with_input(
+                    BenchmarkId::new(backend.name(), format!("d{dim}_b{batch}")),
+                    &dim,
+                    |bench, _| {
+                        bench.iter(|| {
+                            backend
+                                .bind_batch_into(
+                                    black_box(&a),
+                                    black_box(&b),
+                                    BindingOp::CircularConvolution,
+                                    &mut out,
+                                )
+                                .expect("shapes match")
+                        })
+                    },
+                );
+            }
+        }
+    }
+    group.finish();
+}
+
+fn bench_cleanup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("codebook_cleanup");
+    group.sample_size(10);
+    for dim in DIMS {
+        let mut rng = cogsys_vsa::rng(3);
+        let codebook = Codebook::random("bench", CODEBOOK_ROWS, dim, &mut rng);
+        for batch in BATCHES {
+            let queries = random_matrix(batch, dim, 4 + batch as u64);
+            for backend in backends() {
+                group.bench_with_input(
+                    BenchmarkId::new(backend.name(), format!("d{dim}_b{batch}")),
+                    &dim,
+                    |bench, _| {
+                        bench.iter(|| {
+                            codebook
+                                .cleanup_batch(backend.as_ref(), black_box(&queries))
+                                .expect("shapes match")
+                        })
+                    },
+                );
+            }
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_bind, bench_cleanup);
+criterion_main!(benches);

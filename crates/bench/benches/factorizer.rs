@@ -11,7 +11,10 @@ fn bench_factorization(c: &mut Criterion) {
     let mut group = c.benchmark_group("factorization");
     group.sample_size(10);
 
-    for &(sizes, dim) in &[(&[8usize, 8, 8][..], 1024usize), (&[9, 9, 5, 6, 10][..], 1024)] {
+    for &(sizes, dim) in &[
+        (&[8usize, 8, 8][..], 1024usize),
+        (&[9, 9, 5, 6, 10][..], 1024),
+    ] {
         let label = format!("{}f_d{}", sizes.len(), dim);
         let mut rng = cogsys_vsa::rng(3);
         let set = CodebookSet::random(sizes, dim, BindingOp::Hadamard, &mut rng);

@@ -20,7 +20,9 @@ fn bench_circular_convolution(c: &mut Criterion) {
         });
         if d <= 1024 {
             group.bench_with_input(BenchmarkId::new("naive", d), &d, |bench, _| {
-                bench.iter(|| ops::circular_convolve_naive(black_box(a.values()), black_box(b.values())))
+                bench.iter(|| {
+                    ops::circular_convolve_naive(black_box(a.values()), black_box(b.values()))
+                })
             });
         }
         if d <= 256 {

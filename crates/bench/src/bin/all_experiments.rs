@@ -13,7 +13,10 @@ fn main() {
     println!("{}", cogsys::experiments::fig12_st_mapping());
     println!("{}", cogsys::experiments::tab05_pe_choice());
     println!("{}", cogsys::experiments::fig13_adsch());
-    println!("{}", cogsys::experiments::tab07_factorization_accuracy(3, 7));
+    println!(
+        "{}",
+        cogsys::experiments::tab07_factorization_accuracy(3, 7)
+    );
     println!("{}", cogsys::experiments::tab08_reasoning_accuracy(6, 7));
     println!("{}", cogsys::experiments::tab09_precision());
     println!("{}", cogsys::experiments::fig15_runtime());
@@ -24,4 +27,8 @@ fn main() {
     println!("{}", cogsys::experiments::fig18_accelerators());
     println!("{}", cogsys::experiments::fig19_ablation());
     println!("{}", cogsys::experiments::tab10_codesign());
+    println!(
+        "{}",
+        cogsys::experiments::backend_throughput(&[256, 1024], &[1, 32, 256], 7)
+    );
 }

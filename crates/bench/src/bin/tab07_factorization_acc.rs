@@ -1,4 +1,7 @@
 //! Regenerates Tab. VII (factorization accuracy) of the CogSys paper. Run with `cargo run --release --bin tab07_factorization_acc`.
 fn main() {
-    println!("{}", cogsys::experiments::tab07_factorization_accuracy(4, 7));
+    println!(
+        "{}",
+        cogsys::experiments::tab07_factorization_accuracy(4, 7)
+    );
 }

@@ -14,8 +14,9 @@ use cogsys_sim::{
     dataflow, AcceleratorConfig, ComputeArray, DeviceKind, DeviceModel, EnergyModel, Kernel,
     KernelClass, Roofline,
 };
+use cogsys_vsa::batch::{BackendKind, HvMatrix};
 use cogsys_vsa::codebook::{BindingOp, CodebookSet};
-use cogsys_vsa::Precision;
+use cogsys_vsa::{Codebook, Hypervector, Precision};
 use cogsys_workloads::{NeurosymbolicSolver, SolverConfig, TaskSize, WorkloadKind, WorkloadSpec};
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -77,6 +78,82 @@ impl fmt::Display for ExperimentTable {
         }
         Ok(())
     }
+}
+
+/// Backend throughput comparison: wall-clock speedup of the parallel batched backend
+/// over the reference backend on the two hot kernels — circular-convolution binding
+/// and codebook cleanup — across dimensionalities and batch sizes.
+///
+/// This is the software analogue of the paper's array-level batching argument: the
+/// same operations, re-shaped from one-vector-at-a-time calls into matrix batches,
+/// with the speedup coming purely from the execution engine.
+pub fn backend_throughput(dims: &[usize], batches: &[usize], seed: u64) -> ExperimentTable {
+    use std::time::Instant;
+
+    let mut table = ExperimentTable::new(
+        "Backend throughput: parallel-vs-reference wall-clock speedup",
+        &["bind speedup", "cleanup speedup"],
+    );
+    let codebook_rows = 64;
+    let reference = BackendKind::Reference.create();
+    let parallel = BackendKind::Parallel.create();
+
+    let mut rng = cogsys_vsa::rng(seed);
+    for &dim in dims {
+        let codebook = Codebook::random("bench", codebook_rows, dim, &mut rng);
+        for &batch in batches {
+            let rows: Vec<Hypervector> = (0..batch)
+                .map(|_| Hypervector::random_bipolar(dim, &mut rng))
+                .collect();
+            let others: Vec<Hypervector> = (0..batch)
+                .map(|_| Hypervector::random_bipolar(dim, &mut rng))
+                .collect();
+            let a = HvMatrix::from_rows(&rows).expect("rows share a dimension");
+            let b = HvMatrix::from_rows(&others).expect("rows share a dimension");
+
+            let time = |f: &mut dyn FnMut()| {
+                // One warm-up round, then the best (minimum) of three timed rounds.
+                f();
+                (0..3)
+                    .map(|_| {
+                        let t = Instant::now();
+                        f();
+                        t.elapsed().as_secs_f64()
+                    })
+                    .fold(f64::INFINITY, f64::min)
+            };
+
+            let bind_ref = time(&mut || {
+                let _ = reference
+                    .bind_batch(&a, &b, BindingOp::CircularConvolution)
+                    .expect("shapes match");
+            });
+            let bind_par = time(&mut || {
+                let _ = parallel
+                    .bind_batch(&a, &b, BindingOp::CircularConvolution)
+                    .expect("shapes match");
+            });
+            let cleanup_ref = time(&mut || {
+                let _ = codebook
+                    .cleanup_batch(reference.as_ref(), &a)
+                    .expect("shapes match");
+            });
+            let cleanup_par = time(&mut || {
+                let _ = codebook
+                    .cleanup_batch(parallel.as_ref(), &a)
+                    .expect("shapes match");
+            });
+
+            table.push(
+                format!("d={dim} batch={batch}"),
+                vec![
+                    bind_ref / bind_par.max(1e-12),
+                    cleanup_ref / cleanup_par.max(1e-12),
+                ],
+            );
+        }
+    }
+    table
 }
 
 /// Fig. 4: end-to-end runtime breakdown, per-device latency, task-size scaling and
@@ -203,10 +280,7 @@ pub fn fig06_symbolic_ops() -> ExperimentTable {
             .map(|k| rtx.kernel_seconds(k, Precision::Fp32))
             .sum();
         let total = circ_s + other_s;
-        table.push(
-            attr,
-            vec![100.0 * circ_s / total, 100.0 * other_s / total],
-        );
+        table.push(attr, vec![100.0 * circ_s / total, 100.0 * other_s / total]);
     }
     table
 }
@@ -653,7 +727,11 @@ pub fn fig18_accelerators() -> ExperimentTable {
         ComputeArray::new(AcceleratorConfig::mtia_like()).expect("valid config"),
         ComputeArray::new(AcceleratorConfig::gemmini_like()).expect("valid config"),
     ];
-    for kind in [WorkloadKind::Nvsa, WorkloadKind::Lvrf, WorkloadKind::Mimonet] {
+    for kind in [
+        WorkloadKind::Nvsa,
+        WorkloadKind::Lvrf,
+        WorkloadKind::Mimonet,
+    ] {
         let spec = WorkloadSpec::new(kind);
         let cost = |array: &ComputeArray, kernels: &[Kernel]| -> f64 {
             kernels
@@ -669,7 +747,11 @@ pub fn fig18_accelerators() -> ExperimentTable {
         let neural = spec.neural_kernels();
         let symbolic = spec.symbolic_kernels();
         let all = spec.task_kernels();
-        let cog = (cost(&cogsys, &neural), cost(&cogsys, &symbolic), cost(&cogsys, &all));
+        let cog = (
+            cost(&cogsys, &neural),
+            cost(&cogsys, &symbolic),
+            cost(&cogsys, &all),
+        );
         let mut row = Vec::new();
         for stage in 0..3 {
             for baseline in &baselines {
@@ -712,7 +794,11 @@ pub fn fig19_ablation() -> ExperimentTable {
 pub fn tab10_codesign() -> ExperimentTable {
     let mut table = ExperimentTable::new(
         "Tab. X: co-design ablation (normalized runtime %, NVSA @ Xavier NX = 100%)",
-        &["NVSA @ NX", "CogSys algo @ NX", "CogSys algo @ CogSys accel"],
+        &[
+            "NVSA @ NX",
+            "CogSys algo @ NX",
+            "CogSys algo @ CogSys accel",
+        ],
     );
     let system = CogSysSystem::default();
     let spec = system.workload_spec();
@@ -818,10 +904,7 @@ mod tests {
     fn tab02_has_four_kernel_rows() {
         let table = tab02_kernel_stats();
         assert_eq!(table.rows.len(), 4);
-        assert_eq!(
-            table.value("sgemm_nn (neural)", "compute %"),
-            Some(95.1)
-        );
+        assert_eq!(table.value("sgemm_nn (neural)", "compute %"), Some(95.1));
     }
 
     #[test]
@@ -849,16 +932,23 @@ mod tests {
         }
         let st = fig12_st_mapping();
         assert_eq!(st.value("NVSA d=1024 k=210", "temporal chosen"), Some(1.0));
-        assert_eq!(st.value("single conv d=16384", "temporal chosen"), Some(0.0));
+        assert_eq!(
+            st.value("single conv d=16384", "temporal chosen"),
+            Some(0.0)
+        );
     }
 
     #[test]
     fn tab05_and_fig13_show_scheduling_benefit() {
         let pe = tab05_pe_choice();
-        let het_latency = pe.value("Heterogeneous 8+8 cells", "relative latency").unwrap();
+        let het_latency = pe
+            .value("Heterogeneous 8+8 cells", "relative latency")
+            .unwrap();
         assert!(het_latency > 1.0);
         let adsch = fig13_adsch();
-        let interleaved = adsch.value("adSCH (interleaved)", "makespan (Mcycles)").unwrap();
+        let interleaved = adsch
+            .value("adSCH (interleaved)", "makespan (Mcycles)")
+            .unwrap();
         let sequential = adsch.value("sequential", "makespan (Mcycles)").unwrap();
         assert!(interleaved < sequential);
     }
@@ -934,7 +1024,10 @@ mod tests {
         let codesign = tab10_codesign();
         for (label, values) in &codesign.rows {
             assert!(values[1] < 100.0, "{label}: algorithm-only should help");
-            assert!(values[2] < 10.0, "{label}: co-design should be <10% of baseline");
+            assert!(
+                values[2] < 10.0,
+                "{label}: co-design should be <10% of baseline"
+            );
         }
     }
 }

@@ -3,8 +3,10 @@
 use cogsys_datasets::{DatasetKind, ProblemGenerator};
 use cogsys_scheduler::{AdSchConfig, AdSchScheduler, Schedule, Scheduler, SequentialScheduler};
 use cogsys_sim::{AcceleratorConfig, ComputeArray, DeviceKind, DeviceModel, EnergyModel, SimError};
-use cogsys_vsa::Precision;
-use cogsys_workloads::{NeurosymbolicSolver, SolverConfig, SolverReport, TaskSize, WorkloadKind, WorkloadSpec};
+use cogsys_vsa::{BackendKind, Precision};
+use cogsys_workloads::{
+    NeurosymbolicSolver, SolverConfig, SolverReport, TaskSize, WorkloadKind, WorkloadSpec,
+};
 use serde::{Deserialize, Serialize};
 
 /// Hardware-ablation variants used by Fig. 19 and Tab. X.
@@ -84,6 +86,18 @@ impl CogSysConfig {
         self.solver = self.solver.with_precision(precision);
         self
     }
+
+    /// Selects the batched VSA execution backend for the functional pipeline
+    /// (encoding, factorization, answer scoring), end to end.
+    pub fn with_backend(mut self, backend: BackendKind) -> Self {
+        self.solver = self.solver.with_backend(backend);
+        self
+    }
+
+    /// The configured execution backend.
+    pub fn backend(&self) -> BackendKind {
+        self.solver.backend
+    }
 }
 
 /// Result of an end-to-end reasoning run.
@@ -137,7 +151,9 @@ impl CogSysSystem {
     /// generated graphs cannot occur).
     pub fn schedule_batch(&self, use_adsch: bool) -> Result<Schedule, SimError> {
         let array = self.compute_array()?;
-        let graph = self.workload_spec().operation_graph(self.config.batch_tasks);
+        let graph = self
+            .workload_spec()
+            .operation_graph(self.config.batch_tasks);
         let schedule = if use_adsch {
             AdSchScheduler::new(self.config.scheduler).schedule(&array, &graph)
         } else {
@@ -152,8 +168,10 @@ impl CogSysSystem {
     /// Returns [`SimError`] for invalid accelerator configurations.
     pub fn seconds_per_task(&self) -> Result<f64, SimError> {
         let schedule = self.schedule_batch(true)?;
-        Ok(schedule.makespan_seconds(self.config.accelerator.frequency_ghz)
-            / self.config.batch_tasks.max(1) as f64)
+        Ok(
+            schedule.makespan_seconds(self.config.accelerator.frequency_ghz)
+                / self.config.batch_tasks.max(1) as f64,
+        )
     }
 
     /// Latency of one reasoning task of the configured workload on a baseline device,
@@ -186,15 +204,12 @@ impl CogSysSystem {
         let mut rng = cogsys_vsa::rng(seed);
         let solver = NeurosymbolicSolver::new(self.config.solver.clone(), &mut rng);
         let batch = ProblemGenerator::new(dataset).generate_batch(problems, &mut rng);
-        let report = solver
-            .solve_batch(&batch, &mut rng)
-            .unwrap_or_default();
+        let report = solver.solve_batch(&batch, &mut rng).unwrap_or_default();
 
         // Performance.
         let schedule = self.schedule_batch(true)?;
-        let seconds =
-            schedule.makespan_seconds(self.config.accelerator.frequency_ghz)
-                / self.config.batch_tasks.max(1) as f64;
+        let seconds = schedule.makespan_seconds(self.config.accelerator.frequency_ghz)
+            / self.config.batch_tasks.max(1) as f64;
         let energy_model = EnergyModel::new(self.config.accelerator.clone());
         let utilization = schedule.array_utilization();
         let joules = energy_model.energy_joules(schedule.makespan_cycles, utilization)
@@ -323,5 +338,17 @@ mod tests {
         assert_eq!(config.solver.precision, Precision::Fp8);
         let system = CogSysSystem::new(config);
         assert!(system.seconds_per_task().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn backend_selection_threads_through_to_the_solver() {
+        let config = CogSysConfig::default().with_backend(BackendKind::Reference);
+        assert_eq!(config.backend(), BackendKind::Reference);
+        assert_eq!(config.solver.backend, BackendKind::Reference);
+        assert_eq!(config.solver.factorizer.backend, BackendKind::Reference);
+        // An end-to-end run on the reference backend still works.
+        let system = CogSysSystem::new(config);
+        let outcome = system.run_reasoning(DatasetKind::Raven, 1, 9).unwrap();
+        assert_eq!(outcome.report.problems, 1);
     }
 }

@@ -174,7 +174,10 @@ mod tests {
         assert_eq!(p.distance(&q), 1);
         assert_eq!(p.distance(&p), 0);
         // with_value wraps out-of-range inputs.
-        assert_eq!(p.with_value(Attribute::Type, 12).value(Attribute::Type), 12 % 5);
+        assert_eq!(
+            p.with_value(Attribute::Type, 12).value(Attribute::Type),
+            12 % 5
+        );
         assert!(p.to_string().contains("color=5"));
     }
 
@@ -192,7 +195,11 @@ mod tests {
         // With p=1 every attribute is resampled; it may coincide by chance but over many
         // attributes at least one should change.
         let q = p.perturbed(1.0, &mut rng);
-        assert!(q.values().iter().zip(ATTRIBUTE_CARDINALITIES).all(|(v, c)| *v < c));
+        assert!(q
+            .values()
+            .iter()
+            .zip(ATTRIBUTE_CARDINALITIES)
+            .all(|(v, c)| *v < c));
     }
 
     proptest! {

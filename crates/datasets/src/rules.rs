@@ -78,7 +78,7 @@ impl Rule {
     /// Samples a random rule of the given kind for an attribute.
     pub fn random<R: Rng + ?Sized>(attribute: Attribute, kind: RuleKind, rng: &mut R) -> Self {
         let parameter = match kind {
-            RuleKind::Progression => 1 + rng.gen_range(0..2), // step 1 or 2
+            RuleKind::Progression => 1 + rng.gen_range(0..2usize), // step 1 or 2
             RuleKind::DistributeThree => rng.gen_range(0..attribute.cardinality()),
             _ => 0,
         };
@@ -334,7 +334,7 @@ mod tests {
         let (a, b, c) = rule.complete_row(0, 0);
         let mut values = [a, b, c];
         values.sort_unstable();
-        assert_eq!(values, [2 % 5, 3 % 5, 4 % 5]);
+        assert_eq!(values, [2, 3, 4]);
         assert!(rule.satisfied(4, 2, 3));
         assert!(!rule.satisfied(4, 2, 2));
         // Different rotations for different v0.

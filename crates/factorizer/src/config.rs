@@ -1,6 +1,6 @@
 //! Factorizer configuration.
 
-use cogsys_vsa::Precision;
+use cogsys_vsa::{BackendKind, Precision};
 use serde::{Deserialize, Serialize};
 
 /// Stochasticity-injection settings (paper Sec. IV-B).
@@ -65,6 +65,12 @@ pub struct FactorizerConfig {
     /// Number of consecutive identical estimate sets after which a limit cycle is
     /// declared (only reachable when stochasticity is disabled).
     pub limit_cycle_window: usize,
+    /// Which batched execution backend runs the three factorization steps.
+    ///
+    /// The backends agree within a 1e-4 cosine tolerance (binding/bundling are
+    /// bitwise identical); [`BackendKind::Parallel`] adds row parallelism, cached FFT
+    /// plans, vectorised similarity kernels and allocation-free inner loops.
+    pub backend: BackendKind,
 }
 
 impl FactorizerConfig {
@@ -91,6 +97,12 @@ impl FactorizerConfig {
     /// Returns a copy with the iteration budget replaced.
     pub fn with_max_iterations(mut self, max_iterations: usize) -> Self {
         self.max_iterations = max_iterations;
+        self
+    }
+
+    /// Returns a copy with the execution backend replaced.
+    pub fn with_backend(mut self, backend: BackendKind) -> Self {
+        self.backend = backend;
         self
     }
 
@@ -123,6 +135,7 @@ impl Default for FactorizerConfig {
             stochasticity: StochasticityConfig::default(),
             precision: Precision::Fp32,
             limit_cycle_window: 4,
+            backend: BackendKind::default(),
         }
     }
 }
@@ -139,16 +152,20 @@ mod tests {
 
     #[test]
     fn invalid_configs_are_rejected() {
-        let mut c = FactorizerConfig::default();
-        c.max_iterations = 0;
+        let c = FactorizerConfig {
+            max_iterations: 0,
+            ..FactorizerConfig::default()
+        };
+        assert!(c.validate().is_err());
+
+        let c = FactorizerConfig {
+            convergence_threshold: 1.5,
+            ..FactorizerConfig::default()
+        };
         assert!(c.validate().is_err());
 
         let mut c = FactorizerConfig::default();
-        c.convergence_threshold = 1.5;
-        assert!(c.validate().is_err());
-
-        let mut c = FactorizerConfig::default();
-        c.stochasticity.decay = 0.0;
+        c.stochasticity.decay = 0.0; // nested field: no initializer shorthand
         assert!(c.validate().is_err());
     }
 
@@ -165,8 +182,10 @@ mod tests {
     fn builder_style_setters() {
         let c = FactorizerConfig::default()
             .with_precision(Precision::Int8)
-            .with_max_iterations(17);
+            .with_max_iterations(17)
+            .with_backend(BackendKind::Reference);
         assert_eq!(c.precision, Precision::Int8);
         assert_eq!(c.max_iterations, 17);
+        assert_eq!(c.backend, BackendKind::Reference);
     }
 }

@@ -210,8 +210,16 @@ mod tests {
         let mut r = rng(40);
         let set = CodebookSet::random(&[9, 9, 7, 10, 10], 1024, BindingOp::Hadamard, &mut r);
         let cost = FactorizationCost::estimate(&set, Precision::Fp32, 15.0);
-        assert!(cost.memory_reduction() > 50.0, "{}", cost.memory_reduction());
-        assert!(cost.compute_reduction() > 5.0, "{}", cost.compute_reduction());
+        assert!(
+            cost.memory_reduction() > 50.0,
+            "{}",
+            cost.memory_reduction()
+        );
+        assert!(
+            cost.compute_reduction() > 5.0,
+            "{}",
+            cost.compute_reduction()
+        );
         assert_eq!(cost.assumed_iterations, 15.0);
         // Factored codebook: (9+9+7+10+10) * 1024 * 4 bytes.
         assert_eq!(cost.factored_codebook_bytes, 45 * 1024 * 4);
@@ -265,16 +273,14 @@ mod tests {
     fn accuracy_evaluation_on_clean_queries_is_high() {
         let mut r = rng(42);
         let set = CodebookSet::random(&[8, 8, 8], 1024, BindingOp::Hadamard, &mut r);
-        let report = AccuracyReport::evaluate(
-            "unit",
-            &set,
-            &FactorizerConfig::default(),
-            20,
-            0.0,
-            &mut r,
-        )
-        .unwrap();
-        assert!(report.accuracy_percent() >= 95.0, "{}", report.accuracy_percent());
+        let report =
+            AccuracyReport::evaluate("unit", &set, &FactorizerConfig::default(), 20, 0.0, &mut r)
+                .unwrap();
+        assert!(
+            report.accuracy_percent() >= 95.0,
+            "{}",
+            report.accuracy_percent()
+        );
         assert_eq!(report.stats.queries, 20);
         assert_eq!(report.scenario, "unit");
     }
@@ -283,15 +289,9 @@ mod tests {
     fn accuracy_degrades_gracefully_with_noise() {
         let mut r = rng(43);
         let set = CodebookSet::random(&[6, 6], 512, BindingOp::Hadamard, &mut r);
-        let clean = AccuracyReport::evaluate(
-            "clean",
-            &set,
-            &FactorizerConfig::default(),
-            15,
-            0.0,
-            &mut r,
-        )
-        .unwrap();
+        let clean =
+            AccuracyReport::evaluate("clean", &set, &FactorizerConfig::default(), 15, 0.0, &mut r)
+                .unwrap();
         let very_noisy = AccuracyReport::evaluate(
             "noisy",
             &set,

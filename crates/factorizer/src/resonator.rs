@@ -1,11 +1,22 @@
-//! The iterative resonator factorization loop.
+//! The iterative resonator factorization loop, executed as batch kernels.
+//!
+//! The three factorization steps (unbind → similarity search → projection, Fig. 8) are
+//! phrased over [`HvMatrix`] batches and dispatched through a [`VsaBackend`], so one
+//! `Factorizer` can decode a single query or a whole panel batch with the same code
+//! path. Every query in a batch carries its own derived noise stream, which makes
+//! [`Factorizer::factorize_batch`] return *exactly* the results of calling
+//! [`Factorizer::factorize`] per query — batching is a pure performance transform.
 
 use crate::config::FactorizerConfig;
+use cogsys_vsa::batch::{HvMatrix, VsaBackend};
 use cogsys_vsa::codebook::CodebookSet;
-use cogsys_vsa::quant::fake_quantize;
+use cogsys_vsa::quant::fake_quantize_slice;
 use cogsys_vsa::{ops, Hypervector, VsaError};
-use rand::Rng;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rand_distr::{Distribution, Normal};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Outcome of one factorization run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -33,10 +44,12 @@ impl FactorizationResult {
 /// The CogSys iterative factorizer.
 ///
 /// Construct once with a [`FactorizerConfig`] and reuse across queries; the struct holds
-/// no per-query state.
+/// no per-query state. The configured [`cogsys_vsa::BackendKind`] decides how the batch
+/// kernels execute.
 #[derive(Debug, Clone)]
 pub struct Factorizer {
     config: FactorizerConfig,
+    backend: Arc<dyn VsaBackend>,
 }
 
 impl Default for Factorizer {
@@ -45,17 +58,59 @@ impl Default for Factorizer {
     }
 }
 
+/// Adds i.i.d. Gaussian noise in place; numerically identical to
+/// [`ops::add_gaussian_noise`] on the same generator state.
+fn add_noise_slice(values: &mut [f32], sigma: f32, rng: &mut StdRng) {
+    let normal = Normal::new(0.0_f32, sigma).expect("sigma is positive and finite");
+    for v in values {
+        *v += normal.sample(rng);
+    }
+}
+
+/// Cosine similarity of two rows, matching [`ops::try_cosine_similarity`] numerics.
+fn cosine_rows(a: &[f32], b: &[f32]) -> f32 {
+    let dot: f32 = a.iter().zip(b).map(|(x, y)| x * y).sum();
+    let norm = |v: &[f32]| v.iter().map(|x| x * x).sum::<f32>().sqrt();
+    let denom = norm(a) * norm(b);
+    if denom == 0.0 {
+        return 0.0;
+    }
+    dot / denom
+}
+
+/// Per-query mutable state of the batched iteration.
+struct QueryState {
+    active: bool,
+    sim_sigma: f32,
+    proj_sigma: f32,
+    decoded: Vec<usize>,
+    best_indices: Vec<usize>,
+    best_similarity: f32,
+    history: Vec<Vec<usize>>,
+    result: Option<FactorizationResult>,
+}
+
 impl Factorizer {
-    /// Creates a factorizer with the given configuration.
+    /// Creates a factorizer with the given configuration, instantiating the backend the
+    /// configuration names.
     ///
     /// # Panics
     /// Panics if the configuration fails [`FactorizerConfig::validate`]; configurations
     /// are programmer-supplied constants, so an invalid one is a bug at the call site.
     pub fn new(config: FactorizerConfig) -> Self {
+        let backend = config.backend.create();
+        Self::with_backend(config, backend)
+    }
+
+    /// Creates a factorizer running on an explicit (possibly shared) backend instance.
+    ///
+    /// # Panics
+    /// Panics if the configuration fails [`FactorizerConfig::validate`].
+    pub fn with_backend(config: FactorizerConfig, backend: Arc<dyn VsaBackend>) -> Self {
         if let Err(msg) = config.validate() {
             panic!("invalid factorizer configuration: {msg}");
         }
-        Self { config }
+        Self { config, backend }
     }
 
     /// Returns the configuration this factorizer runs with.
@@ -63,11 +118,20 @@ impl Factorizer {
         &self.config
     }
 
+    /// The execution backend the batch kernels run on.
+    pub fn backend(&self) -> &Arc<dyn VsaBackend> {
+        &self.backend
+    }
+
     /// Factorizes `query` against the codebooks in `set`.
     ///
     /// The initial estimate for each factor is the (unnormalised) superposition of all
     /// its codevectors, following the resonator-network convention: the search starts
     /// from "every candidate in superposition" and sharpens each factor in parallel.
+    ///
+    /// One value is drawn from `rng` to seed the query's private noise stream, so a
+    /// sequence of `factorize` calls consumes `rng` exactly like one
+    /// [`Factorizer::factorize_batch`] call over the same queries.
     ///
     /// # Errors
     /// Propagates [`VsaError`] for dimension mismatches between the query and the
@@ -78,114 +142,266 @@ impl Factorizer {
         query: &Hypervector,
         rng: &mut R,
     ) -> Result<FactorizationResult, VsaError> {
+        let queries = HvMatrix::from_hypervector(query);
+        let mut streams = [StdRng::seed_from_u64(rng.next_u64())];
+        let mut results = self.factorize_matrix(set, &queries, &mut streams)?;
+        Ok(results.pop().expect("one query row yields one result"))
+    }
+
+    /// Factorizes a batch of queries in one pass over the batch kernels.
+    ///
+    /// Returns one [`FactorizationResult`] per query, in order, identical to what
+    /// per-query [`Factorizer::factorize`] calls with the same `rng` would produce.
+    ///
+    /// # Errors
+    /// Propagates [`VsaError`] for dimension mismatches.
+    pub fn factorize_batch<R: Rng + ?Sized>(
+        &self,
+        set: &CodebookSet,
+        queries: &[Hypervector],
+        rng: &mut R,
+    ) -> Result<Vec<FactorizationResult>, VsaError> {
+        let matrix = HvMatrix::from_rows(queries)?;
+        let mut streams: Vec<StdRng> = queries
+            .iter()
+            .map(|_| StdRng::seed_from_u64(rng.next_u64()))
+            .collect();
+        self.factorize_matrix(set, &matrix, &mut streams)
+    }
+
+    /// The batched resonator engine: factorizes every row of `queries`, driving noise
+    /// for row `q` from `streams[q]`.
+    ///
+    /// This is the lowest-level entry point; [`Factorizer::factorize`] and
+    /// [`Factorizer::factorize_batch`] are thin wrappers around it.
+    ///
+    /// # Errors
+    /// Returns [`VsaError::DimensionMismatch`] when `queries.dim()` differs from the
+    /// codebook dimension or `streams.len() != queries.rows()`.
+    // The row loops index three parallel structures (states, streams, matrix rows) by
+    // the same q; iterator-zip rewrites would fight the borrow checker for no clarity.
+    #[allow(clippy::needless_range_loop)]
+    pub fn factorize_matrix(
+        &self,
+        set: &CodebookSet,
+        queries: &HvMatrix,
+        streams: &mut [StdRng],
+    ) -> Result<Vec<FactorizationResult>, VsaError> {
+        let n = queries.rows();
         let num_factors = set.num_factors();
         let dim = set.dim();
-        if query.dim() != dim {
+        if queries.dim() != dim && n > 0 {
             return Err(VsaError::DimensionMismatch {
                 left: dim,
-                right: query.dim(),
+                right: queries.dim(),
             });
         }
+        if streams.len() != n {
+            return Err(VsaError::DimensionMismatch {
+                left: n,
+                right: streams.len(),
+            });
+        }
+        if n == 0 {
+            return Ok(Vec::new());
+        }
+        let backend = self.backend.as_ref();
+        let precision = self.config.precision;
 
-        let query = fake_quantize(query, self.config.precision);
+        // Quantized queries (the factorization runs at the configured precision).
+        let mut query_q = queries.clone();
+        for q in 0..n {
+            fake_quantize_slice(query_q.row_mut(q), precision);
+        }
 
         // Initial estimates: bundle of every codevector in each factor, snapped to
-        // bipolar so the Hadamard unbinding stays well-conditioned.
-        let mut estimates: Vec<Hypervector> = (0..num_factors)
+        // bipolar so the Hadamard unbinding stays well-conditioned. The start point is
+        // query-independent, hence one broadcast row per factor.
+        let mut estimates: Vec<HvMatrix> = (0..num_factors)
             .map(|f| {
                 let cb = set.factor(f).expect("factor index in range");
-                ops::majority_bundle(cb.iter()).expect("codebooks are non-empty")
+                let init = ops::majority_bundle(cb.iter()).expect("codebooks are non-empty");
+                HvMatrix::broadcast(&init, n)
             })
             .collect();
 
         let noise_scale = (dim as f32).sqrt();
-        let mut sim_sigma = self.config.stochasticity.similarity_sigma * noise_scale;
-        let mut proj_sigma = self.config.stochasticity.projection_sigma * noise_scale;
+        let mut states: Vec<QueryState> = (0..n)
+            .map(|_| QueryState {
+                active: true,
+                sim_sigma: self.config.stochasticity.similarity_sigma * noise_scale,
+                proj_sigma: self.config.stochasticity.projection_sigma * noise_scale,
+                decoded: vec![0usize; num_factors],
+                best_indices: vec![0usize; num_factors],
+                best_similarity: f32::NEG_INFINITY,
+                history: Vec::new(),
+                result: None,
+            })
+            .collect();
+        let mut active_count = n;
 
-        let mut history: Vec<Vec<usize>> = Vec::new();
-        let mut best_indices = vec![0usize; num_factors];
-        let mut best_similarity = f32::NEG_INFINITY;
-        let mut limit_cycle = false;
+        // Reused batch scratch — the iteration allocates nothing once these warm up.
+        let mut unbound = HvMatrix::default();
+        let mut scratch = HvMatrix::default();
+        let mut sims = HvMatrix::default();
+        let mut projected = HvMatrix::default();
+        let mut rebound = HvMatrix::zeros(n, dim);
 
+        let deterministic = !self.config.stochasticity.is_enabled();
+
+        // Converged rows stay in the batch (their kernel lanes compute discarded
+        // values) rather than being compacted out: in the dominant pipeline workload
+        // no row reaches the convergence threshold early — superposed scene blocks cap
+        // the rebind cosine below it — so gather/scatter compaction would add
+        // complexity without touching the hot path. Revisit if single-block workloads
+        // with early convergence become throughput-critical.
         for iteration in 1..=self.config.max_iterations {
-            let mut decoded = Vec::with_capacity(num_factors);
+            if active_count == 0 {
+                break;
+            }
 
             for f in 0..num_factors {
-                let cb = set.factor(f)?;
+                let cb_matrix = set.factor(f)?.matrix();
 
                 // Step 1: unbind the contribution of every other factor's estimate.
                 // Estimates are updated in place (Gauss–Seidel style), so later factors
                 // in the same sweep already see the refreshed earlier factors — this is
                 // the "interactive" factorization the paper describes and converges in
                 // fewer iterations than a fully synchronous update.
-                let unbound = set.unbind_all_but(&query, &estimates, f)?;
-                let unbound = fake_quantize(&unbound, self.config.precision);
-
-                // Step 2: similarity search against the factor codebook (a GEMV).
-                let mut similarities = cb.similarities(&unbound)?;
-                if sim_sigma > 0.0 {
-                    let noise = Hypervector::from_values(similarities.clone());
-                    similarities =
-                        ops::add_gaussian_noise(&noise, sim_sigma, rng).into_values();
+                set.unbind_all_but_batch(
+                    backend,
+                    &query_q,
+                    &estimates,
+                    f,
+                    &mut unbound,
+                    &mut scratch,
+                )?;
+                for q in 0..n {
+                    if states[q].active {
+                        fake_quantize_slice(unbound.row_mut(q), precision);
+                    }
                 }
-                decoded.push(ops::argmax(&similarities).unwrap_or(0));
+
+                // Step 2: similarity search against the factor codebook (one GEMM for
+                // the whole batch).
+                backend.similarity_matrix_into(cb_matrix, &unbound, &mut sims)?;
+                for q in 0..n {
+                    if !states[q].active {
+                        continue;
+                    }
+                    if states[q].sim_sigma > 0.0 {
+                        add_noise_slice(sims.row_mut(q), states[q].sim_sigma, &mut streams[q]);
+                    }
+                    states[q].decoded[f] = ops::argmax(sims.row(q)).unwrap_or(0);
+                }
 
                 // Step 3: project back into the codevector space and binarise.
-                let mut projected = ops::weighted_superposition(cb.as_slice(), &similarities)?;
-                if proj_sigma > 0.0 {
-                    projected = ops::add_gaussian_noise(&projected, proj_sigma, rng);
-                }
-                let projected = fake_quantize(&projected, self.config.precision);
-                estimates[f] = projected.sign();
-            }
-
-            // Convergence check: re-bind the decoded codevectors and compare to the query.
-            let rebound = set.bind_indices(&decoded)?;
-            let similarity = ops::try_cosine_similarity(&rebound, &query)?;
-            if similarity > best_similarity {
-                best_similarity = similarity;
-                best_indices = decoded.clone();
-            }
-
-            if similarity >= self.config.convergence_threshold {
-                return Ok(FactorizationResult {
-                    indices: decoded,
-                    similarity,
-                    iterations: iteration,
-                    converged: true,
-                    limit_cycle: false,
-                });
-            }
-
-            // Limit-cycle detection: the same decoded tuple recurring within the window
-            // without reaching the threshold (deterministic dynamics only).
-            if !self.config.stochasticity.is_enabled() {
-                if history
-                    .iter()
-                    .rev()
-                    .take(self.config.limit_cycle_window)
-                    .any(|h| h == &decoded)
-                {
-                    limit_cycle = true;
-                    break;
-                }
-                history.push(decoded);
-                if history.len() > self.config.limit_cycle_window * 4 {
-                    history.remove(0);
+                backend.project_batch_into(cb_matrix, &sims, &mut projected)?;
+                for q in 0..n {
+                    if !states[q].active {
+                        continue;
+                    }
+                    if states[q].proj_sigma > 0.0 {
+                        add_noise_slice(
+                            projected.row_mut(q),
+                            states[q].proj_sigma,
+                            &mut streams[q],
+                        );
+                    }
+                    fake_quantize_slice(projected.row_mut(q), precision);
+                    for (slot, &v) in estimates[f].row_mut(q).iter_mut().zip(projected.row(q)) {
+                        *slot = if v < 0.0 { -1.0 } else { 1.0 };
+                    }
                 }
             }
 
-            sim_sigma *= self.config.stochasticity.decay;
-            proj_sigma *= self.config.stochasticity.decay;
+            // Convergence check: re-bind the decoded codevectors and compare to the
+            // query, batched across rows (scratch ping-pong, no allocation).
+            scratch.ensure_shape(n, dim);
+            for q in 0..n {
+                let row_indices = &states[q].decoded;
+                rebound
+                    .row_mut(q)
+                    .copy_from_slice(set.factor(0)?.matrix().row(row_indices[0]));
+            }
+            for f in 1..num_factors {
+                for q in 0..n {
+                    scratch
+                        .row_mut(q)
+                        .copy_from_slice(set.factor(f)?.matrix().row(states[q].decoded[f]));
+                }
+                backend.bind_batch_into(&rebound, &scratch, set.binding(), &mut unbound)?;
+                std::mem::swap(&mut rebound, &mut unbound);
+            }
+
+            for q in 0..n {
+                let state = &mut states[q];
+                if !state.active {
+                    continue;
+                }
+                let similarity = cosine_rows(rebound.row(q), query_q.row(q));
+                if similarity > state.best_similarity {
+                    state.best_similarity = similarity;
+                    state.best_indices.clone_from(&state.decoded);
+                }
+
+                if similarity >= self.config.convergence_threshold {
+                    state.result = Some(FactorizationResult {
+                        indices: state.decoded.clone(),
+                        similarity,
+                        iterations: iteration,
+                        converged: true,
+                        limit_cycle: false,
+                    });
+                    state.active = false;
+                    active_count -= 1;
+                    continue;
+                }
+
+                // Limit-cycle detection: the same decoded tuple recurring within the
+                // window without reaching the threshold (deterministic dynamics only).
+                if deterministic {
+                    if state
+                        .history
+                        .iter()
+                        .rev()
+                        .take(self.config.limit_cycle_window)
+                        .any(|h| h == &state.decoded)
+                    {
+                        state.result = Some(FactorizationResult {
+                            indices: state.best_indices.clone(),
+                            similarity: state.best_similarity,
+                            iterations: self.config.max_iterations,
+                            converged: false,
+                            limit_cycle: true,
+                        });
+                        state.active = false;
+                        active_count -= 1;
+                        continue;
+                    }
+                    state.history.push(state.decoded.clone());
+                    if state.history.len() > self.config.limit_cycle_window * 4 {
+                        state.history.remove(0);
+                    }
+                }
+
+                state.sim_sigma *= self.config.stochasticity.decay;
+                state.proj_sigma *= self.config.stochasticity.decay;
+            }
         }
 
-        Ok(FactorizationResult {
-            indices: best_indices,
-            similarity: best_similarity,
-            iterations: self.config.max_iterations,
-            converged: false,
-            limit_cycle,
-        })
+        Ok(states
+            .into_iter()
+            .map(|state| {
+                state.result.unwrap_or(FactorizationResult {
+                    indices: state.best_indices,
+                    similarity: state.best_similarity,
+                    iterations: self.config.max_iterations,
+                    converged: false,
+                    limit_cycle: false,
+                })
+            })
+            .collect())
     }
 }
 
@@ -194,7 +410,7 @@ mod tests {
     use super::*;
     use crate::config::StochasticityConfig;
     use cogsys_vsa::codebook::BindingOp;
-    use cogsys_vsa::{rng, CodebookSet, Precision};
+    use cogsys_vsa::{rng, BackendKind, CodebookSet, Precision};
     use proptest::prelude::*;
 
     fn standard_set(seed: u64, sizes: &[usize], dim: usize) -> (CodebookSet, rand::rngs::StdRng) {
@@ -283,7 +499,9 @@ mod tests {
             stochasticity: StochasticityConfig::disabled(),
             ..FactorizerConfig::default()
         };
-        let result = Factorizer::new(config).factorize(&set, &query, &mut r).unwrap();
+        let result = Factorizer::new(config)
+            .factorize(&set, &query, &mut r)
+            .unwrap();
         if !result.converged {
             assert!(
                 result.limit_cycle || result.iterations == 500,
@@ -319,7 +537,9 @@ mod tests {
             convergence_threshold: 0.3,
             ..FactorizerConfig::default()
         };
-        let result = Factorizer::new(config).factorize(&set, &query, &mut r).unwrap();
+        let result = Factorizer::new(config)
+            .factorize(&set, &query, &mut r)
+            .unwrap();
         assert_eq!(result.indices, vec![4, 2]);
     }
 
@@ -339,9 +559,66 @@ mod tests {
     #[test]
     #[should_panic(expected = "invalid factorizer configuration")]
     fn invalid_config_panics_at_construction() {
-        let mut c = FactorizerConfig::default();
-        c.max_iterations = 0;
+        let c = FactorizerConfig {
+            max_iterations: 0,
+            ..FactorizerConfig::default()
+        };
         let _ = Factorizer::new(c);
+    }
+
+    #[test]
+    fn factorize_batch_equals_per_query_factorize() {
+        // The satellite regression: batching must be a pure performance transform.
+        // Stochasticity stays ON — per-query noise streams make the paths identical.
+        let (set, mut r) = standard_set(400, &[8, 8, 8], 512);
+        let tuples = [[0usize, 1, 2], [7, 6, 5], [3, 3, 3], [2, 0, 7], [5, 4, 1]];
+        let queries: Vec<Hypervector> = tuples
+            .iter()
+            .map(|t| {
+                let clean = set.bind_indices(t).unwrap();
+                ops::flip_noise(&clean, 0.05, &mut r)
+            })
+            .collect();
+        let factorizer = Factorizer::default();
+
+        let mut rng_batch = rng(777);
+        let batch = factorizer
+            .factorize_batch(&set, &queries, &mut rng_batch)
+            .unwrap();
+
+        let mut rng_single = rng(777);
+        for (q, query) in queries.iter().enumerate() {
+            let single = factorizer.factorize(&set, query, &mut rng_single).unwrap();
+            assert_eq!(batch[q], single, "query {q}");
+        }
+    }
+
+    #[test]
+    fn reference_and_parallel_backends_decode_identically() {
+        let (set, mut r) = standard_set(401, &[8, 8], 512);
+        let query = ops::flip_noise(&set.bind_indices(&[2, 6]).unwrap(), 0.05, &mut r);
+        let reference =
+            Factorizer::new(FactorizerConfig::default().with_backend(BackendKind::Reference));
+        let parallel =
+            Factorizer::new(FactorizerConfig::default().with_backend(BackendKind::Parallel));
+        let mut r1 = rng(55);
+        let mut r2 = rng(55);
+        let a = reference.factorize(&set, &query, &mut r1).unwrap();
+        let b = parallel.factorize(&set, &query, &mut r2).unwrap();
+        // Decoded indices must agree; the similarity score may differ within the
+        // backends' 1e-4 cosine contract (lane-split similarity accumulation).
+        assert_eq!(a.indices, b.indices);
+        assert_eq!(a.converged, b.converged);
+        assert!((a.similarity - b.similarity).abs() < 1e-4);
+    }
+
+    #[test]
+    fn batch_of_empty_queries_is_empty() {
+        let (set, mut r) = standard_set(402, &[4, 4], 128);
+        let results = Factorizer::default()
+            .factorize_batch(&set, &[], &mut r)
+            .unwrap();
+        assert!(results.is_empty());
     }
 
     proptest! {

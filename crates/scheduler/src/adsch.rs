@@ -108,9 +108,9 @@ impl Scheduler for AdSchScheduler {
     fn schedule(&self, array: &ComputeArray, graph: &OpGraph) -> Result<Schedule, ScheduleError> {
         graph.validate()?;
         let total_cells = array.config().geometry.cells;
-        let has_symbolic_array_work = graph.iter().any(|n| {
-            n.class() == KernelClass::Symbolic && n.kernel.uses_compute_array()
-        });
+        let has_symbolic_array_work = graph
+            .iter()
+            .any(|n| n.class() == KernelClass::Symbolic && n.kernel.uses_compute_array());
 
         let mut cell_free = vec![0u64; total_cells];
         let mut simd_free = 0u64;
@@ -196,8 +196,7 @@ impl Scheduler for AdSchScheduler {
                 let better = match &best {
                     None => true,
                     Some((bs, bt, _, _, bc)) => {
-                        (start, tie, std::cmp::Reverse(cycles))
-                            < (*bs, *bt, std::cmp::Reverse(*bc))
+                        (start, tie, std::cmp::Reverse(cycles)) < (*bs, *bt, std::cmp::Reverse(*bc))
                     }
                 };
                 if better {
@@ -300,7 +299,14 @@ mod tests {
                 },
                 &[conv2],
             );
-            let unbind = g.add_op(t, Kernel::CircConv { dim: 1024, count: 210 }, &[fc]);
+            let unbind = g.add_op(
+                t,
+                Kernel::CircConv {
+                    dim: 1024,
+                    count: 210,
+                },
+                &[fc],
+            );
             let sim = g.add_op(
                 t,
                 Kernel::Similarity {

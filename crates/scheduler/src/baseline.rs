@@ -81,7 +81,14 @@ mod tests {
                 },
                 &[],
             );
-            let sym = g.add_op(t, Kernel::CircConv { dim: 1024, count: 64 }, &[conv]);
+            let sym = g.add_op(
+                t,
+                Kernel::CircConv {
+                    dim: 1024,
+                    count: 64,
+                },
+                &[conv],
+            );
             g.add_op(
                 t,
                 Kernel::ElementWise {
@@ -121,7 +128,9 @@ mod tests {
 
     #[test]
     fn empty_graph_produces_empty_schedule() {
-        let s = SequentialScheduler.schedule(&array(), &OpGraph::new()).unwrap();
+        let s = SequentialScheduler
+            .schedule(&array(), &OpGraph::new())
+            .unwrap();
         assert!(s.entries.is_empty());
         assert_eq!(s.makespan_cycles, 0);
     }

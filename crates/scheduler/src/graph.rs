@@ -136,10 +136,7 @@ impl OpGraph {
         for node in &self.nodes {
             for &dep in &node.deps {
                 if dep >= node.id {
-                    return Err(ScheduleError::InvalidDependency {
-                        op: node.id,
-                        dep,
-                    });
+                    return Err(ScheduleError::InvalidDependency { op: node.id, dep });
                 }
             }
         }
@@ -168,12 +165,7 @@ impl OpGraph {
         let mut finish = vec![0u64; self.nodes.len()];
         let mut best = 0u64;
         for node in &self.nodes {
-            let ready = node
-                .deps
-                .iter()
-                .map(|&d| finish[d])
-                .max()
-                .unwrap_or(0);
+            let ready = node.deps.iter().map(|&d| finish[d]).max().unwrap_or(0);
             finish[node.id] = ready + cost(node);
             best = best.max(finish[node.id]);
         }

@@ -165,10 +165,7 @@ impl Schedule {
         simd.sort_unstable();
         for pair in simd.windows(2) {
             if pair[1].0 < pair[0].1 {
-                return Some(format!(
-                    "SIMD ops {} and {} overlap",
-                    pair[0].2, pair[1].2
-                ));
+                return Some(format!("SIMD ops {} and {} overlap", pair[0].2, pair[1].2));
             }
         }
         None
@@ -196,7 +193,13 @@ mod tests {
         g
     }
 
-    fn entry(op: OpId, start: u64, end: u64, cells: Vec<usize>, class: KernelClass) -> ScheduleEntry {
+    fn entry(
+        op: OpId,
+        start: u64,
+        end: u64,
+        cells: Vec<usize>,
+        class: KernelClass,
+    ) -> ScheduleEntry {
         ScheduleEntry {
             op,
             task: 0,
@@ -303,8 +306,22 @@ mod tests {
     #[test]
     fn simd_overlap_is_a_violation() {
         let mut g = OpGraph::new();
-        g.add_op(0, Kernel::ElementWise { elements: 8, op: "relu".into() }, &[]);
-        g.add_op(1, Kernel::ElementWise { elements: 8, op: "relu".into() }, &[]);
+        g.add_op(
+            0,
+            Kernel::ElementWise {
+                elements: 8,
+                op: "relu".into(),
+            },
+            &[],
+        );
+        g.add_op(
+            1,
+            Kernel::ElementWise {
+                elements: 8,
+                op: "relu".into(),
+            },
+            &[],
+        );
         let mk = |op: OpId, start: u64, end: u64| ScheduleEntry {
             op,
             task: op,

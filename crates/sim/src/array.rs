@@ -135,7 +135,9 @@ impl ComputeArray {
             Kernel::Similarity { rows, dim, count } => self.gemm_cost(*count, *rows, *dim, cells),
             Kernel::CircConv { dim, count } => self.circconv_cost(*dim, *count, cells, bytes_elem),
             Kernel::ElementWise { elements, op } => {
-                let cost = self.simd.execute(SimdOp::from_name(op), *elements, bytes_elem);
+                let cost = self
+                    .simd
+                    .execute(SimdOp::from_name(op), *elements, bytes_elem);
                 (
                     cost.cycles,
                     cost.dram_bytes,
@@ -178,18 +180,14 @@ impl ComputeArray {
         let dram = kernel.min_bytes(self.config.precision);
 
         // Scale-up: one large array.
-        let (up_r, up_c) = ArrayPartition::ScaleUp.logical_dims(cells, geometry.rows, geometry.cols);
+        let (up_r, up_c) =
+            ArrayPartition::ScaleUp.logical_dims(cells, geometry.rows, geometry.cols);
         let up_cycles = dataflow::systolic_gemm_cycles(m, n, k, up_r, up_c);
         let up_active = up_r.min(k) * up_c.min(n);
 
         // Scale-out: cells split the output columns (systolic-cell-wise parallelism).
-        let out_cycles = dataflow::systolic_gemm_cycles(
-            m,
-            n.div_ceil(cells),
-            k,
-            geometry.rows,
-            geometry.cols,
-        );
+        let out_cycles =
+            dataflow::systolic_gemm_cycles(m, n.div_ceil(cells), k, geometry.rows, geometry.cols);
         let out_active = cells * geometry.rows.min(k) * geometry.cols.min(n.div_ceil(cells));
 
         let scale_out_allowed = self.config.scale_out_enabled && cells > 1;
@@ -212,8 +210,7 @@ impl ComputeArray {
 
         if !self.config.reconfigurable_pe {
             // Baseline behaviour: lower to GEMV on the scale-up array.
-            let (r, c) =
-                ArrayPartition::ScaleUp.logical_dims(cells, geometry.rows, geometry.cols);
+            let (r, c) = ArrayPartition::ScaleUp.logical_dims(cells, geometry.rows, geometry.cols);
             let cycles = dataflow::tpu_gemv_circconv_cycles(dim, r, c, count);
             let dram = dataflow::gemv_circconv_bytes(dim, bytes_elem) * count as u64;
             // A GEMV keeps only one row of the array busy per cycle on average.
@@ -288,10 +285,7 @@ mod tests {
 
     #[test]
     fn partition_dims() {
-        assert_eq!(
-            ArrayPartition::ScaleUp.logical_dims(16, 32, 32),
-            (128, 128)
-        );
+        assert_eq!(ArrayPartition::ScaleUp.logical_dims(16, 32, 32), (128, 128));
         assert_eq!(ArrayPartition::ScaleUp.logical_dims(3, 32, 32), (96, 32));
         assert_eq!(ArrayPartition::ScaleOut.logical_dims(16, 32, 32), (32, 32));
     }
@@ -323,7 +317,11 @@ mod tests {
             )
             .unwrap();
         assert_eq!(record.partition, ArrayPartition::ScaleOut);
-        assert!(record.utilization > 0.5, "utilization {}", record.utilization);
+        assert!(
+            record.utilization > 0.5,
+            "utilization {}",
+            record.utilization
+        );
     }
 
     #[test]
@@ -348,11 +346,23 @@ mod tests {
         // Sec. V-E: scale-up for NVSA/LVRF (d=1024), scale-out for MIMONet (d=64).
         let array = cogsys_array();
         let low = array
-            .execute(&Kernel::CircConv { dim: 64, count: 512 }, 16)
+            .execute(
+                &Kernel::CircConv {
+                    dim: 64,
+                    count: 512,
+                },
+                16,
+            )
             .unwrap();
         assert_eq!(low.partition, ArrayPartition::ScaleOut);
         let high = array
-            .execute(&Kernel::CircConv { dim: 8192, count: 4 }, 16)
+            .execute(
+                &Kernel::CircConv {
+                    dim: 8192,
+                    count: 4,
+                },
+                16,
+            )
             .unwrap();
         assert_eq!(high.partition, ArrayPartition::ScaleUp);
     }
@@ -378,8 +388,15 @@ mod tests {
     fn sequential_execution_sums_costs() {
         let array = cogsys_array();
         let kernels = vec![
-            Kernel::Gemm { m: 64, n: 64, k: 64 },
-            Kernel::CircConv { dim: 1024, count: 8 },
+            Kernel::Gemm {
+                m: 64,
+                n: 64,
+                k: 64,
+            },
+            Kernel::CircConv {
+                dim: 1024,
+                count: 8,
+            },
             Kernel::ElementWise {
                 elements: 1024,
                 op: "relu".into(),
@@ -387,10 +404,7 @@ mod tests {
         ];
         let (total, records) = execute_sequentially(&array, &kernels).unwrap();
         assert_eq!(records.len(), 3);
-        assert_eq!(
-            total.cycles,
-            records.iter().map(|r| r.cycles).sum::<u64>()
-        );
+        assert_eq!(total.cycles, records.iter().map(|r| r.cycles).sum::<u64>());
         assert_eq!(
             total.dram_bytes,
             records.iter().map(|r| r.dram_bytes).sum::<u64>()
@@ -412,10 +426,13 @@ mod tests {
 
     #[test]
     fn int8_precision_reduces_dram_traffic() {
-        let fp32 = ComputeArray::new(AcceleratorConfig::cogsys().with_precision(Precision::Fp32))
-            .unwrap();
+        let fp32 =
+            ComputeArray::new(AcceleratorConfig::cogsys().with_precision(Precision::Fp32)).unwrap();
         let int8 = cogsys_array();
-        let kernel = Kernel::CircConv { dim: 2048, count: 16 };
+        let kernel = Kernel::CircConv {
+            dim: 2048,
+            count: 16,
+        };
         let a = fp32.execute(&kernel, 16).unwrap();
         let b = int8.execute(&kernel, 16).unwrap();
         assert_eq!(a.dram_bytes, 4 * b.dram_bytes);
@@ -427,7 +444,13 @@ mod tests {
         config.scale_out_enabled = false;
         let array = ComputeArray::new(config).unwrap();
         let record = array
-            .execute(&Kernel::CircConv { dim: 64, count: 512 }, 16)
+            .execute(
+                &Kernel::CircConv {
+                    dim: 64,
+                    count: 512,
+                },
+                16,
+            )
             .unwrap();
         assert_eq!(record.partition, ArrayPartition::ScaleUp);
     }

@@ -178,10 +178,7 @@ mod tests {
         // d < M: 3M + d - 1.
         assert_eq!(bubble_streaming_cycles(64, 512), 3 * 512 + 64 - 1);
         // d > M: folded.
-        assert_eq!(
-            bubble_streaming_cycles(2048, 512),
-            4 * (3 * 512 + 512 - 1)
-        );
+        assert_eq!(bubble_streaming_cycles(2048, 512), 4 * (3 * 512 + 512 - 1));
         assert_eq!(bubble_streaming_cycles(0, 32), 0);
     }
 
@@ -209,7 +206,7 @@ mod tests {
         // Fig. 12: spatial = k * ceil(d/(N*M)) * T, temporal = ceil(k/N) * ceil(d/M) * T.
         let (d, k, m, n) = (1024, 210, 512, 32);
         let t = 3 * m as u64 + m as u64 - 1;
-        assert_eq!(spatial_mapping_cycles(d, k, m, n), k as u64 * 1 * t);
+        assert_eq!(spatial_mapping_cycles(d, k, m, n), (k as u64) * t);
         assert_eq!(
             temporal_mapping_cycles(d, k, m, n),
             (k as u64).div_ceil(n as u64) * 2 * t
@@ -247,7 +244,10 @@ mod tests {
         let m = 512;
         let n = 32;
         let ratio = temporal_mapping_reads(d, m, n) as f64 / spatial_mapping_reads(d) as f64;
-        assert!((ratio - n as f64 / 2.0).abs() / (n as f64 / 2.0) < 0.05, "ratio {ratio}");
+        assert!(
+            (ratio - n as f64 / 2.0).abs() / (n as f64 / 2.0) < 0.05,
+            "ratio {ratio}"
+        );
     }
 
     #[test]

@@ -353,7 +353,10 @@ mod tests {
             n: 2048,
             k: 2048,
         };
-        let circ = Kernel::CircConv { dim: 1024, count: 1 };
+        let circ = Kernel::CircConv {
+            dim: 1024,
+            count: 1,
+        };
         let gemm_s = gpu.kernel_seconds(&gemm, Precision::Fp32);
         // Achieved GFLOP/s on the large GEMM should be close to peak * efficiency.
         let achieved = gemm.flops() as f64 / gemm_s / 1e9;
@@ -362,7 +365,10 @@ mod tests {
         // tiny fraction of peak.
         let circ_s = gpu.kernel_seconds(&circ, Precision::Fp32);
         let circ_achieved = circ.flops() as f64 / circ_s / 1e9;
-        assert!(circ_achieved < 0.05 * gpu.peak_gflops, "achieved {circ_achieved}");
+        assert!(
+            circ_achieved < 0.05 * gpu.peak_gflops,
+            "achieved {circ_achieved}"
+        );
     }
 
     #[test]
@@ -378,9 +384,8 @@ mod tests {
             count: 200,
         };
         let kernels = [gemm, circ];
-        let time = |kind: DeviceKind| {
-            DeviceModel::new(kind).sequence_seconds(&kernels, Precision::Fp32)
-        };
+        let time =
+            |kind: DeviceKind| DeviceModel::new(kind).sequence_seconds(&kernels, Precision::Fp32);
         let tx2 = time(DeviceKind::JetsonTx2);
         let nx = time(DeviceKind::XavierNx);
         let xeon = time(DeviceKind::XeonCpu);

@@ -220,7 +220,10 @@ mod tests {
         let area_saving = fp32.area().array_mm2 / int8.area().array_mm2;
         let power_saving = fp32.power().array_w / int8.power().array_w;
         assert!((area_saving - 7.6).abs() < 0.2, "area saving {area_saving}");
-        assert!((power_saving - 4.05).abs() < 0.1, "power saving {power_saving}");
+        assert!(
+            (power_saving - 4.05).abs() < 0.1,
+            "power saving {power_saving}"
+        );
         // FP8 sits between the two.
         assert!(fp8.area().array_mm2 < fp32.area().array_mm2);
         assert!(fp8.area().array_mm2 > int8.area().array_mm2);

@@ -107,7 +107,9 @@ impl Kernel {
         let b = precision.bytes_per_element() as u64;
         match self {
             Kernel::Gemm { m, n, k } => {
-                b * ((*m as u64) * (*k as u64) + (*k as u64) * (*n as u64) + (*m as u64) * (*n as u64))
+                b * ((*m as u64) * (*k as u64)
+                    + (*k as u64) * (*n as u64)
+                    + (*m as u64) * (*n as u64))
             }
             Kernel::Conv2d {
                 output_pixels,
@@ -207,17 +209,17 @@ mod tests {
     fn gemm_flops_and_bytes() {
         let k = Kernel::Gemm { m: 4, n: 8, k: 16 };
         assert_eq!(k.flops(), 2 * 4 * 8 * 16);
-        assert_eq!(
-            k.min_bytes(Precision::Fp32),
-            4 * (4 * 16 + 16 * 8 + 4 * 8)
-        );
+        assert_eq!(k.min_bytes(Precision::Fp32), 4 * (4 * 16 + 16 * 8 + 4 * 8));
         assert_eq!(k.class(), KernelClass::Neural);
         assert!(k.uses_compute_array());
     }
 
     #[test]
     fn circconv_flops_quadratic_in_dim() {
-        let k = Kernel::CircConv { dim: 1024, count: 3 };
+        let k = Kernel::CircConv {
+            dim: 1024,
+            count: 3,
+        };
         assert_eq!(k.flops(), 2 * 1024 * 1024 * 3);
         assert_eq!(k.min_bytes(Precision::Int8), 3 * 1024 * 3);
         assert_eq!(k.class(), KernelClass::Symbolic);
@@ -231,7 +233,10 @@ mod tests {
             elements: 1 << 20,
             op: "mult".into(),
         };
-        let cc = Kernel::CircConv { dim: 1024, count: 1 };
+        let cc = Kernel::CircConv {
+            dim: 1024,
+            count: 1,
+        };
         let gemm = Kernel::Gemm {
             m: 512,
             n: 512,

@@ -188,7 +188,9 @@ impl MemorySystem {
     /// DRAM stall cycles for a kernel that moves `dram_bytes` while computing for
     /// `compute_cycles` (double buffering overlaps the two).
     pub fn dram_stall_cycles(&self, dram_bytes: u64, compute_cycles: u64) -> u64 {
-        self.dram.transfer_cycles(dram_bytes).saturating_sub(compute_cycles)
+        self.dram
+            .transfer_cycles(dram_bytes)
+            .saturating_sub(compute_cycles)
     }
 }
 
@@ -205,7 +207,10 @@ mod tests {
         s.allocate(512).unwrap();
         assert_eq!(s.resident_bytes(), 1024);
         let err = s.allocate(1).unwrap_err();
-        assert!(matches!(err, SimError::CapacityExceeded { available: 0, .. }));
+        assert!(matches!(
+            err,
+            SimError::CapacityExceeded { available: 0, .. }
+        ));
         s.reset();
         assert_eq!(s.resident_bytes(), 0);
         assert_eq!(s.name(), "SRAM A");

@@ -246,10 +246,7 @@ impl PeColumn {
 
         // Account for the stationary-load phase the caller performed separately plus the
         // streaming cycles just simulated.
-        let output: Vec<f32> = outputs
-            .into_iter()
-            .map(|o| o.unwrap_or(0.0))
-            .collect();
+        let output: Vec<f32> = outputs.into_iter().map(|o| o.unwrap_or(0.0)).collect();
         Ok(ColumnRun {
             output,
             cycles: cycle,
@@ -361,7 +358,11 @@ mod tests {
             let run = col.circular_convolve(&a, &b).unwrap();
             // Between 2d and 4d+constant: linear, unlike the O(d^2) GEMV lowering.
             assert!(run.cycles >= (2 * d) as u64);
-            assert!(run.cycles <= (4 * d + 8) as u64, "d={d}, cycles={}", run.cycles);
+            assert!(
+                run.cycles <= (4 * d + 8) as u64,
+                "d={d}, cycles={}",
+                run.cycles
+            );
         }
     }
 
@@ -393,9 +394,7 @@ mod tests {
         let y = Hypervector::random_bipolar(d, &mut rng);
         let mut col = PeColumn::new(d).unwrap();
         let bound = col.circular_convolve(x.values(), y.values()).unwrap();
-        let recovered = col
-            .circular_correlate(x.values(), &bound.output)
-            .unwrap();
+        let recovered = col.circular_correlate(x.values(), &bound.output).unwrap();
         let recovered_hv = Hypervector::from_values(recovered.output);
         let sim = ops::cosine_similarity(&recovered_hv, &y);
         assert!(sim > 0.4, "similarity {sim}");

@@ -113,7 +113,7 @@ mod tests {
     #[test]
     fn execution_time_takes_the_max_of_compute_and_memory() {
         let r = Roofline::new(1000.0, 100.0); // ridge at 10 FLOP/byte
-        // Memory-bound kernel: 1 GFLOP over 1 GB -> limited by bandwidth (10 ms).
+                                              // Memory-bound kernel: 1 GFLOP over 1 GB -> limited by bandwidth (10 ms).
         let t = r.execution_seconds(1_000_000_000, 1_000_000_000);
         assert!((t - 0.01).abs() < 1e-9);
         // Compute-bound kernel: 1000 GFLOP over 1 GB -> limited by compute (1 s).

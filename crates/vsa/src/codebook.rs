@@ -6,6 +6,7 @@
 //! with per-attribute codebooks plus iterative factorization. This module provides both
 //! representations so the memory/latency comparison of Fig. 8 can be reproduced.
 
+use crate::batch::{HvMatrix, ReferenceBackend, VsaBackend};
 use crate::error::VsaError;
 use crate::hypervector::Hypervector;
 use crate::ops;
@@ -40,6 +41,9 @@ pub enum BindingOp {
 pub struct Codebook {
     name: String,
     vectors: Vec<Hypervector>,
+    /// Contiguous row-major copy of `vectors` — the similarity-search operand the
+    /// batched backends consume (one GEMV/GEMM row per codevector).
+    matrix: HvMatrix,
 }
 
 impl Codebook {
@@ -52,18 +56,11 @@ impl Codebook {
         if vectors.is_empty() {
             return Err(VsaError::Empty { what: "codebook" });
         }
-        let dim = vectors[0].dim();
-        for v in &vectors {
-            if v.dim() != dim {
-                return Err(VsaError::DimensionMismatch {
-                    left: dim,
-                    right: v.dim(),
-                });
-            }
-        }
+        let matrix = HvMatrix::from_rows(&vectors)?;
         Ok(Self {
             name: name.into(),
             vectors,
+            matrix,
         })
     }
 
@@ -74,12 +71,14 @@ impl Codebook {
         dim: usize,
         rng: &mut R,
     ) -> Self {
-        let vectors = (0..size)
+        let vectors: Vec<Hypervector> = (0..size)
             .map(|_| Hypervector::random_bipolar(dim, rng))
             .collect();
+        let matrix = HvMatrix::from_rows(&vectors).expect("generated rows share a dimension");
         Self {
             name: name.into(),
             vectors,
+            matrix,
         }
     }
 
@@ -124,12 +123,46 @@ impl Codebook {
         &self.vectors
     }
 
+    /// The codevectors as one contiguous row-major matrix (`len() × dim()`), the
+    /// operand shape the [`VsaBackend`] batch kernels consume.
+    pub fn matrix(&self) -> &HvMatrix {
+        &self.matrix
+    }
+
     /// Similarity of `query` against every codevector (one GEMV on the accelerator).
     ///
     /// # Errors
     /// Returns [`VsaError::DimensionMismatch`] if the query dimension differs.
     pub fn similarities(&self, query: &Hypervector) -> Result<Vec<f32>, VsaError> {
-        ops::matvec_similarity(&self.vectors, query)
+        self.similarities_with(&ReferenceBackend, query)
+    }
+
+    /// [`Codebook::similarities`] through an explicit backend.
+    ///
+    /// # Errors
+    /// Returns [`VsaError::DimensionMismatch`] if the query dimension differs.
+    pub fn similarities_with(
+        &self,
+        backend: &dyn VsaBackend,
+        query: &Hypervector,
+    ) -> Result<Vec<f32>, VsaError> {
+        let queries = HvMatrix::from_hypervector(query);
+        Ok(backend
+            .similarity_matrix(&self.matrix, &queries)?
+            .into_vec())
+    }
+
+    /// Similarities of a whole batch of queries: `out[q][m] = queries[q] · code[m]`
+    /// (a GEMM on the accelerator).
+    ///
+    /// # Errors
+    /// Returns [`VsaError::DimensionMismatch`] if the query dimension differs.
+    pub fn similarities_batch(
+        &self,
+        backend: &dyn VsaBackend,
+        queries: &HvMatrix,
+    ) -> Result<HvMatrix, VsaError> {
+        backend.similarity_matrix(&self.matrix, queries)
     }
 
     /// Cleanup memory: returns the index and cosine similarity of the best-matching
@@ -138,14 +171,33 @@ impl Codebook {
     /// # Errors
     /// Returns [`VsaError::DimensionMismatch`] if the query dimension differs.
     pub fn cleanup(&self, query: &Hypervector) -> Result<(usize, f32), VsaError> {
-        let mut best = (0usize, f32::NEG_INFINITY);
-        for (i, v) in self.vectors.iter().enumerate() {
-            let sim = ops::try_cosine_similarity(v, query)?;
-            if sim > best.1 {
-                best = (i, sim);
-            }
-        }
-        Ok(best)
+        self.cleanup_with(&ReferenceBackend, query)
+    }
+
+    /// [`Codebook::cleanup`] through an explicit backend.
+    ///
+    /// # Errors
+    /// Returns [`VsaError::DimensionMismatch`] if the query dimension differs.
+    pub fn cleanup_with(
+        &self,
+        backend: &dyn VsaBackend,
+        query: &Hypervector,
+    ) -> Result<(usize, f32), VsaError> {
+        let queries = HvMatrix::from_hypervector(query);
+        let mut results = backend.cleanup_batch(&self.matrix, &queries)?;
+        Ok(results.pop().expect("one query row yields one result"))
+    }
+
+    /// Batched cleanup of many queries at once.
+    ///
+    /// # Errors
+    /// Returns [`VsaError::DimensionMismatch`] if the query dimension differs.
+    pub fn cleanup_batch(
+        &self,
+        backend: &dyn VsaBackend,
+        queries: &HvMatrix,
+    ) -> Result<Vec<(usize, f32)>, VsaError> {
+        backend.cleanup_batch(&self.matrix, queries)
     }
 
     /// Memory footprint of the codebook in bytes assuming `bytes_per_element` storage.
@@ -183,7 +235,9 @@ impl CodebookSet {
     /// [`VsaError::DimensionMismatch`] if they disagree in dimension.
     pub fn new(codebooks: Vec<Codebook>, binding: BindingOp) -> Result<Self, VsaError> {
         if codebooks.is_empty() {
-            return Err(VsaError::Empty { what: "codebook set" });
+            return Err(VsaError::Empty {
+                what: "codebook set",
+            });
         }
         let dim = codebooks[0].dim();
         for cb in &codebooks {
@@ -303,6 +357,77 @@ impl CodebookSet {
             };
         }
         Ok(result)
+    }
+
+    /// Batched [`CodebookSet::bind_indices`]: row `q` of the result binds the
+    /// codevectors selected by `tuples[q]` (one index per factor), composed in factor
+    /// order exactly like the scalar path.
+    ///
+    /// # Errors
+    /// Returns [`VsaError::DimensionMismatch`] if any tuple arity differs from
+    /// `num_factors()` and [`VsaError::IndexOutOfRange`] for invalid per-factor
+    /// indices. An empty `tuples` yields an empty matrix.
+    pub fn bind_indices_batch(
+        &self,
+        backend: &dyn VsaBackend,
+        tuples: &[Vec<usize>],
+    ) -> Result<HvMatrix, VsaError> {
+        if tuples.is_empty() {
+            return Ok(HvMatrix::default());
+        }
+        for t in tuples {
+            if t.len() != self.codebooks.len() {
+                return Err(VsaError::DimensionMismatch {
+                    left: self.codebooks.len(),
+                    right: t.len(),
+                });
+            }
+        }
+        let gather_factor = |f: usize| -> Result<HvMatrix, VsaError> {
+            let indices: Vec<usize> = tuples.iter().map(|t| t[f]).collect();
+            self.codebooks[f].matrix().gather(&indices)
+        };
+        let mut product = gather_factor(0)?;
+        let mut scratch = HvMatrix::default();
+        for f in 1..self.codebooks.len() {
+            let operand = gather_factor(f)?;
+            backend.bind_batch_into(&product, &operand, self.binding, &mut scratch)?;
+            std::mem::swap(&mut product, &mut scratch);
+        }
+        Ok(product)
+    }
+
+    /// Batched [`CodebookSet::unbind_all_but`]: row `q` of the result unbinds every
+    /// factor's estimate except `keep` from `queries` row `q`. `estimates[f]` holds the
+    /// current estimate of factor `f` for every query (`queries.rows() × dim()`).
+    ///
+    /// # Errors
+    /// Returns [`VsaError::DimensionMismatch`] on arity or shape mismatches.
+    pub fn unbind_all_but_batch(
+        &self,
+        backend: &dyn VsaBackend,
+        queries: &HvMatrix,
+        estimates: &[HvMatrix],
+        keep: usize,
+        out: &mut HvMatrix,
+        scratch: &mut HvMatrix,
+    ) -> Result<(), VsaError> {
+        if estimates.len() != self.codebooks.len() {
+            return Err(VsaError::DimensionMismatch {
+                left: self.codebooks.len(),
+                right: estimates.len(),
+            });
+        }
+        out.ensure_shape(queries.rows(), queries.dim());
+        out.as_mut_slice().copy_from_slice(queries.as_slice());
+        for (f, est) in estimates.iter().enumerate() {
+            if f == keep {
+                continue;
+            }
+            backend.unbind_batch_into(out, est, self.binding, scratch)?;
+            std::mem::swap(out, scratch);
+        }
+        Ok(())
     }
 
     /// Combined memory footprint of the factored codebooks in bytes.
@@ -555,6 +680,105 @@ mod tests {
         let factored = set.footprint_bytes(4);
         let product = set.product_footprint_bytes(4);
         assert!(product as f64 / factored as f64 > 10.0);
+    }
+
+    #[test]
+    fn matrix_view_mirrors_codevectors() {
+        let mut r = rng(60);
+        let cb = Codebook::random("m", 6, 128, &mut r);
+        assert_eq!(cb.matrix().rows(), 6);
+        assert_eq!(cb.matrix().dim(), 128);
+        for i in 0..cb.len() {
+            assert_eq!(cb.matrix().row(i), cb.vector(i).unwrap().values());
+        }
+    }
+
+    #[test]
+    fn backend_similarities_match_scalar_path() {
+        use crate::batch::BackendKind;
+        let mut r = rng(61);
+        let cb = Codebook::random("s", 10, 256, &mut r);
+        let query = ops::flip_noise(cb.vector(4).unwrap(), 0.2, &mut r);
+        let scalar = cb.similarities(&query).unwrap();
+        let scalar_cleanup = cb.cleanup(&query).unwrap();
+        for kind in BackendKind::ALL {
+            let backend = kind.create();
+            let sims = cb.similarities_with(backend.as_ref(), &query).unwrap();
+            for (x, y) in sims.iter().zip(&scalar) {
+                assert!((x - y).abs() < 1e-3, "{kind}: {x} vs {y}");
+            }
+            let (idx, sim) = cb.cleanup_with(backend.as_ref(), &query).unwrap();
+            assert_eq!(idx, scalar_cleanup.0, "{kind}");
+            assert!((sim - scalar_cleanup.1).abs() < 1e-4, "{kind}");
+        }
+    }
+
+    #[test]
+    fn bind_indices_batch_matches_scalar_bind() {
+        use crate::batch::BackendKind;
+        let mut r = rng(62);
+        for binding in [BindingOp::Hadamard, BindingOp::CircularConvolution] {
+            let set = CodebookSet::random(&[3, 4, 2], 64, binding, &mut r);
+            let tuples = vec![vec![0, 0, 0], vec![2, 3, 1], vec![1, 2, 0]];
+            for kind in BackendKind::ALL {
+                let backend = kind.create();
+                let batch = set.bind_indices_batch(backend.as_ref(), &tuples).unwrap();
+                for (q, t) in tuples.iter().enumerate() {
+                    let scalar = set.bind_indices(t).unwrap();
+                    assert_eq!(batch.row(q), scalar.values(), "{kind} {binding:?} row {q}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unbind_all_but_batch_matches_scalar_unbind() {
+        use crate::batch::{BackendKind, HvMatrix};
+        let mut r = rng(63);
+        let set = CodebookSet::random(&[4, 4, 4], 128, BindingOp::Hadamard, &mut r);
+        let tuples = [[1usize, 2, 3], [0, 0, 0]];
+        let queries = HvMatrix::from_rows(
+            &tuples
+                .iter()
+                .map(|t| set.bind_indices(t).unwrap())
+                .collect::<Vec<_>>(),
+        )
+        .unwrap();
+        // Estimates: the true codevectors per query.
+        let estimates: Vec<HvMatrix> = (0..3)
+            .map(|f| {
+                let indices: Vec<usize> = tuples.iter().map(|t| t[f]).collect();
+                set.factor(f).unwrap().matrix().gather(&indices).unwrap()
+            })
+            .collect();
+        for keep in 0..3 {
+            for kind in BackendKind::ALL {
+                let backend = kind.create();
+                let (mut out, mut scratch) = (HvMatrix::default(), HvMatrix::default());
+                set.unbind_all_but_batch(
+                    backend.as_ref(),
+                    &queries,
+                    &estimates,
+                    keep,
+                    &mut out,
+                    &mut scratch,
+                )
+                .unwrap();
+                for (q, t) in tuples.iter().enumerate() {
+                    let est: Vec<Hypervector> = (0..3)
+                        .map(|f| set.factor(f).unwrap().vector(t[f]).unwrap().clone())
+                        .collect();
+                    let scalar = set
+                        .unbind_all_but(
+                            &queries.row_hypervector(q, crate::VsaKind::Dense).unwrap(),
+                            &est,
+                            keep,
+                        )
+                        .unwrap();
+                    assert_eq!(out.row(q), scalar.values(), "{kind} keep {keep} row {q}");
+                }
+            }
+        }
     }
 
     proptest! {

@@ -331,7 +331,7 @@ impl<'a> Sub for &'a Hypervector {
     }
 }
 
-impl<'a> Mul<f32> for &'a Hypervector {
+impl Mul<f32> for &Hypervector {
     type Output = Hypervector;
 
     /// Scalar multiplication.

@@ -31,10 +31,39 @@
 //! let recovered = ops::circular_correlate(&bound, &a);
 //! assert!(ops::cosine_similarity(&recovered, &b) > 0.5);
 //! ```
+//!
+//! # Batched execution
+//!
+//! The scalar functions above are the ground truth; production paths go through the
+//! [`batch`] module, which phrases the same algebra over contiguous row-major batches
+//! ([`HvMatrix`]) dispatched to a pluggable [`VsaBackend`] — the software analogue of
+//! the paper's array-level batch kernels (Sec. IV–VI):
+//!
+//! ```rust
+//! use cogsys_vsa::{BackendKind, Codebook, HvMatrix, Hypervector, ops};
+//!
+//! let mut rng = cogsys_vsa::rng(7);
+//! let backend = BackendKind::Parallel.create();
+//! let codebook = Codebook::random("color", 16, 256, &mut rng);
+//!
+//! // A batch of noisy queries, one per row.
+//! let queries: Vec<Hypervector> = (0..8)
+//!     .map(|i| ops::flip_noise(codebook.vector(i).unwrap(), 0.2, &mut rng))
+//!     .collect();
+//! let batch = HvMatrix::from_rows(&queries).unwrap();
+//!
+//! // One batched cleanup replaces eight vector-at-a-time searches.
+//! let decoded = codebook.cleanup_batch(backend.as_ref(), &batch).unwrap();
+//! for (i, (index, similarity)) in decoded.iter().enumerate() {
+//!     assert_eq!(*index, i);
+//!     assert!(*similarity > 0.4);
+//! }
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod codebook;
 pub mod error;
 pub mod fft;
@@ -42,6 +71,7 @@ pub mod hypervector;
 pub mod ops;
 pub mod quant;
 
+pub use batch::{BackendKind, HvMatrix, ParallelBackend, ReferenceBackend, VsaBackend};
 pub use codebook::{Codebook, CodebookSet, ProductCodebook};
 pub use error::VsaError;
 pub use hypervector::{Hypervector, VsaKind};

@@ -62,10 +62,12 @@ pub fn circular_convolve_naive(a: &[f32], b: &[f32]) -> Vec<f32> {
     let mut out = vec![0.0f32; d];
     for (n, slot) in out.iter_mut().enumerate() {
         let mut acc = 0.0f32;
-        for k in 0..d {
-            // (n - k) mod d, avoiding negative intermediate values.
-            let idx = (n + d - k % d) % d;
-            acc += a[k] * b[idx];
+        for (k, &a_k) in a.iter().enumerate() {
+            // (n - k) mod d in unsigned arithmetic: adding d keeps the numerator
+            // non-negative, which is valid because k < d and n < d.
+            debug_assert!(k < d && n < d);
+            let idx = (n + d - k) % d;
+            acc += a_k * b[idx];
         }
         *slot = acc;
     }
@@ -246,7 +248,13 @@ pub fn flip_noise<R: Rng + ?Sized>(hv: &Hypervector, p: f64, rng: &mut R) -> Hyp
     let values = hv
         .values()
         .iter()
-        .map(|&v| if rng.gen_bool(p.clamp(0.0, 1.0)) { -v } else { v })
+        .map(|&v| {
+            if rng.gen_bool(p.clamp(0.0, 1.0)) {
+                -v
+            } else {
+                v
+            }
+        })
         .collect();
     Hypervector::with_kind(values, hv.kind())
 }
@@ -259,7 +267,10 @@ pub fn flip_noise<R: Rng + ?Sized>(hv: &Hypervector, p: f64, rng: &mut R) -> Hyp
 ///
 /// # Errors
 /// Returns [`VsaError::DimensionMismatch`] if any row disagrees with the query dimension.
-pub fn matvec_similarity(matrix: &[Hypervector], query: &Hypervector) -> Result<Vec<f32>, VsaError> {
+pub fn matvec_similarity(
+    matrix: &[Hypervector],
+    query: &Hypervector,
+) -> Result<Vec<f32>, VsaError> {
     matrix.iter().map(|row| row.dot(query)).collect()
 }
 
@@ -403,10 +414,7 @@ mod tests {
     #[test]
     fn bundle_of_empty_set_is_error() {
         let empty: Vec<Hypervector> = Vec::new();
-        assert!(matches!(
-            bundle(empty.iter()),
-            Err(VsaError::Empty { .. })
-        ));
+        assert!(matches!(bundle(empty.iter()), Err(VsaError::Empty { .. })));
     }
 
     #[test]

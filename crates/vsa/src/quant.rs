@@ -129,10 +129,7 @@ impl QuantizedVector {
                 float_values: hv.values().iter().copied().map(quantize_fp8_e4m3).collect(),
             },
             Precision::Int8 => {
-                let max_abs = hv
-                    .values()
-                    .iter()
-                    .fold(0.0f32, |acc, v| acc.max(v.abs()));
+                let max_abs = hv.values().iter().fold(0.0f32, |acc, v| acc.max(v.abs()));
                 let scale = if max_abs == 0.0 { 1.0 } else { max_abs / 127.0 };
                 let int_values = hv
                     .values()
@@ -198,7 +195,34 @@ impl QuantizedVector {
 pub fn fake_quantize(hv: &Hypervector, precision: Precision) -> Hypervector {
     match precision {
         Precision::Fp32 => hv.clone(),
-        _ => QuantizedVector::quantize(hv, precision).dequantize(),
+        _ => {
+            let mut hv = hv.clone();
+            fake_quantize_slice(hv.values_mut(), precision);
+            hv
+        }
+    }
+}
+
+/// In-place [`fake_quantize`] over a raw slice (one hypervector / matrix row).
+///
+/// Identical numerics to `fake_quantize` — INT8 uses the per-vector symmetric scale of
+/// the slice — but without allocating, so the batched backends can quantize
+/// [`crate::batch::HvMatrix`] rows in their preallocated storage.
+pub fn fake_quantize_slice(values: &mut [f32], precision: Precision) {
+    match precision {
+        Precision::Fp32 => {}
+        Precision::Fp8 => {
+            for v in values {
+                *v = quantize_fp8_e4m3(*v);
+            }
+        }
+        Precision::Int8 => {
+            let max_abs = values.iter().fold(0.0f32, |acc, v| acc.max(v.abs()));
+            let scale = if max_abs == 0.0 { 1.0 } else { max_abs / 127.0 };
+            for v in values {
+                *v = (*v / scale).round().clamp(-127.0, 127.0) as i8 as f32 * scale;
+            }
+        }
     }
 }
 
@@ -221,6 +245,18 @@ mod tests {
     use super::*;
     use crate::rng;
     use proptest::prelude::*;
+
+    #[test]
+    fn fake_quantize_slice_matches_vector_path() {
+        let mut r = rng(77);
+        let hv = crate::Hypervector::random_real(512, &mut r);
+        for precision in Precision::all() {
+            let reference = fake_quantize(&hv, precision);
+            let mut slice = hv.values().to_vec();
+            fake_quantize_slice(&mut slice, precision);
+            assert_eq!(reference.values(), slice.as_slice(), "{precision}");
+        }
+    }
 
     #[test]
     fn precision_sizes() {
@@ -260,7 +296,11 @@ mod tests {
         let hv = Hypervector::random_real(1024, &mut r);
         let err = quantization_error(&hv, Precision::Int8);
         let max_abs = hv.values().iter().fold(0.0f32, |a, v| a.max(v.abs()));
-        assert!(err <= max_abs / 127.0, "error {err} vs bound {}", max_abs / 127.0);
+        assert!(
+            err <= max_abs / 127.0,
+            "error {err} vs bound {}",
+            max_abs / 127.0
+        );
     }
 
     #[test]

@@ -19,10 +19,14 @@
 
 use cogsys_datasets::{Attribute, DatasetKind, Panel, Problem, RuleKind};
 use cogsys_factorizer::{Factorizer, FactorizerConfig};
+use cogsys_vsa::batch::{BackendKind, HvMatrix, VsaBackend};
 use cogsys_vsa::codebook::{BindingOp, CodebookSet};
-use cogsys_vsa::{ops, Hypervector, Precision, VsaError};
-use rand::Rng;
+use cogsys_vsa::quant::fake_quantize_slice;
+use cogsys_vsa::{ops, Hypervector, Precision, VsaError, VsaKind};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Configuration of the functional reasoner.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -38,6 +42,8 @@ pub struct SolverConfig {
     pub encoding_noise: f64,
     /// Arithmetic precision of the encoding / similarity stages.
     pub precision: Precision,
+    /// Batched execution backend used for encoding, factorization and answer scoring.
+    pub backend: BackendKind,
 }
 
 impl Default for SolverConfig {
@@ -51,6 +57,7 @@ impl Default for SolverConfig {
             perception_noise: 0.0,
             encoding_noise: 0.005,
             precision: Precision::Fp32,
+            backend: BackendKind::default(),
         }
     }
 }
@@ -60,6 +67,14 @@ impl SolverConfig {
     pub fn with_precision(mut self, precision: Precision) -> Self {
         self.precision = precision;
         self.factorizer = self.factorizer.with_precision(precision);
+        self
+    }
+
+    /// Returns a copy running the whole pipeline (encoding, factorization, answer
+    /// scoring) on the given execution backend.
+    pub fn with_backend(mut self, backend: BackendKind) -> Self {
+        self.backend = backend;
+        self.factorizer = self.factorizer.with_backend(backend);
         self
     }
 }
@@ -121,6 +136,7 @@ pub struct NeurosymbolicSolver {
     codebooks: CodebookSet,
     blocks: Vec<(CodebookSet, Vec<usize>)>,
     factorizer: Factorizer,
+    backend: Arc<dyn VsaBackend>,
 }
 
 impl NeurosymbolicSolver {
@@ -149,12 +165,19 @@ impl NeurosymbolicSolver {
                 (set, attrs.to_vec())
             })
             .collect();
-        let factorizer = Factorizer::new(config.factorizer.clone());
+        // One shared backend instance serves both the solver's own batch kernels and
+        // the factorizer (sharing the FFT-plan cache when the backend is parallel).
+        let backend = config.backend.create();
+        let factorizer = Factorizer::with_backend(
+            config.factorizer.clone().with_backend(config.backend),
+            Arc::clone(&backend),
+        );
         Self {
             config,
             codebooks,
             blocks,
             factorizer,
+            backend,
         }
     }
 
@@ -168,20 +191,51 @@ impl NeurosymbolicSolver {
         &self.codebooks
     }
 
+    /// The batched execution backend this solver runs on.
+    pub fn backend(&self) -> &Arc<dyn VsaBackend> {
+        &self.backend
+    }
+
     /// Encodes a panel as a scene hypervector (the neural frontend's output): the
     /// superposition of one bound product vector per attribute block.
     ///
     /// # Errors
     /// Propagates [`VsaError`] from the binding operations.
     pub fn encode_panel(&self, panel: &Panel) -> Result<Hypervector, VsaError> {
-        let values = panel.values();
-        let mut products = Vec::with_capacity(self.blocks.len());
-        for (set, attrs) in &self.blocks {
-            let indices: Vec<usize> = attrs.iter().map(|&i| values[i]).collect();
-            products.push(set.bind_indices(&indices)?);
+        let encoded = self.encode_panels(std::slice::from_ref(panel))?;
+        encoded.row_hypervector(0, VsaKind::Bipolar)
+    }
+
+    /// Batch-encodes a set of panels into one scene hypervector per row (a whole RPM
+    /// context in one pass over the bind/bundle kernels).
+    ///
+    /// # Errors
+    /// Propagates [`VsaError`] from the binding operations.
+    pub fn encode_panels(&self, panels: &[Panel]) -> Result<HvMatrix, VsaError> {
+        let backend = self.backend.as_ref();
+        let mut scene = HvMatrix::default();
+        for (block_index, (set, attrs)) in self.blocks.iter().enumerate() {
+            let tuples: Vec<Vec<usize>> = panels
+                .iter()
+                .map(|p| attrs.iter().map(|&i| p.values()[i]).collect())
+                .collect();
+            let products = set.bind_indices_batch(backend, &tuples)?;
+            if block_index == 0 {
+                scene = products;
+            } else {
+                for (slot, v) in scene.as_mut_slice().iter_mut().zip(products.as_slice()) {
+                    *slot += v;
+                }
+            }
         }
-        let scene = ops::bundle(products.iter())?.sign();
-        Ok(cogsys_vsa::quant::fake_quantize(&scene, self.config.precision))
+        for q in 0..scene.rows() {
+            let row = scene.row_mut(q);
+            for v in row.iter_mut() {
+                *v = if *v < 0.0 { -1.0 } else { 1.0 };
+            }
+            fake_quantize_slice(row, self.config.precision);
+        }
+        Ok(scene)
     }
 
     /// Perceives (optionally mis-reads), encodes, adds interface noise, and factorizes a
@@ -194,45 +248,106 @@ impl NeurosymbolicSolver {
         panel: &Panel,
         rng: &mut R,
     ) -> Result<(Panel, usize), VsaError> {
-        let perceived = if self.config.perception_noise > 0.0 {
-            panel.perturbed(self.config.perception_noise, rng)
-        } else {
-            *panel
-        };
-        let mut encoded = self.encode_panel(&perceived)?;
-        if self.config.encoding_noise > 0.0 {
-            encoded = ops::flip_noise(&encoded, self.config.encoding_noise, rng);
+        let (mut panels, iterations) =
+            self.perceive_and_factorize_batch(std::slice::from_ref(panel), rng)?;
+        Ok((
+            panels.pop().expect("one panel in, one panel out"),
+            iterations,
+        ))
+    }
+
+    /// Batched [`NeurosymbolicSolver::perceive_and_factorize`]: perceives, encodes and
+    /// decodes a whole set of panels through the batch kernels, returning the decoded
+    /// panels and the total factorizer iteration count.
+    ///
+    /// # Errors
+    /// Propagates [`VsaError`] from encoding or factorization.
+    pub fn perceive_and_factorize_batch<R: Rng + ?Sized>(
+        &self,
+        panels: &[Panel],
+        rng: &mut R,
+    ) -> Result<(Vec<Panel>, usize), VsaError> {
+        let n = panels.len();
+        if n == 0 {
+            return Ok((Vec::new(), 0));
         }
-        // Factorize each attribute block with the CogSys iterative factorizer; the other
+
+        // Perception noise (panel order matches the sequential path).
+        let perceived: Vec<Panel> = panels
+            .iter()
+            .map(|p| {
+                if self.config.perception_noise > 0.0 {
+                    p.perturbed(self.config.perception_noise, rng)
+                } else {
+                    *p
+                }
+            })
+            .collect();
+
+        // Neural-frontend encoding plus interface bit-flip noise.
+        let mut encoded = self.encode_panels(&perceived)?;
+        if self.config.encoding_noise > 0.0 {
+            let p = self.config.encoding_noise.clamp(0.0, 1.0);
+            for q in 0..n {
+                for v in encoded.row_mut(q) {
+                    if rng.gen_bool(p) {
+                        *v = -*v;
+                    }
+                }
+            }
+        }
+
+        // Factorize each attribute block for the whole batch at once; the other
         // block's product vector acts as bounded superposition noise.
-        let mut values = [0usize; 5];
+        let backend = self.backend.as_ref();
+        let mut values = vec![[0usize; 5]; n];
         let mut iterations = 0usize;
+        let mut unbound = HvMatrix::default();
+        let mut scratch = HvMatrix::default();
         for (set, attrs) in &self.blocks {
-            let result = self.factorizer.factorize(set, &encoded, rng)?;
-            iterations += result.iterations;
+            let mut streams: Vec<StdRng> = (0..n)
+                .map(|_| StdRng::seed_from_u64(rng.next_u64()))
+                .collect();
+            let results = self
+                .factorizer
+                .factorize_matrix(set, &encoded, &mut streams)?;
+            iterations += results.iter().map(|r| r.iterations).sum::<usize>();
 
             // One coordinate-descent polish sweep from the hard assignment: unbind the
             // other factors' decoded codevectors and clean up against the remaining
             // factor's codebook. This repairs single-attribute decode errors cheaply
-            // using the same unbind→search primitive the factorizer iterates.
-            let mut indices = result.indices.clone();
+            // using the same unbind→search primitive the factorizer iterates — here as
+            // one gather + batched unbind + batched cleanup per factor.
+            let mut indices: Vec<Vec<usize>> = results.into_iter().map(|r| r.indices).collect();
             for f in 0..set.num_factors() {
-                let estimates: Vec<Hypervector> = indices
-                    .iter()
-                    .enumerate()
-                    .map(|(g, &idx)| set.factor(g).and_then(|cb| cb.vector(idx)).cloned())
+                let estimates: Vec<HvMatrix> = (0..set.num_factors())
+                    .map(|g| {
+                        let per_query: Vec<usize> = indices.iter().map(|t| t[g]).collect();
+                        set.factor(g)?.matrix().gather(&per_query)
+                    })
                     .collect::<Result<_, _>>()?;
-                let unbound = set.unbind_all_but(&encoded, &estimates, f)?;
-                let (best, _) = set.factor(f)?.cleanup(&unbound)?;
-                indices[f] = best;
+                set.unbind_all_but_batch(
+                    backend,
+                    &encoded,
+                    &estimates,
+                    f,
+                    &mut unbound,
+                    &mut scratch,
+                )?;
+                let cleaned = set.factor(f)?.cleanup_batch(backend, &unbound)?;
+                for (t, (best, _)) in indices.iter_mut().zip(cleaned) {
+                    t[f] = best;
+                }
             }
 
-            for (&attr_index, &idx) in attrs.iter().zip(&indices) {
-                let attr = Attribute::ALL[attr_index];
-                values[attr_index] = idx.min(attr.cardinality() - 1);
+            for (q, tuple) in indices.iter().enumerate() {
+                for (&attr_index, &idx) in attrs.iter().zip(tuple) {
+                    let attr = Attribute::ALL[attr_index];
+                    values[q][attr_index] = idx.min(attr.cardinality() - 1);
+                }
             }
         }
-        Ok((Panel::new(values), iterations))
+        Ok((values.into_iter().map(Panel::new).collect(), iterations))
     }
 
     /// Abduces the rule governing one attribute from the two complete rows and executes
@@ -251,7 +366,7 @@ impl NeurosymbolicSolver {
         // and 2 are tried separately.
         let mut best: Option<(usize, usize)> = None; // (score, predicted value)
         let mut consider = |score: usize, predicted: usize| {
-            if best.map_or(true, |(s, _)| score > s) {
+            if best.is_none_or(|(s, _)| score > s) {
                 best = Some((score, predicted));
             }
         };
@@ -270,10 +385,7 @@ impl NeurosymbolicSolver {
                     }
                 }
                 RuleKind::Constant => {
-                    let score = rows
-                        .iter()
-                        .filter(|r| r[0] == r[1] && r[1] == r[2])
-                        .count();
+                    let score = rows.iter().filter(|r| r[0] == r[1] && r[1] == r[2]).count();
                     consider(score, last_row.0);
                 }
                 RuleKind::Arithmetic => {
@@ -325,17 +437,16 @@ impl NeurosymbolicSolver {
     ) -> Result<(usize, SolverReport), VsaError> {
         let mut report = SolverReport::default();
 
-        // Perception + factorization of the eight context panels.
-        let mut decoded = Vec::with_capacity(8);
-        for panel in &problem.context {
-            let (estimate, iterations) = self.perceive_and_factorize(panel, rng)?;
-            report.panels_total += 1;
-            report.factorizer_iterations += iterations;
-            if estimate == *panel {
-                report.panels_exact += 1;
-            }
-            decoded.push(estimate);
-        }
+        // Perception + factorization of the eight context panels, as one batch through
+        // the backend's kernels.
+        let (decoded, iterations) = self.perceive_and_factorize_batch(&problem.context, rng)?;
+        report.panels_total += decoded.len();
+        report.factorizer_iterations += iterations;
+        report.panels_exact += decoded
+            .iter()
+            .zip(&problem.context)
+            .filter(|(estimate, panel)| estimate == panel)
+            .count();
 
         // Abduction + execution per attribute.
         let mut predicted_values = [0usize; 5];
@@ -363,12 +474,13 @@ impl NeurosymbolicSolver {
         // of two panels that differ in even one attribute are quasi-orthogonal, so a
         // whole-panel similarity would be all-or-nothing): the candidate agreeing with
         // the prediction on the most attributes wins, with the full-vector similarity
-        // used only to break ties.
+        // (one batched cleanup against the candidate encodings) used to break ties.
         let predicted_hv = self.encode_panel(&predicted)?;
+        let candidates_hv = self.encode_panels(&problem.candidates)?;
         let mut best = (0usize, 0usize, f32::NEG_INFINITY);
         for (i, candidate) in problem.candidates.iter().enumerate() {
             let agreement = Attribute::ALL.len() - predicted.distance(candidate);
-            let hv = self.encode_panel(candidate)?;
+            let hv = candidates_hv.row_hypervector(i, VsaKind::Bipolar)?;
             let sim = ops::try_cosine_similarity(&predicted_hv, &hv)?;
             if agreement > best.1 || (agreement == best.1 && sim > best.2) {
                 best = (i, agreement, sim);
@@ -514,6 +626,63 @@ mod tests {
         let problem = ProblemGenerator::new(DatasetKind::Cvr).generate(&mut r);
         let (choice, _) = s.solve(&problem, &mut r).unwrap();
         assert!(choice < problem.candidates.len());
+    }
+
+    #[test]
+    fn batch_encoding_matches_scalar_encoding() {
+        let (s, _) = solver(8, SolverConfig::default());
+        let panels = [
+            Panel::new([0, 1, 2, 3, 4]),
+            Panel::new([3, 4, 2, 5, 7]),
+            Panel::new([8, 0, 4, 0, 9]),
+        ];
+        let batch = s.encode_panels(&panels).unwrap();
+        assert_eq!(batch.rows(), 3);
+        for (q, panel) in panels.iter().enumerate() {
+            let scalar = s.encode_panel(panel).unwrap();
+            assert_eq!(batch.row(q), scalar.values(), "panel {q}");
+        }
+    }
+
+    #[test]
+    fn batch_factorization_decodes_whole_context() {
+        let (s, mut r) = solver(9, SolverConfig::default());
+        let panels: Vec<Panel> = (0..6).map(|_| Panel::random(&mut r)).collect();
+        let (decoded, iters) = s.perceive_and_factorize_batch(&panels, &mut r).unwrap();
+        assert_eq!(decoded.len(), panels.len());
+        assert!(iters >= panels.len());
+        let exact = decoded.iter().zip(&panels).filter(|(a, b)| a == b).count();
+        assert!(exact >= 5, "only {exact}/6 panels decoded exactly");
+    }
+
+    #[test]
+    fn reference_backend_reaches_same_accuracy() {
+        let config = SolverConfig::default();
+        let (fast, mut r1) = solver(11, config.clone().with_backend(BackendKind::Parallel));
+        let (slow, mut r2) = solver(11, config.with_backend(BackendKind::Reference));
+        let problems = ProblemGenerator::new(DatasetKind::Raven).generate_batch(4, &mut r1);
+        let fast_report = fast.solve_batch(&problems, &mut r1).unwrap();
+        // Re-sync the second rng stream to the same state the first solver consumed.
+        let _ = ProblemGenerator::new(DatasetKind::Raven).generate_batch(4, &mut r2);
+        let slow_report = slow.solve_batch(&problems, &mut r2).unwrap();
+        // The backends agree within the 1e-4 cosine contract, far inside the
+        // resonator's decision margins: identical codebooks and rng streams must give
+        // near-identical reports (allow one problem of divergence) and both must
+        // decode panels reliably.
+        assert_eq!(fast_report.problems, slow_report.problems);
+        assert_eq!(fast_report.panels_total, slow_report.panels_total);
+        assert!(
+            (fast_report.correct as i64 - slow_report.correct as i64).abs() <= 1,
+            "fast {} vs slow {}",
+            fast_report.correct,
+            slow_report.correct
+        );
+        assert!(fast_report.accuracy() >= 0.66, "{}", fast_report.accuracy());
+        assert!(slow_report.accuracy() >= 0.66, "{}", slow_report.accuracy());
+        assert!(fast_report.factorization_accuracy() >= 0.85);
+        assert!(slow_report.factorization_accuracy() >= 0.85);
+        assert_eq!(fast.backend().name(), "parallel");
+        assert_eq!(slow.backend().name(), "reference");
     }
 
     #[test]

@@ -14,7 +14,10 @@ fn main() {
     let spec = WorkloadSpec::new(WorkloadKind::Nvsa);
     let graph = spec.operation_graph(4);
 
-    println!("NVSA batch of 4 reasoning tasks: {} operations\n", graph.len());
+    println!(
+        "NVSA batch of 4 reasoning tasks: {} operations\n",
+        graph.len()
+    );
 
     // Scheduling on the CogSys array: adSCH vs sequential.
     let array = ComputeArray::new(AcceleratorConfig::cogsys()).expect("valid configuration");
@@ -39,7 +42,10 @@ fn main() {
 
     // The headline symbolic kernel on each accelerator.
     println!("\nSymbolic circular convolution (d=1024, k=210) across accelerators:");
-    let kernel = Kernel::CircConv { dim: 1024, count: 210 };
+    let kernel = Kernel::CircConv {
+        dim: 1024,
+        count: 210,
+    };
     for (name, config) in [
         ("CogSys", AcceleratorConfig::cogsys()),
         ("TPU-like", AcceleratorConfig::tpu_like()),

@@ -36,13 +36,18 @@ fn main() {
         .factorize(&set, &query, &mut rng)
         .expect("query matches the codebook dimension");
     println!("\nCogSys factorizer:");
-    println!("  decoded attributes : {:?} (truth {:?})", result.indices, truth);
+    println!(
+        "  decoded attributes : {:?} (truth {:?})",
+        result.indices, truth
+    );
     println!("  iterations         : {}", result.iterations);
     println!("  converged          : {}", result.converged);
 
     // Brute-force baseline over the expanded product codebook.
     let brute = BruteForceFactorizer::new(&set).expect("product space fits the expansion guard");
-    let baseline = brute.decode(&query).expect("query matches the codebook dimension");
+    let baseline = brute
+        .decode(&query)
+        .expect("query matches the codebook dimension");
     println!("\nBrute-force product-codebook search:");
     println!("  decoded attributes : {:?}", baseline.indices);
     println!("  candidates examined: {}", baseline.candidates_examined);

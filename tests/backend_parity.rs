@@ -1,0 +1,179 @@
+//! Cross-checks of the batched execution backends against each other and against the
+//! naive time-domain kernels, plus the batch-vs-single factorization regression.
+//!
+//! These are the repository-level guarantees the `VsaBackend` seam rests on:
+//!
+//! 1. `ReferenceBackend` and `ParallelBackend` agree (bitwise for Hadamard ops and the
+//!    planned FFT, within float tolerance when compared against the `O(d²)` kernel);
+//! 2. batching is a pure performance transform — `factorize_batch` returns exactly the
+//!    per-query `factorize` results.
+
+use cogsys_factorizer::{Factorizer, FactorizerConfig};
+use cogsys_vsa::batch::{BackendKind, HvMatrix};
+use cogsys_vsa::codebook::BindingOp;
+use cogsys_vsa::{ops, rng, CodebookSet, Hypervector, Precision};
+use proptest::prelude::*;
+
+fn random_batch(rows: usize, dim: usize, seed: u64) -> (Vec<Hypervector>, HvMatrix) {
+    let mut r = rng(seed);
+    let hvs: Vec<Hypervector> = (0..rows)
+        .map(|_| Hypervector::random_bipolar(dim, &mut r))
+        .collect();
+    let m = HvMatrix::from_rows(&hvs).expect("rows share a dimension");
+    (hvs, m)
+}
+
+/// Cosine similarity between two raw rows (for tolerance comparisons).
+fn cosine(a: &[f32], b: &[f32]) -> f32 {
+    let dot: f32 = a.iter().zip(b).map(|(x, y)| x * y).sum();
+    let na: f32 = a.iter().map(|v| v * v).sum::<f32>().sqrt();
+    let nb: f32 = b.iter().map(|v| v * v).sum::<f32>().sqrt();
+    if na == 0.0 || nb == 0.0 {
+        0.0
+    } else {
+        dot / (na * nb)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Reference, parallel, and the naive O(d²) kernel agree on circular-convolution
+    /// binding for random dimensions — power-of-two (FFT path) and not (naive path).
+    #[test]
+    fn prop_backends_match_naive_convolution(seed in 0u64..1000, d_pow in 2u32..9, odd in 0usize..7) {
+        // Mix of power-of-two dims (64..512) and non-power-of-two neighbours.
+        let dim = (1usize << d_pow) + [0, 1, 3, 5, 7, 11, 13][odd];
+        let (rows_a, a) = random_batch(3, dim, seed);
+        let (rows_b, b) = random_batch(3, dim, seed ^ 0x5eed);
+
+        let reference = BackendKind::Reference.create();
+        let parallel = BackendKind::Parallel.create();
+        let r = reference.bind_batch(&a, &b, BindingOp::CircularConvolution).unwrap();
+        let p = parallel.bind_batch(&a, &b, BindingOp::CircularConvolution).unwrap();
+
+        for i in 0..3 {
+            // The two backends agree within 1e-4 cosine (they are in fact bitwise
+            // equal; the cosine bound is the documented contract).
+            prop_assert!(cosine(r.row(i), p.row(i)) > 1.0 - 1e-4);
+            prop_assert_eq!(r.row(i), p.row(i));
+            // And both match the O(d²) time-domain definition within float tolerance.
+            let naive = ops::circular_convolve_naive(rows_a[i].values(), rows_b[i].values());
+            for (x, y) in p.row(i).iter().zip(&naive) {
+                prop_assert!((x - y).abs() < 1e-2 * dim as f32, "{x} vs {y} at dim {dim}");
+            }
+        }
+    }
+
+    /// Unbinding (circular correlation) agrees across backends on random dims.
+    #[test]
+    fn prop_backends_match_on_unbind(seed in 0u64..1000, dim in 2usize..160) {
+        let (_, a) = random_batch(2, dim, seed);
+        let (_, b) = random_batch(2, dim, seed + 17);
+        let reference = BackendKind::Reference.create();
+        let parallel = BackendKind::Parallel.create();
+        for op in [BindingOp::Hadamard, BindingOp::CircularConvolution] {
+            let r = reference.unbind_batch(&a, &b, op).unwrap();
+            let p = parallel.unbind_batch(&a, &b, op).unwrap();
+            prop_assert_eq!(r, p);
+        }
+    }
+
+    /// Similarity GEMM and cleanup agree across backends on random shapes.
+    #[test]
+    fn prop_backends_match_on_similarity_and_cleanup(
+        seed in 0u64..1000,
+        dim in 4usize..200,
+        code_rows in 2usize..24,
+        queries in 1usize..12,
+    ) {
+        let (_, cb) = random_batch(code_rows, dim, seed);
+        let (_, q) = random_batch(queries, dim, seed + 101);
+        let reference = BackendKind::Reference.create();
+        let parallel = BackendKind::Parallel.create();
+        let rs = reference.similarity_matrix(&cb, &q).unwrap();
+        let ps = parallel.similarity_matrix(&cb, &q).unwrap();
+        for (x, y) in rs.as_slice().iter().zip(ps.as_slice()) {
+            // Dots of bipolar rows grow with dim; bound the reordering error
+            // relative to the dimension.
+            prop_assert!((x - y).abs() < 1e-4 * dim as f32, "{x} vs {y}");
+        }
+        let rc = reference.cleanup_batch(&cb, &q).unwrap();
+        let pc = parallel.cleanup_batch(&cb, &q).unwrap();
+        for ((ri, rsim), (pi, psim)) in rc.iter().zip(&pc) {
+            prop_assert_eq!(ri, pi);
+            prop_assert!((rsim - psim).abs() < 1e-4);
+        }
+        prop_assert_eq!(
+            reference.bundle(&q).unwrap().values(),
+            parallel.bundle(&q).unwrap().values()
+        );
+    }
+}
+
+#[test]
+fn factorize_batch_regression_matches_per_query_results() {
+    // Satellite regression at the repository level: run a harder configuration than
+    // the unit test (circular-convolution binding + INT8) and require exact equality
+    // of decoded indices between the batch and per-query paths.
+    let mut setup = rng(2024);
+    let set = CodebookSet::random(&[6, 6], 1024, BindingOp::CircularConvolution, &mut setup);
+    let tuples = [[0usize, 5], [3, 2], [5, 5], [1, 0], [4, 3], [2, 1]];
+    let queries: Vec<Hypervector> = tuples
+        .iter()
+        .map(|t| set.bind_indices(t).unwrap())
+        .collect();
+    let config = FactorizerConfig {
+        convergence_threshold: 0.3,
+        ..FactorizerConfig::default()
+    }
+    .with_precision(Precision::Int8);
+    let factorizer = Factorizer::new(config);
+
+    let mut rng_batch = rng(1);
+    let batch = factorizer
+        .factorize_batch(&set, &queries, &mut rng_batch)
+        .unwrap();
+
+    let mut rng_single = rng(1);
+    for (q, query) in queries.iter().enumerate() {
+        let single = factorizer.factorize(&set, query, &mut rng_single).unwrap();
+        assert_eq!(
+            batch[q].indices, single.indices,
+            "indices differ at query {q}"
+        );
+        assert_eq!(batch[q], single, "full result differs at query {q}");
+    }
+    // And the decode itself is correct.
+    for (result, expected) in batch.iter().zip(&tuples) {
+        assert_eq!(result.indices, expected.to_vec());
+    }
+}
+
+#[test]
+fn backends_agree_through_the_factorizer_on_both_bindings() {
+    for (binding, threshold) in [
+        (BindingOp::Hadamard, 0.9f32),
+        (BindingOp::CircularConvolution, 0.3),
+    ] {
+        let mut setup = rng(7);
+        let set = CodebookSet::random(&[5, 5], 1024, binding, &mut setup);
+        let query = set.bind_indices(&[2, 4]).unwrap();
+        let config = FactorizerConfig {
+            convergence_threshold: threshold,
+            ..FactorizerConfig::default()
+        };
+        let mut r1 = rng(3);
+        let mut r2 = rng(3);
+        let a = Factorizer::new(config.clone().with_backend(BackendKind::Reference))
+            .factorize(&set, &query, &mut r1)
+            .unwrap();
+        let b = Factorizer::new(config.with_backend(BackendKind::Parallel))
+            .factorize(&set, &query, &mut r2)
+            .unwrap();
+        assert_eq!(a.indices, b.indices, "backends disagree under {binding:?}");
+        assert_eq!(a.converged, b.converged);
+        assert!((a.similarity - b.similarity).abs() < 1e-4);
+        assert_eq!(a.indices, vec![2, 4]);
+    }
+}

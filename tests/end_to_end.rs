@@ -48,8 +48,10 @@ fn every_workload_schedules_validly_on_every_accelerator_variant() {
 #[test]
 fn speedup_ordering_matches_fig15_for_all_workloads() {
     for kind in WorkloadKind::ALL {
-        let mut config = CogSysConfig::default();
-        config.workload = kind;
+        let config = CogSysConfig {
+            workload: kind,
+            ..CogSysConfig::default()
+        };
         let system = CogSysSystem::new(config);
         let cogsys = system.seconds_per_task().expect("valid configuration");
         let rtx = system.device_seconds_per_task(DeviceKind::RtxGpu);
@@ -61,9 +63,11 @@ fn speedup_ordering_matches_fig15_for_all_workloads() {
 
 #[test]
 fn ablation_ordering_holds_for_non_default_workloads() {
-    let mut config = CogSysConfig::default();
-    config.workload = WorkloadKind::Lvrf;
-    config.batch_tasks = 2;
+    let config = CogSysConfig {
+        workload: WorkloadKind::Lvrf,
+        batch_tasks: 2,
+        ..CogSysConfig::default()
+    };
     let system = CogSysSystem::new(config);
     let full = system
         .ablation_relative_runtime(AblationVariant::Full)
@@ -72,7 +76,10 @@ fn ablation_ordering_holds_for_non_default_workloads() {
         .ablation_relative_runtime(AblationVariant::WithoutNsPe)
         .expect("valid configuration");
     assert!((full - 1.0).abs() < 1e-9);
-    assert!(no_nspe > 1.5, "removing the nsPE should hurt LVRF badly: {no_nspe}");
+    assert!(
+        no_nspe > 1.5,
+        "removing the nsPE should hurt LVRF badly: {no_nspe}"
+    );
 }
 
 #[test]

@@ -37,7 +37,10 @@ fn all_fast_experiments_produce_well_formed_tables() {
 fn factorization_experiments_report_accuracy_and_reductions() {
     let fig08 = experiments::fig08_factorization(1);
     assert_eq!(fig08.rows.len(), 1);
-    assert!(fig08.rows[0].1[2] > 10.0, "memory reduction should be large");
+    assert!(
+        fig08.rows[0].1[2] > 10.0,
+        "memory reduction should be large"
+    );
 
     // Tiny trial counts keep this test fast while still exercising the full path.
     let tab07 = experiments::tab07_factorization_accuracy(1, 3);

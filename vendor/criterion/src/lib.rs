@@ -1,0 +1,185 @@
+//! Minimal wall-clock benchmarking harness with a `criterion`-compatible API.
+//!
+//! The build environment has no crates.io access, so this shim provides the subset of
+//! criterion the workspace's `benches/` use: `Criterion::benchmark_group`,
+//! `BenchmarkGroup::{sample_size, bench_function, bench_with_input, finish}`,
+//! `Bencher::iter`, `BenchmarkId::new`, and the `criterion_group!` /
+//! `criterion_main!` macros. Instead of statistical analysis it reports the mean,
+//! minimum and maximum wall-clock time per iteration over `sample_size` samples, each
+//! sample running enough iterations to amortise timer overhead.
+
+use std::fmt::Display;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`] under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Identifier of one benchmark within a group: `function_name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a displayable parameter.
+    pub fn new(function_name: impl Display, parameter: impl Display) -> Self {
+        Self {
+            label: format!("{function_name}/{parameter}"),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// Runs one benchmark body repeatedly and measures it.
+pub struct Bencher {
+    samples: usize,
+    /// Mean/min/max nanoseconds per iteration, filled by [`Bencher::iter`].
+    result: Option<(f64, f64, f64)>,
+}
+
+impl Bencher {
+    /// Measures `routine`, storing per-iteration timing statistics.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up and calibration: target roughly 25 ms of work per sample, with at
+        // least one iteration per sample.
+        let start = Instant::now();
+        black_box(routine());
+        let once = start.elapsed().max(Duration::from_nanos(1));
+        let iters_per_sample = ((Duration::from_millis(25).as_nanos() / once.as_nanos()).max(1)
+            as usize)
+            .min(1_000_000);
+
+        let mut mean_acc = 0.0f64;
+        let mut min_ns = f64::INFINITY;
+        let mut max_ns = f64::NEG_INFINITY;
+        for _ in 0..self.samples {
+            let t = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            let per_iter = t.elapsed().as_nanos() as f64 / iters_per_sample as f64;
+            mean_acc += per_iter;
+            min_ns = min_ns.min(per_iter);
+            max_ns = max_ns.max(per_iter);
+        }
+        self.result = Some((mean_acc / self.samples as f64, min_ns, max_ns));
+    }
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    fn run(&mut self, label: String, f: impl FnOnce(&mut Bencher)) {
+        let mut bencher = Bencher {
+            samples: self.sample_size,
+            result: None,
+        };
+        f(&mut bencher);
+        match bencher.result {
+            Some((mean, min, max)) => println!(
+                "{}/{label}: mean {} (min {}, max {})",
+                self.name,
+                format_ns(mean),
+                format_ns(min),
+                format_ns(max)
+            ),
+            None => println!("{}/{label}: no measurement recorded", self.name),
+        }
+    }
+
+    /// Benchmarks `routine` under `id`.
+    pub fn bench_function<F: FnOnce(&mut Bencher)>(&mut self, id: impl Display, routine: F) {
+        self.run(id.to_string(), routine);
+    }
+
+    /// Benchmarks `routine` under `id`, passing `input` through.
+    pub fn bench_with_input<I: ?Sized, F: FnOnce(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        routine: F,
+    ) {
+        self.run(id.to_string(), |b| routine(b, input));
+    }
+
+    /// Ends the group (printing happens eagerly, so this is a no-op).
+    pub fn finish(&mut self) {}
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            _criterion: self,
+        }
+    }
+
+    /// Benchmarks a single function outside a group.
+    pub fn bench_function<F: FnOnce(&mut Bencher)>(
+        &mut self,
+        id: impl Display,
+        routine: F,
+    ) -> &mut Self {
+        let mut group = self.benchmark_group("bench");
+        group.bench_function(id, routine);
+        self
+    }
+}
+
+/// Declares a benchmark group function, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, criterion-style.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,172 @@
+//! Offline mini property-testing harness, API-compatible with the subset of
+//! `proptest` this workspace uses.
+//!
+//! Supported surface:
+//!
+//! * `proptest! { #[test] fn name(arg in strategy, ...) { body } ... }` with an
+//!   optional leading `#![proptest_config(ProptestConfig::with_cases(n))]`;
+//! * range strategies over integers and floats (`0u64..500`, `0.0f64..1e6`,
+//!   inclusive ranges);
+//! * `prop_assert!` / `prop_assert_eq!` / `prop_assert_ne!`.
+//!
+//! Each generated `#[test]` runs the body for `cases` deterministic pseudo-random
+//! samples (seeded from the test name), reporting the failing inputs on panic. There
+//! is no shrinking — failures print the exact sampled values instead, which the
+//! deterministic seeding makes reproducible.
+
+pub mod strategy;
+pub mod test_runner;
+
+/// Everything needed by `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// FNV-1a hash of the test name, used to give every property test its own
+/// deterministic sample stream.
+pub fn seed_for(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Defines property tests (see the crate docs for the supported grammar).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest! { @with_config ($cfg) $($rest)* }
+    };
+    (@with_config ($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let mut sampler = $crate::test_runner::Sampler::new(stringify!($name));
+                for case in 0..config.cases {
+                    $(let $arg = $crate::strategy::Strategy::sample(&($strat), sampler.rng());)+
+                    let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| { $body ::std::result::Result::Ok(()) })();
+                    if let ::std::result::Result::Err(e) = outcome {
+                        panic!(
+                            "property `{}` failed at case {case}/{}: {e}\n  inputs: {}",
+                            stringify!($name),
+                            config.cases,
+                            [$(format!("{} = {:?}", stringify!($arg), $arg)),+].join(", "),
+                        );
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest! {
+            @with_config ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body, failing the current case with
+/// context instead of panicking directly.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Equality assertion counterpart of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {
+        match (&$left, &$right) {
+            (l, r) => $crate::prop_assert!(
+                *l == *r,
+                "assertion failed: `{} == {}` (left: {:?}, right: {:?})",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r
+            ),
+        }
+    };
+}
+
+/// Inequality assertion counterpart of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {
+        match (&$left, &$right) {
+            (l, r) => $crate::prop_assert!(
+                *l != *r,
+                "assertion failed: `{} != {}` (both: {:?})",
+                stringify!($left),
+                stringify!($right),
+                l
+            ),
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn seeds_differ_by_name() {
+        assert_ne!(crate::seed_for("a"), crate::seed_for("b"));
+        assert_eq!(crate::seed_for("a"), crate::seed_for("a"));
+    }
+
+    proptest! {
+        #[test]
+        fn ranges_respected(x in 3usize..10, y in -2i64..=2, f in 0.5f32..1.5) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((-2..=2).contains(&y));
+            prop_assert!((0.5..1.5).contains(&f));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(5))]
+        #[test]
+        fn config_is_honoured(x in 0u64..1000) {
+            prop_assert_eq!(x, x);
+            prop_assert_ne!(x + 1, x);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "property `always_fails` failed")]
+    fn failures_report_inputs() {
+        // Invoke the generated test body directly by defining it in a nested module.
+        mod inner {
+            use crate::prelude::*;
+            proptest! {
+                #![proptest_config(ProptestConfig::with_cases(1))]
+                #[test]
+                fn always_fails(x in 0u64..10) {
+                    prop_assert!(x > 100, "x was {x}");
+                }
+            }
+            pub fn run() {
+                always_fails();
+            }
+        }
+        inner::run();
+    }
+}

@@ -1,0 +1,66 @@
+//! Test-runner configuration and case bookkeeping.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// How many cases a property test runs (the only knob this shim supports).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProptestConfig {
+    /// Number of sampled cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Creates a configuration running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    /// 64 cases — smaller than upstream proptest's 256 to keep the full workspace
+    /// test suite fast; individual tests can raise it via `with_cases`.
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+/// A failed property case (produced by the `prop_assert*` macros).
+#[derive(Debug, Clone)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// Creates a failure with a message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+        }
+    }
+}
+
+impl core::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+/// Per-test deterministic sample stream.
+pub struct Sampler {
+    rng: StdRng,
+}
+
+impl Sampler {
+    /// Seeds the stream from the test name so every property has its own sequence.
+    pub fn new(test_name: &str) -> Self {
+        Self {
+            rng: StdRng::seed_from_u64(crate::seed_for(test_name)),
+        }
+    }
+
+    /// The underlying generator.
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+}

@@ -1,0 +1,129 @@
+//! Offline, API-compatible subset of the `rand_distr` crate.
+//!
+//! Provides the [`Normal`] distribution over `f32`/`f64` via the Box–Muller transform.
+//! The transform is deliberately *stateless* (the second Box–Muller variate is
+//! discarded) so sampling order is a pure function of the underlying generator state —
+//! the batched and per-query factorizer paths rely on that for exact reproducibility.
+
+use rand::{Rng, RngCore};
+
+/// Error returned by [`Normal::new`] for invalid parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NormalError {
+    /// The standard deviation was negative or not finite.
+    BadVariance,
+    /// The mean was not finite.
+    MeanTooSmall,
+}
+
+impl core::fmt::Display for NormalError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            NormalError::BadVariance => write!(f, "standard deviation must be finite and >= 0"),
+            NormalError::MeanTooSmall => write!(f, "mean must be finite"),
+        }
+    }
+}
+
+impl std::error::Error for NormalError {}
+
+/// A distribution that can be sampled with any [`Rng`].
+pub trait Distribution<T> {
+    /// Draws one value.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Floating-point scalars the distributions are generic over (`f32` / `f64`).
+pub trait Float: Copy {
+    /// Converts from `f64` (possibly losing precision).
+    fn from_f64(x: f64) -> Self;
+    /// Converts to `f64` exactly.
+    fn to_f64(self) -> f64;
+}
+
+impl Float for f32 {
+    fn from_f64(x: f64) -> Self {
+        x as f32
+    }
+    fn to_f64(self) -> f64 {
+        self as f64
+    }
+}
+
+impl Float for f64 {
+    fn from_f64(x: f64) -> Self {
+        x
+    }
+    fn to_f64(self) -> f64 {
+        self
+    }
+}
+
+/// Gaussian (normal) distribution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal<F> {
+    mean: F,
+    std_dev: F,
+}
+
+impl<F: Float> Normal<F> {
+    /// Creates a normal distribution with the given mean and standard deviation.
+    ///
+    /// # Errors
+    /// Returns [`NormalError`] when either parameter is non-finite or the standard
+    /// deviation is negative.
+    pub fn new(mean: F, std_dev: F) -> Result<Self, NormalError> {
+        if !mean.to_f64().is_finite() {
+            return Err(NormalError::MeanTooSmall);
+        }
+        if !std_dev.to_f64().is_finite() || std_dev.to_f64() < 0.0 {
+            return Err(NormalError::BadVariance);
+        }
+        Ok(Self { mean, std_dev })
+    }
+}
+
+impl<F: Float> Distribution<F> for Normal<F> {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> F {
+        // Box–Muller, first variate only (see module docs).
+        let u1: f64 = loop {
+            let u = f64::max(rng.gen::<f64>(), f64::MIN_POSITIVE);
+            if u > 0.0 {
+                break u;
+            }
+        };
+        let u2: f64 = rng.gen::<f64>();
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        F::from_f64(self.mean.to_f64() + self.std_dev.to_f64() * z)
+    }
+}
+
+// Keep the explicit RngCore bound import live even though `Rng` is blanket-implemented.
+#[allow(dead_code)]
+fn _rngcore_is_object_safe(_r: &mut dyn RngCore) {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(Normal::new(0.0_f32, -1.0).is_err());
+        assert!(Normal::new(f32::NAN, 1.0).is_err());
+        assert!(Normal::new(0.0_f32, f32::INFINITY).is_err());
+    }
+
+    #[test]
+    fn sample_moments_match_parameters() {
+        let mut r = StdRng::seed_from_u64(5);
+        let normal = Normal::new(2.0_f64, 3.0).unwrap();
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| normal.sample(&mut r)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!((mean - 2.0).abs() < 0.1, "mean {mean}");
+        assert!((var.sqrt() - 3.0).abs() < 0.1, "std {}", var.sqrt());
+    }
+}

@@ -1,0 +1,17 @@
+//! Marker-trait subset of `serde` for offline builds.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its config and result types for
+//! forward compatibility, but never actually serializes anything (there is no
+//! `serde_json` in the tree). This shim keeps those derives compiling without network
+//! access: the traits are blanket-implemented for every type and the derive macros
+//! (re-exported from the sibling `serde_derive` shim) expand to nothing.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}

@@ -1,0 +1,22 @@
+//! No-op `Serialize` / `Deserialize` derives.
+//!
+//! The vendored `serde` shim implements the two traits blanket-style for every type,
+//! so the derive macros have nothing to generate — they exist only so that
+//! `#[derive(Serialize, Deserialize)]` attributes in the workspace compile without
+//! network access to the real `serde`. Serialization is not exercised anywhere in the
+//! repository; if a future PR needs it, replace the `vendor/serde*` shims with the real
+//! crates.
+
+use proc_macro::TokenStream;
+
+/// Accepts and discards the annotated item (the blanket impl in `serde` covers it).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts and discards the annotated item (the blanket impl in `serde` covers it).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
