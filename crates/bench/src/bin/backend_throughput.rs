@@ -1,0 +1,44 @@
+//! Backend throughput sweep with machine-readable output.
+//!
+//! Measures the circular-convolution binding and codebook-cleanup kernels for every
+//! [`cogsys_vsa::BackendKind`] across `d ∈ {256, 1024, 4096}` × `batch ∈ {1, 32, 256}`,
+//! prints the speedup table, and writes the raw `(backend, kernel, dim, batch) →
+//! ns/op` records to `BENCH_backends.json` in the current directory — the file the CI
+//! bench-smoke step publishes so the perf trajectory is tracked across PRs.
+//!
+//! Run with: `cargo run --release -p cogsys-bench --bin backend_throughput`
+
+fn main() {
+    const DIMS: [usize; 3] = [256, 1024, 4096];
+    const BATCHES: [usize; 3] = [1, 32, 256];
+    const SEED: u64 = 7;
+
+    let records = cogsys::experiments::backend_throughput_records(&DIMS, &BATCHES, SEED);
+    println!(
+        "{}",
+        cogsys::experiments::backend_throughput_table(&records)
+    );
+
+    let json = cogsys::experiments::backend_throughput_json(SEED, &records);
+    let path = "BENCH_backends.json";
+    std::fs::write(path, &json).expect("BENCH_backends.json is writable");
+    println!("wrote {} records to {path}", records.len());
+
+    // Surface the headline acceptance number: packed cleanup at d=1024, batch=256.
+    let cell = |backend: &str| {
+        records
+            .iter()
+            .find(|r| {
+                r.backend == backend && r.kernel == "cleanup" && r.dim == 1024 && r.batch == 256
+            })
+            .map(|r| r.ns_per_op)
+    };
+    if let (Some(parallel), Some(packed)) = (cell("parallel"), cell("packed")) {
+        println!(
+            "cleanup d=1024 batch=256: parallel {:.3} ms, packed {:.3} ms ({:.1}x)",
+            parallel / 1e6,
+            packed / 1e6,
+            parallel / packed.max(1.0)
+        );
+    }
+}

@@ -80,27 +80,50 @@ impl fmt::Display for ExperimentTable {
     }
 }
 
-/// Backend throughput comparison: wall-clock speedup of the parallel batched backend
-/// over the reference backend on the two hot kernels — circular-convolution binding
-/// and codebook cleanup — across dimensionalities and batch sizes.
+/// One measured point of the backend-throughput sweep: a `(backend, kernel, dim,
+/// batch)` cell with its wall-clock cost per batched kernel invocation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchRecord {
+    /// Backend name (`reference`, `parallel`, `packed`).
+    pub backend: String,
+    /// Kernel name (`bind_circular` — row-wise circular-convolution binding — or
+    /// `cleanup` — codebook cleanup of the whole query batch).
+    pub kernel: String,
+    /// Hypervector dimensionality.
+    pub dim: usize,
+    /// Number of rows in the batch.
+    pub batch: usize,
+    /// Best-of-three wall-clock nanoseconds for one batched kernel call.
+    pub ns_per_op: f64,
+}
+
+impl BenchRecord {
+    fn matches(&self, backend: &str, kernel: &str, dim: usize, batch: usize) -> bool {
+        self.backend == backend && self.kernel == kernel && self.dim == dim && self.batch == batch
+    }
+}
+
+/// Number of codebook rows used by the throughput sweep's cleanup kernel.
+pub const BENCH_CODEBOOK_ROWS: usize = 64;
+
+/// Measures the two hot batch kernels — circular-convolution binding and codebook
+/// cleanup — for every [`BackendKind`] across the requested dimensionalities and batch
+/// sizes. Each record is the best (minimum) of three timed rounds after one warm-up.
 ///
-/// This is the software analogue of the paper's array-level batching argument: the
-/// same operations, re-shaped from one-vector-at-a-time calls into matrix batches,
-/// with the speedup coming purely from the execution engine.
-pub fn backend_throughput(dims: &[usize], batches: &[usize], seed: u64) -> ExperimentTable {
+/// The cleanup measurement goes through [`Codebook::cleanup_batch`], so packed-aware
+/// backends get their cached codebook sign planes — exactly the production call path.
+pub fn backend_throughput_records(
+    dims: &[usize],
+    batches: &[usize],
+    seed: u64,
+) -> Vec<BenchRecord> {
     use std::time::Instant;
 
-    let mut table = ExperimentTable::new(
-        "Backend throughput: parallel-vs-reference wall-clock speedup",
-        &["bind speedup", "cleanup speedup"],
-    );
-    let codebook_rows = 64;
-    let reference = BackendKind::Reference.create();
-    let parallel = BackendKind::Parallel.create();
-
+    let backends: Vec<_> = BackendKind::ALL.iter().map(|k| k.create()).collect();
+    let mut records = Vec::new();
     let mut rng = cogsys_vsa::rng(seed);
     for &dim in dims {
-        let codebook = Codebook::random("bench", codebook_rows, dim, &mut rng);
+        let codebook = Codebook::random("bench", BENCH_CODEBOOK_ROWS, dim, &mut rng);
         for &batch in batches {
             let rows: Vec<Hypervector> = (0..batch)
                 .map(|_| Hypervector::random_bipolar(dim, &mut rng))
@@ -123,37 +146,116 @@ pub fn backend_throughput(dims: &[usize], batches: &[usize], seed: u64) -> Exper
                     .fold(f64::INFINITY, f64::min)
             };
 
-            let bind_ref = time(&mut || {
-                let _ = reference
-                    .bind_batch(&a, &b, BindingOp::CircularConvolution)
-                    .expect("shapes match");
-            });
-            let bind_par = time(&mut || {
-                let _ = parallel
-                    .bind_batch(&a, &b, BindingOp::CircularConvolution)
-                    .expect("shapes match");
-            });
-            let cleanup_ref = time(&mut || {
-                let _ = codebook
-                    .cleanup_batch(reference.as_ref(), &a)
-                    .expect("shapes match");
-            });
-            let cleanup_par = time(&mut || {
-                let _ = codebook
-                    .cleanup_batch(parallel.as_ref(), &a)
-                    .expect("shapes match");
-            });
-
-            table.push(
-                format!("d={dim} batch={batch}"),
-                vec![
-                    bind_ref / bind_par.max(1e-12),
-                    cleanup_ref / cleanup_par.max(1e-12),
-                ],
-            );
+            for backend in &backends {
+                let bind = time(&mut || {
+                    let _ = backend
+                        .bind_batch(&a, &b, BindingOp::CircularConvolution)
+                        .expect("shapes match");
+                });
+                records.push(BenchRecord {
+                    backend: backend.name().to_string(),
+                    kernel: "bind_circular".to_string(),
+                    dim,
+                    batch,
+                    ns_per_op: bind * 1e9,
+                });
+                let cleanup = time(&mut || {
+                    let _ = codebook
+                        .cleanup_batch(backend.as_ref(), &a)
+                        .expect("shapes match");
+                });
+                records.push(BenchRecord {
+                    backend: backend.name().to_string(),
+                    kernel: "cleanup".to_string(),
+                    dim,
+                    batch,
+                    ns_per_op: cleanup * 1e9,
+                });
+            }
         }
     }
+    records
+}
+
+/// Renders throughput records as the machine-readable `BENCH_backends.json` payload:
+/// one object per `(backend, kernel, dim, batch)` cell with its `ns_per_op`.
+///
+/// Written by `cargo run --release -p cogsys-bench --bin backend_throughput` and
+/// consumed by the CI bench-smoke step so the perf trajectory is tracked across PRs.
+pub fn backend_throughput_json(seed: u64, records: &[BenchRecord]) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"schema\": \"cogsys-backend-throughput/v1\",\n");
+    out.push_str(&format!("  \"seed\": {seed},\n"));
+    out.push_str(&format!(
+        "  \"codebook_rows\": {BENCH_CODEBOOK_ROWS},\n  \"records\": [\n"
+    ));
+    for (i, r) in records.iter().enumerate() {
+        let comma = if i + 1 == records.len() { "" } else { "," };
+        out.push_str(&format!(
+            "    {{\"backend\": \"{}\", \"kernel\": \"{}\", \"dim\": {}, \"batch\": {}, \"ns_per_op\": {:.1}}}{}\n",
+            r.backend, r.kernel, r.dim, r.batch, r.ns_per_op, comma
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Builds the human-readable speedup table (each backend's wall-clock advantage over
+/// the reference backend) from measured throughput records.
+pub fn backend_throughput_table(records: &[BenchRecord]) -> ExperimentTable {
+    let mut table = ExperimentTable::new(
+        "Backend throughput: wall-clock speedup over the reference backend",
+        &[
+            "parallel bind x",
+            "packed bind x",
+            "parallel cleanup x",
+            "packed cleanup x",
+        ],
+    );
+    let mut cells: Vec<(usize, usize)> = Vec::new();
+    for cell in records.iter().map(|r| (r.dim, r.batch)) {
+        if !cells.contains(&cell) {
+            cells.push(cell);
+        }
+    }
+    let lookup = |backend: &str, kernel: &str, dim: usize, batch: usize| -> f64 {
+        records
+            .iter()
+            .find(|r| r.matches(backend, kernel, dim, batch))
+            .map_or(f64::NAN, |r| r.ns_per_op)
+    };
+    for (dim, batch) in cells {
+        let speedup = |backend: &str, kernel: &str| -> f64 {
+            // A missing measurement stays NaN rather than masquerading as a speedup.
+            let denom = lookup(backend, kernel, dim, batch);
+            if denom.is_nan() {
+                return f64::NAN;
+            }
+            lookup("reference", kernel, dim, batch) / denom.max(1e-3)
+        };
+        table.push(
+            format!("d={dim} batch={batch}"),
+            vec![
+                speedup("parallel", "bind_circular"),
+                speedup("packed", "bind_circular"),
+                speedup("parallel", "cleanup"),
+                speedup("packed", "cleanup"),
+            ],
+        );
+    }
     table
+}
+
+/// Backend throughput comparison: wall-clock speedup of the batched backends over the
+/// reference backend on the two hot kernels — circular-convolution binding and
+/// codebook cleanup — across dimensionalities and batch sizes.
+///
+/// This is the software analogue of the paper's array-level batching argument: the
+/// same operations, re-shaped from one-vector-at-a-time calls into matrix batches,
+/// with the speedup coming purely from the execution engine (row parallelism and
+/// cached FFT plans for `parallel`, XOR/popcount sign planes for `packed`).
+pub fn backend_throughput(dims: &[usize], batches: &[usize], seed: u64) -> ExperimentTable {
+    backend_throughput_table(&backend_throughput_records(dims, batches, seed))
 }
 
 /// Fig. 4: end-to-end runtime breakdown, per-device latency, task-size scaling and
@@ -482,12 +584,22 @@ pub fn fig13_adsch() -> ExperimentTable {
 /// Tab. VII: factorization accuracy across the 14 RAVEN scenarios (7 constellations +
 /// 7 rule types).
 pub fn tab07_factorization_accuracy(trials: usize, seed: u64) -> ExperimentTable {
+    tab07_factorization_accuracy_with_backend(trials, seed, BackendKind::default())
+}
+
+/// [`tab07_factorization_accuracy`] on an explicit execution backend — used to verify
+/// that the bit-packed backend reproduces the f32 backends' factorization accuracy.
+pub fn tab07_factorization_accuracy_with_backend(
+    trials: usize,
+    seed: u64,
+    backend: BackendKind,
+) -> ExperimentTable {
     let mut table = ExperimentTable::new(
-        "Tab. VII: factorization accuracy (%) across RAVEN scenarios",
+        format!("Tab. VII: factorization accuracy (%) across RAVEN scenarios [{backend}]"),
         &["accuracy %"],
     );
     let mut rng = cogsys_vsa::rng(seed);
-    let solver = NeurosymbolicSolver::new(SolverConfig::default(), &mut rng);
+    let solver = NeurosymbolicSolver::new(SolverConfig::default().with_backend(backend), &mut rng);
 
     // Constellation scenarios: generate problems of each constellation and measure the
     // per-panel attribute-extraction accuracy.
@@ -845,6 +957,69 @@ mod tests {
         let s = t.to_string();
         assert!(s.contains("demo"));
         assert!(s.contains("row2"));
+    }
+
+    #[test]
+    fn bench_json_and_speedup_table_are_consistent() {
+        let records = vec![
+            BenchRecord {
+                backend: "reference".into(),
+                kernel: "cleanup".into(),
+                dim: 1024,
+                batch: 256,
+                ns_per_op: 8000.0,
+            },
+            BenchRecord {
+                backend: "parallel".into(),
+                kernel: "cleanup".into(),
+                dim: 1024,
+                batch: 256,
+                ns_per_op: 2000.0,
+            },
+            BenchRecord {
+                backend: "packed".into(),
+                kernel: "cleanup".into(),
+                dim: 1024,
+                batch: 256,
+                ns_per_op: 400.0,
+            },
+        ];
+        let table = backend_throughput_table(&records);
+        assert_eq!(
+            table.value("d=1024 batch=256", "parallel cleanup x"),
+            Some(4.0)
+        );
+        assert_eq!(
+            table.value("d=1024 batch=256", "packed cleanup x"),
+            Some(20.0)
+        );
+        let json = backend_throughput_json(7, &records);
+        assert!(json.contains("\"schema\": \"cogsys-backend-throughput/v1\""));
+        assert!(json.contains("\"seed\": 7"));
+        assert!(json.contains(
+            "{\"backend\": \"packed\", \"kernel\": \"cleanup\", \"dim\": 1024, \"batch\": 256, \"ns_per_op\": 400.0}"
+        ));
+        // One record per line, valid trailing-comma structure (last record bare).
+        assert_eq!(json.matches("\"backend\":").count(), 3);
+        assert!(json.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn tab07_packed_accuracy_matches_dense_backends() {
+        // The acceptance gate for the packed backend: factorization accuracy on the
+        // Tab. VII workload must be unchanged relative to the f32 backends.
+        let packed = tab07_factorization_accuracy_with_backend(1, 11, BackendKind::Packed);
+        let dense = tab07_factorization_accuracy_with_backend(1, 11, BackendKind::Parallel);
+        assert_eq!(packed.rows.len(), dense.rows.len());
+        for ((label, p), (_, d)) in packed.rows.iter().zip(&dense.rows) {
+            assert!(
+                (p[0] - d[0]).abs() <= 15.0,
+                "{label}: packed {} vs dense {}",
+                p[0],
+                d[0]
+            );
+            assert!(p[0] >= 75.0, "{label}: packed accuracy {}", p[0]);
+        }
     }
 
     #[test]

@@ -351,4 +351,17 @@ mod tests {
         let outcome = system.run_reasoning(DatasetKind::Raven, 1, 9).unwrap();
         assert_eq!(outcome.report.problems, 1);
     }
+
+    #[test]
+    fn packed_backend_runs_end_to_end() {
+        // BackendKind::Packed through the whole stack: config → solver → factorizer,
+        // with the XOR/popcount kernels doing the symbolic work.
+        let config = CogSysConfig::default().with_backend(BackendKind::Packed);
+        assert_eq!(config.backend(), BackendKind::Packed);
+        assert_eq!(config.solver.factorizer.backend, BackendKind::Packed);
+        let system = CogSysSystem::new(config);
+        let outcome = system.run_reasoning(DatasetKind::Raven, 2, 9).unwrap();
+        assert_eq!(outcome.report.problems, 2);
+        assert!(outcome.report.factorization_accuracy() >= 0.8);
+    }
 }

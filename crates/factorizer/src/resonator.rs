@@ -9,9 +9,10 @@
 
 use crate::config::FactorizerConfig;
 use cogsys_vsa::batch::{HvMatrix, VsaBackend};
-use cogsys_vsa::codebook::CodebookSet;
+use cogsys_vsa::codebook::{BindingOp, CodebookSet};
+use cogsys_vsa::packed::BitMatrix;
 use cogsys_vsa::quant::fake_quantize_slice;
-use cogsys_vsa::{ops, Hypervector, VsaError};
+use cogsys_vsa::{ops, Hypervector, Precision, VsaError};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rand_distr::{Distribution, Normal};
@@ -79,8 +80,11 @@ fn cosine_rows(a: &[f32], b: &[f32]) -> f32 {
 }
 
 /// Per-query mutable state of the batched iteration.
+///
+/// Indexed by the *original* query index throughout; converged queries are compacted
+/// out of the batch matrices (see the `order` vectors in the engines) but their state
+/// stays here until the results are assembled.
 struct QueryState {
-    active: bool,
     sim_sigma: f32,
     proj_sigma: f32,
     decoded: Vec<usize>,
@@ -88,6 +92,87 @@ struct QueryState {
     best_similarity: f32,
     history: Vec<Vec<usize>>,
     result: Option<FactorizationResult>,
+}
+
+impl QueryState {
+    fn new(config: &FactorizerConfig, num_factors: usize, noise_scale: f32) -> Self {
+        Self {
+            sim_sigma: config.stochasticity.similarity_sigma * noise_scale,
+            proj_sigma: config.stochasticity.projection_sigma * noise_scale,
+            decoded: vec![0usize; num_factors],
+            best_indices: vec![0usize; num_factors],
+            best_similarity: f32::NEG_INFINITY,
+            history: Vec::new(),
+            result: None,
+        }
+    }
+
+    /// End-of-iteration bookkeeping for one query: records the rebind `similarity`,
+    /// detects convergence and (deterministic dynamics only) limit cycles, and decays
+    /// the noise schedule. Returns `true` when the query is finished and its batch row
+    /// can be compacted out.
+    fn finish_iteration(
+        &mut self,
+        config: &FactorizerConfig,
+        similarity: f32,
+        iteration: usize,
+        deterministic: bool,
+    ) -> bool {
+        if similarity > self.best_similarity {
+            self.best_similarity = similarity;
+            self.best_indices.clone_from(&self.decoded);
+        }
+
+        if similarity >= config.convergence_threshold {
+            self.result = Some(FactorizationResult {
+                indices: self.decoded.clone(),
+                similarity,
+                iterations: iteration,
+                converged: true,
+                limit_cycle: false,
+            });
+            return true;
+        }
+
+        // Limit-cycle detection: the same decoded tuple recurring within the window
+        // without reaching the threshold (deterministic dynamics only).
+        if deterministic {
+            if self
+                .history
+                .iter()
+                .rev()
+                .take(config.limit_cycle_window)
+                .any(|h| h == &self.decoded)
+            {
+                self.result = Some(FactorizationResult {
+                    indices: self.best_indices.clone(),
+                    similarity: self.best_similarity,
+                    iterations: config.max_iterations,
+                    converged: false,
+                    limit_cycle: true,
+                });
+                return true;
+            }
+            self.history.push(self.decoded.clone());
+            if self.history.len() > config.limit_cycle_window * 4 {
+                self.history.remove(0);
+            }
+        }
+
+        self.sim_sigma *= config.stochasticity.decay;
+        self.proj_sigma *= config.stochasticity.decay;
+        false
+    }
+
+    fn into_result(self, max_iterations: usize) -> FactorizationResult {
+        self.result.unwrap_or(FactorizationResult {
+            indices: self.best_indices,
+            similarity: self.best_similarity,
+            iterations: max_iterations,
+            converged: false,
+            limit_cycle: false,
+        })
+    }
 }
 
 impl Factorizer {
@@ -175,12 +260,20 @@ impl Factorizer {
     /// This is the lowest-level entry point; [`Factorizer::factorize`] and
     /// [`Factorizer::factorize_batch`] are thin wrappers around it.
     ///
+    /// Two execution strategies share the same per-query dynamics:
+    ///
+    /// * a **bit-packed** engine (backend with a packed fast path, Hadamard binding,
+    ///   FP32 precision, exactly-bipolar queries and codebooks) that keeps the factor
+    ///   estimates as sign planes — unbinding is word-wise XOR and the similarity step
+    ///   is popcount — and only round-trips through `f32` for the weighted projection;
+    /// * the dense engine for everything else.
+    ///
+    /// Both compact converged rows out of the batch with a gather (scatter happens at
+    /// result assembly), so early-converging queries stop consuming kernel lanes.
+    ///
     /// # Errors
     /// Returns [`VsaError::DimensionMismatch`] when `queries.dim()` differs from the
     /// codebook dimension or `streams.len() != queries.rows()`.
-    // The row loops index three parallel structures (states, streams, matrix rows) by
-    // the same q; iterator-zip rewrites would fight the borrow checker for no clarity.
-    #[allow(clippy::needless_range_loop)]
     pub fn factorize_matrix(
         &self,
         set: &CodebookSet,
@@ -188,7 +281,6 @@ impl Factorizer {
         streams: &mut [StdRng],
     ) -> Result<Vec<FactorizationResult>, VsaError> {
         let n = queries.rows();
-        let num_factors = set.num_factors();
         let dim = set.dim();
         if queries.dim() != dim && n > 0 {
             return Err(VsaError::DimensionMismatch {
@@ -205,7 +297,6 @@ impl Factorizer {
         if n == 0 {
             return Ok(Vec::new());
         }
-        let backend = self.backend.as_ref();
         let precision = self.config.precision;
 
         // Quantized queries (the factorization runs at the configured precision).
@@ -213,6 +304,40 @@ impl Factorizer {
         for q in 0..n {
             fake_quantize_slice(query_q.row_mut(q), precision);
         }
+
+        // Packed fast path. FP32 only: lower precisions quantize the projected
+        // estimate *before* the sign threshold, which the packed pipeline skips, and
+        // the fast path must stay decision-identical to the dense engine.
+        if precision == Precision::Fp32
+            && set.binding() == BindingOp::Hadamard
+            && self.backend.as_packed().is_some()
+            && set.codebooks().iter().all(|cb| cb.packed().is_some())
+        {
+            if let Some(query_bits) = BitMatrix::from_matrix(&query_q) {
+                return self.factorize_matrix_packed(set, query_bits, streams);
+            }
+        }
+
+        self.factorize_matrix_dense(set, query_q, streams)
+    }
+
+    /// Dense (`f32`) resonator engine with converged-row compaction. Takes the
+    /// already-quantized query batch by value (it shrinks in place as rows converge).
+    // The row loops index parallel structures (states, streams, matrix rows) through
+    // the same slot; iterator-zip rewrites would fight the borrow checker for no
+    // clarity.
+    #[allow(clippy::needless_range_loop)]
+    fn factorize_matrix_dense(
+        &self,
+        set: &CodebookSet,
+        mut query_q: HvMatrix,
+        streams: &mut [StdRng],
+    ) -> Result<Vec<FactorizationResult>, VsaError> {
+        let n = query_q.rows();
+        let num_factors = set.num_factors();
+        let dim = set.dim();
+        let backend = self.backend.as_ref();
+        let precision = self.config.precision;
 
         // Initial estimates: bundle of every codevector in each factor, snapped to
         // bipolar so the Hadamard unbinding stays well-conditioned. The start point is
@@ -227,20 +352,14 @@ impl Factorizer {
 
         let noise_scale = (dim as f32).sqrt();
         let mut states: Vec<QueryState> = (0..n)
-            .map(|_| QueryState {
-                active: true,
-                sim_sigma: self.config.stochasticity.similarity_sigma * noise_scale,
-                proj_sigma: self.config.stochasticity.projection_sigma * noise_scale,
-                decoded: vec![0usize; num_factors],
-                best_indices: vec![0usize; num_factors],
-                best_similarity: f32::NEG_INFINITY,
-                history: Vec::new(),
-                result: None,
-            })
+            .map(|_| QueryState::new(&self.config, num_factors, noise_scale))
             .collect();
-        let mut active_count = n;
+        // `order[slot]` is the original query index occupying batch row `slot`;
+        // finished rows are gathered out so every kernel lane always does live work.
+        let mut order: Vec<usize> = (0..n).collect();
 
-        // Reused batch scratch — the iteration allocates nothing once these warm up.
+        // Reused batch scratch — the iteration allocates nothing once these warm up
+        // (compaction gathers are the exception, and they shrink the working set).
         let mut unbound = HvMatrix::default();
         let mut scratch = HvMatrix::default();
         let mut sims = HvMatrix::default();
@@ -249,14 +368,9 @@ impl Factorizer {
 
         let deterministic = !self.config.stochasticity.is_enabled();
 
-        // Converged rows stay in the batch (their kernel lanes compute discarded
-        // values) rather than being compacted out: in the dominant pipeline workload
-        // no row reaches the convergence threshold early — superposed scene blocks cap
-        // the rebind cosine below it — so gather/scatter compaction would add
-        // complexity without touching the hot path. Revisit if single-block workloads
-        // with early convergence become throughput-critical.
         for iteration in 1..=self.config.max_iterations {
-            if active_count == 0 {
+            let rows = order.len();
+            if rows == 0 {
                 break;
             }
 
@@ -276,131 +390,226 @@ impl Factorizer {
                     &mut unbound,
                     &mut scratch,
                 )?;
-                for q in 0..n {
-                    if states[q].active {
-                        fake_quantize_slice(unbound.row_mut(q), precision);
-                    }
+                for slot in 0..rows {
+                    fake_quantize_slice(unbound.row_mut(slot), precision);
                 }
 
                 // Step 2: similarity search against the factor codebook (one GEMM for
                 // the whole batch).
                 backend.similarity_matrix_into(cb_matrix, &unbound, &mut sims)?;
-                for q in 0..n {
-                    if !states[q].active {
-                        continue;
-                    }
+                for slot in 0..rows {
+                    let q = order[slot];
                     if states[q].sim_sigma > 0.0 {
-                        add_noise_slice(sims.row_mut(q), states[q].sim_sigma, &mut streams[q]);
+                        add_noise_slice(sims.row_mut(slot), states[q].sim_sigma, &mut streams[q]);
                     }
-                    states[q].decoded[f] = ops::argmax(sims.row(q)).unwrap_or(0);
+                    states[q].decoded[f] = ops::argmax(sims.row(slot)).unwrap_or(0);
                 }
 
                 // Step 3: project back into the codevector space and binarise.
                 backend.project_batch_into(cb_matrix, &sims, &mut projected)?;
-                for q in 0..n {
-                    if !states[q].active {
-                        continue;
-                    }
+                for slot in 0..rows {
+                    let q = order[slot];
                     if states[q].proj_sigma > 0.0 {
                         add_noise_slice(
-                            projected.row_mut(q),
+                            projected.row_mut(slot),
                             states[q].proj_sigma,
                             &mut streams[q],
                         );
                     }
-                    fake_quantize_slice(projected.row_mut(q), precision);
-                    for (slot, &v) in estimates[f].row_mut(q).iter_mut().zip(projected.row(q)) {
-                        *slot = if v < 0.0 { -1.0 } else { 1.0 };
+                    fake_quantize_slice(projected.row_mut(slot), precision);
+                    for (est, &v) in estimates[f]
+                        .row_mut(slot)
+                        .iter_mut()
+                        .zip(projected.row(slot))
+                    {
+                        *est = if v < 0.0 { -1.0 } else { 1.0 };
                     }
                 }
             }
 
             // Convergence check: re-bind the decoded codevectors and compare to the
             // query, batched across rows (scratch ping-pong, no allocation).
-            scratch.ensure_shape(n, dim);
-            for q in 0..n {
-                let row_indices = &states[q].decoded;
+            scratch.ensure_shape(rows, dim);
+            rebound.ensure_shape(rows, dim);
+            for slot in 0..rows {
+                let row_indices = &states[order[slot]].decoded;
                 rebound
-                    .row_mut(q)
+                    .row_mut(slot)
                     .copy_from_slice(set.factor(0)?.matrix().row(row_indices[0]));
             }
             for f in 1..num_factors {
-                for q in 0..n {
-                    scratch
-                        .row_mut(q)
-                        .copy_from_slice(set.factor(f)?.matrix().row(states[q].decoded[f]));
+                for slot in 0..rows {
+                    scratch.row_mut(slot).copy_from_slice(
+                        set.factor(f)?.matrix().row(states[order[slot]].decoded[f]),
+                    );
                 }
                 backend.bind_batch_into(&rebound, &scratch, set.binding(), &mut unbound)?;
                 std::mem::swap(&mut rebound, &mut unbound);
             }
 
-            for q in 0..n {
-                let state = &mut states[q];
-                if !state.active {
-                    continue;
+            let mut survivors: Vec<usize> = Vec::with_capacity(rows);
+            for slot in 0..rows {
+                let q = order[slot];
+                let similarity = cosine_rows(rebound.row(slot), query_q.row(slot));
+                if !states[q].finish_iteration(&self.config, similarity, iteration, deterministic) {
+                    survivors.push(slot);
                 }
-                let similarity = cosine_rows(rebound.row(q), query_q.row(q));
-                if similarity > state.best_similarity {
-                    state.best_similarity = similarity;
-                    state.best_indices.clone_from(&state.decoded);
-                }
+            }
 
-                if similarity >= self.config.convergence_threshold {
-                    state.result = Some(FactorizationResult {
-                        indices: state.decoded.clone(),
-                        similarity,
-                        iterations: iteration,
-                        converged: true,
-                        limit_cycle: false,
-                    });
-                    state.active = false;
-                    active_count -= 1;
-                    continue;
+            // Gather/scatter compaction: drop finished rows from the batch so the
+            // remaining iterations run kernels over live lanes only.
+            if survivors.len() < rows {
+                query_q = query_q.gather(&survivors)?;
+                for est in &mut estimates {
+                    *est = est.gather(&survivors)?;
                 }
-
-                // Limit-cycle detection: the same decoded tuple recurring within the
-                // window without reaching the threshold (deterministic dynamics only).
-                if deterministic {
-                    if state
-                        .history
-                        .iter()
-                        .rev()
-                        .take(self.config.limit_cycle_window)
-                        .any(|h| h == &state.decoded)
-                    {
-                        state.result = Some(FactorizationResult {
-                            indices: state.best_indices.clone(),
-                            similarity: state.best_similarity,
-                            iterations: self.config.max_iterations,
-                            converged: false,
-                            limit_cycle: true,
-                        });
-                        state.active = false;
-                        active_count -= 1;
-                        continue;
-                    }
-                    state.history.push(state.decoded.clone());
-                    if state.history.len() > self.config.limit_cycle_window * 4 {
-                        state.history.remove(0);
-                    }
-                }
-
-                state.sim_sigma *= self.config.stochasticity.decay;
-                state.proj_sigma *= self.config.stochasticity.decay;
+                order = survivors.into_iter().map(|slot| order[slot]).collect();
             }
         }
 
         Ok(states
             .into_iter()
-            .map(|state| {
-                state.result.unwrap_or(FactorizationResult {
-                    indices: state.best_indices,
-                    similarity: state.best_similarity,
-                    iterations: self.config.max_iterations,
-                    converged: false,
-                    limit_cycle: false,
-                })
+            .map(|state| state.into_result(self.config.max_iterations))
+            .collect())
+    }
+
+    /// Bit-packed resonator engine (Hadamard binding, FP32, bipolar operands).
+    ///
+    /// Factor estimates live as [`BitMatrix`] sign planes: the unbind step is word-wise
+    /// XOR against the packed query, the similarity step is popcount (exactly the
+    /// integer dot products the dense GEMM produces on bipolar inputs), and the rebind
+    /// convergence check XORs gathered codebook rows. Only the weighted projection
+    /// (f32 weights) runs on the dense backend, after which the sign threshold packs
+    /// straight back into the estimate planes. Decisions (argmax, convergence,
+    /// limit cycles) are identical to the dense engine on the same noise streams.
+    #[allow(clippy::needless_range_loop)]
+    fn factorize_matrix_packed(
+        &self,
+        set: &CodebookSet,
+        query_bits: BitMatrix,
+        streams: &mut [StdRng],
+    ) -> Result<Vec<FactorizationResult>, VsaError> {
+        let n = query_bits.rows();
+        let num_factors = set.num_factors();
+        let dim = set.dim();
+        let backend = self.backend.as_ref();
+        let packed = backend
+            .as_packed()
+            .expect("packed engine requires a packed backend");
+
+        let mut query_bits = query_bits;
+        let mut estimates: Vec<BitMatrix> = (0..num_factors)
+            .map(|f| {
+                let cb = set.factor(f).expect("factor index in range");
+                let init = ops::majority_bundle(cb.iter()).expect("codebooks are non-empty");
+                let row = HvMatrix::from_hypervector(&init);
+                BitMatrix::from_matrix(&row)
+                    .expect("majority bundle output is bipolar")
+                    .broadcast_row(0, n)
+                    .expect("broadcast of row 0")
             })
+            .collect();
+
+        let noise_scale = (dim as f32).sqrt();
+        let mut states: Vec<QueryState> = (0..n)
+            .map(|_| QueryState::new(&self.config, num_factors, noise_scale))
+            .collect();
+        let mut order: Vec<usize> = (0..n).collect();
+
+        // Packed scratch planes plus the two f32 matrices the projection step needs.
+        let mut unbound_bits = BitMatrix::default();
+        let mut rebound_bits = BitMatrix::default();
+        let mut factor_bits = BitMatrix::default();
+        let mut sims = HvMatrix::default();
+        let mut projected = HvMatrix::default();
+        let mut decoded_rows: Vec<usize> = Vec::new();
+
+        let deterministic = !self.config.stochasticity.is_enabled();
+
+        for iteration in 1..=self.config.max_iterations {
+            let rows = order.len();
+            if rows == 0 {
+                break;
+            }
+
+            for f in 0..num_factors {
+                let factor = set.factor(f)?;
+                let cb_bits = factor
+                    .packed()
+                    .expect("packed engine requires packed codebooks");
+
+                // Step 1 (XOR): unbind every other factor's estimate from the query.
+                unbound_bits.copy_from(&query_bits);
+                for (g, est) in estimates.iter().enumerate() {
+                    if g != f {
+                        unbound_bits.xor_assign(est)?;
+                    }
+                }
+
+                // Step 2 (popcount): similarity search against the factor codebook.
+                packed.similarity_matrix_packed_into(cb_bits, &unbound_bits, &mut sims);
+                for slot in 0..rows {
+                    let q = order[slot];
+                    if states[q].sim_sigma > 0.0 {
+                        add_noise_slice(sims.row_mut(slot), states[q].sim_sigma, &mut streams[q]);
+                    }
+                    states[q].decoded[f] = ops::argmax(sims.row(slot)).unwrap_or(0);
+                }
+
+                // Step 3: weighted projection stays dense (f32 weights), then the sign
+                // threshold packs straight back into the estimate plane.
+                backend.project_batch_into(factor.matrix(), &sims, &mut projected)?;
+                for slot in 0..rows {
+                    let q = order[slot];
+                    if states[q].proj_sigma > 0.0 {
+                        add_noise_slice(
+                            projected.row_mut(slot),
+                            states[q].proj_sigma,
+                            &mut streams[q],
+                        );
+                    }
+                    estimates[f].pack_signs_row(slot, projected.row(slot));
+                }
+            }
+
+            // Convergence check: XOR the decoded codevector planes together and map
+            // Hamming distance to the rebind cosine.
+            for f in 0..num_factors {
+                let cb_bits = set
+                    .factor(f)?
+                    .packed()
+                    .expect("packed engine requires packed codebooks");
+                decoded_rows.clear();
+                decoded_rows.extend(order.iter().map(|&q| states[q].decoded[f]));
+                if f == 0 {
+                    cb_bits.gather_into(&decoded_rows, &mut rebound_bits)?;
+                } else {
+                    cb_bits.gather_into(&decoded_rows, &mut factor_bits)?;
+                    rebound_bits.xor_assign(&factor_bits)?;
+                }
+            }
+
+            let mut survivors: Vec<usize> = Vec::with_capacity(rows);
+            for slot in 0..rows {
+                let q = order[slot];
+                let similarity = rebound_bits.cosine_rows(slot, &query_bits, slot);
+                if !states[q].finish_iteration(&self.config, similarity, iteration, deterministic) {
+                    survivors.push(slot);
+                }
+            }
+
+            if survivors.len() < rows {
+                query_bits = query_bits.gather(&survivors)?;
+                for est in &mut estimates {
+                    *est = est.gather(&survivors)?;
+                }
+                order = survivors.into_iter().map(|slot| order[slot]).collect();
+            }
+        }
+
+        Ok(states
+            .into_iter()
+            .map(|state| state.into_result(self.config.max_iterations))
             .collect())
     }
 }
@@ -619,6 +828,119 @@ mod tests {
             .factorize_batch(&set, &[], &mut r)
             .unwrap();
         assert!(results.is_empty());
+    }
+
+    #[test]
+    fn packed_backend_decodes_identically_to_reference() {
+        // The packed resonator's similarity values are the exact integer dot products,
+        // so on the same noise streams its decisions match the dense engines.
+        let (set, mut r) = standard_set(403, &[8, 8, 8], 1024);
+        let query = ops::flip_noise(&set.bind_indices(&[5, 1, 7]).unwrap(), 0.05, &mut r);
+        let reference =
+            Factorizer::new(FactorizerConfig::default().with_backend(BackendKind::Reference));
+        let packed = Factorizer::new(FactorizerConfig::default().with_backend(BackendKind::Packed));
+        let mut r1 = rng(66);
+        let mut r2 = rng(66);
+        let a = reference.factorize(&set, &query, &mut r1).unwrap();
+        let b = packed.factorize(&set, &query, &mut r2).unwrap();
+        assert_eq!(a.indices, b.indices);
+        assert_eq!(a.converged, b.converged);
+        assert_eq!(a.iterations, b.iterations);
+        assert!((a.similarity - b.similarity).abs() < 1e-4);
+        assert_eq!(a.indices, vec![5, 1, 7]);
+    }
+
+    #[test]
+    fn packed_backend_batch_equals_per_query() {
+        // Batching on the packed engine is a pure performance transform too.
+        let (set, mut r) = standard_set(404, &[8, 8], 512);
+        let tuples = [[0usize, 1], [7, 6], [3, 3], [2, 0]];
+        let queries: Vec<Hypervector> = tuples
+            .iter()
+            .map(|t| ops::flip_noise(&set.bind_indices(t).unwrap(), 0.08, &mut r))
+            .collect();
+        let factorizer =
+            Factorizer::new(FactorizerConfig::default().with_backend(BackendKind::Packed));
+        let mut rng_batch = rng(888);
+        let batch = factorizer
+            .factorize_batch(&set, &queries, &mut rng_batch)
+            .unwrap();
+        let mut rng_single = rng(888);
+        for (q, query) in queries.iter().enumerate() {
+            let single = factorizer.factorize(&set, query, &mut rng_single).unwrap();
+            assert_eq!(batch[q], single, "query {q}");
+        }
+    }
+
+    #[test]
+    fn compaction_handles_mixed_convergence_speeds() {
+        // Clean queries converge in a couple of iterations while noisy ones keep
+        // going, so the converged rows are gathered out mid-run; results must still
+        // equal the per-query path for every row, in the original order.
+        let (set, mut r) = standard_set(405, &[10, 10], 1024);
+        let queries: Vec<Hypervector> = (0..6)
+            .map(|i| {
+                let clean = set.bind_indices(&[i, 9 - i]).unwrap();
+                // Alternate clean and heavily noised rows.
+                if i % 2 == 0 {
+                    clean
+                } else {
+                    ops::flip_noise(&clean, 0.25, &mut r)
+                }
+            })
+            .collect();
+        for kind in BackendKind::ALL {
+            let factorizer = Factorizer::new(FactorizerConfig::default().with_backend(kind));
+            let mut rng_batch = rng(999);
+            let batch = factorizer
+                .factorize_batch(&set, &queries, &mut rng_batch)
+                .unwrap();
+            let mut rng_single = rng(999);
+            for (q, query) in queries.iter().enumerate() {
+                let single = factorizer.factorize(&set, query, &mut rng_single).unwrap();
+                assert_eq!(batch[q], single, "{kind} query {q}");
+            }
+            // The clean rows really do converge early (compaction was exercised).
+            assert!(batch[0].converged && batch[0].iterations < 50, "{kind}");
+        }
+    }
+
+    #[test]
+    fn packed_backend_falls_back_for_circular_binding() {
+        // HRR/circular binding has no packed reduction; BackendKind::Packed must
+        // transparently produce the dense backend's results.
+        let mut r = rng(406);
+        let set = CodebookSet::random(&[6, 6], 2048, BindingOp::CircularConvolution, &mut r);
+        let query = set.bind_indices(&[4, 2]).unwrap();
+        let config = FactorizerConfig {
+            convergence_threshold: 0.3,
+            ..FactorizerConfig::default()
+        };
+        let mut r1 = rng(21);
+        let mut r2 = rng(21);
+        let a = Factorizer::new(config.clone().with_backend(BackendKind::Parallel))
+            .factorize(&set, &query, &mut r1)
+            .unwrap();
+        let b = Factorizer::new(config.with_backend(BackendKind::Packed))
+            .factorize(&set, &query, &mut r2)
+            .unwrap();
+        assert_eq!(a.indices, b.indices);
+        assert_eq!(a.indices, vec![4, 2]);
+    }
+
+    #[test]
+    fn packed_backend_supports_reduced_precision_via_dense_engine() {
+        // Sub-FP32 precisions quantize the projected estimate before the sign
+        // threshold, so the packed fast path steps aside and the dense engine runs.
+        let (set, mut r) = standard_set(407, &[8, 8, 8], 1024);
+        let query = set.bind_indices(&[7, 2, 5]).unwrap();
+        let f = Factorizer::new(
+            FactorizerConfig::default()
+                .with_precision(Precision::Int8)
+                .with_backend(BackendKind::Packed),
+        );
+        let result = f.factorize(&set, &query, &mut r).unwrap();
+        assert_eq!(result.indices, vec![7, 2, 5]);
     }
 
     proptest! {

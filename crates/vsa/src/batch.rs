@@ -26,6 +26,7 @@ use crate::error::VsaError;
 use crate::fft::{self, Complex, FftPlan};
 use crate::hypervector::{Hypervector, VsaKind};
 use crate::ops;
+use crate::packed::PackedBackend;
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
@@ -288,17 +289,25 @@ pub enum BackendKind {
     /// Multi-threaded batch execution with cached FFT plans ([`ParallelBackend`]).
     #[default]
     Parallel,
+    /// Bit-packed bipolar execution — XOR binding and popcount similarity for the
+    /// MAP/Hadamard algebra, dense fallback otherwise ([`PackedBackend`]).
+    Packed,
 }
 
 impl BackendKind {
     /// Every selectable backend.
-    pub const ALL: [BackendKind; 2] = [BackendKind::Reference, BackendKind::Parallel];
+    pub const ALL: [BackendKind; 3] = [
+        BackendKind::Reference,
+        BackendKind::Parallel,
+        BackendKind::Packed,
+    ];
 
     /// Instantiates the backend this kind names.
     pub fn create(self) -> Arc<dyn VsaBackend> {
         match self {
             BackendKind::Reference => Arc::new(ReferenceBackend),
             BackendKind::Parallel => Arc::new(ParallelBackend::new()),
+            BackendKind::Packed => Arc::new(PackedBackend::new()),
         }
     }
 }
@@ -308,6 +317,7 @@ impl std::fmt::Display for BackendKind {
         match self {
             BackendKind::Reference => write!(f, "reference"),
             BackendKind::Parallel => write!(f, "parallel"),
+            BackendKind::Packed => write!(f, "packed"),
         }
     }
 }
@@ -337,6 +347,15 @@ fn check_same_shape(a: &HvMatrix, b: &HvMatrix) -> Result<(), VsaError> {
 pub trait VsaBackend: Send + Sync + std::fmt::Debug {
     /// Short identifier for logs and benchmark output.
     fn name(&self) -> &'static str;
+
+    /// The bit-packed bipolar fast path, when this backend has one.
+    ///
+    /// Layers that cache packed operands (codebook sign planes, the factorizer's
+    /// packed estimates) probe this to route around the `f32` surface; the default of
+    /// `None` keeps dense backends on the dense path.
+    fn as_packed(&self) -> Option<&PackedBackend> {
+        None
+    }
 
     /// Row-wise binding: `out[i] = bind(a[i], b[i])` under `op`, writing into `out`
     /// (reshaped as needed).

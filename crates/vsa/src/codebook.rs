@@ -10,6 +10,7 @@ use crate::batch::{HvMatrix, ReferenceBackend, VsaBackend};
 use crate::error::VsaError;
 use crate::hypervector::Hypervector;
 use crate::ops;
+use crate::packed::BitMatrix;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -44,6 +45,10 @@ pub struct Codebook {
     /// Contiguous row-major copy of `vectors` — the similarity-search operand the
     /// batched backends consume (one GEMV/GEMM row per codevector).
     matrix: HvMatrix,
+    /// Bit-packed sign planes of `matrix`, cached once at construction when every
+    /// codevector is exactly bipolar (`None` otherwise). The packed similarity and
+    /// cleanup fast paths read this instead of re-packing per call.
+    packed: Option<BitMatrix>,
 }
 
 impl Codebook {
@@ -57,10 +62,12 @@ impl Codebook {
             return Err(VsaError::Empty { what: "codebook" });
         }
         let matrix = HvMatrix::from_rows(&vectors)?;
+        let packed = BitMatrix::from_matrix(&matrix);
         Ok(Self {
             name: name.into(),
             vectors,
             matrix,
+            packed,
         })
     }
 
@@ -75,10 +82,12 @@ impl Codebook {
             .map(|_| Hypervector::random_bipolar(dim, rng))
             .collect();
         let matrix = HvMatrix::from_rows(&vectors).expect("generated rows share a dimension");
+        let packed = BitMatrix::from_matrix(&matrix);
         Self {
             name: name.into(),
             vectors,
             matrix,
+            packed,
         }
     }
 
@@ -129,6 +138,13 @@ impl Codebook {
         &self.matrix
     }
 
+    /// The bit-packed sign planes of the codebook, cached at construction — `Some`
+    /// exactly when every codevector is bipolar. Packed-aware layers use this to skip
+    /// re-packing the codebook on every similarity/cleanup call.
+    pub fn packed(&self) -> Option<&BitMatrix> {
+        self.packed.as_ref()
+    }
+
     /// Similarity of `query` against every codevector (one GEMV on the accelerator).
     ///
     /// # Errors
@@ -147,9 +163,7 @@ impl Codebook {
         query: &Hypervector,
     ) -> Result<Vec<f32>, VsaError> {
         let queries = HvMatrix::from_hypervector(query);
-        Ok(backend
-            .similarity_matrix(&self.matrix, &queries)?
-            .into_vec())
+        Ok(self.similarities_batch(backend, &queries)?.into_vec())
     }
 
     /// Similarities of a whole batch of queries: `out[q][m] = queries[q] · code[m]`
@@ -162,6 +176,15 @@ impl Codebook {
         backend: &dyn VsaBackend,
         queries: &HvMatrix,
     ) -> Result<HvMatrix, VsaError> {
+        if let (Some(packed_backend), Some(packed_cb)) = (backend.as_packed(), &self.packed) {
+            if queries.dim() == self.dim() {
+                if let Some(packed_q) = BitMatrix::from_matrix(queries) {
+                    let mut out = HvMatrix::default();
+                    packed_backend.similarity_matrix_packed_into(packed_cb, &packed_q, &mut out);
+                    return Ok(out);
+                }
+            }
+        }
         backend.similarity_matrix(&self.matrix, queries)
     }
 
@@ -184,7 +207,7 @@ impl Codebook {
         query: &Hypervector,
     ) -> Result<(usize, f32), VsaError> {
         let queries = HvMatrix::from_hypervector(query);
-        let mut results = backend.cleanup_batch(&self.matrix, &queries)?;
+        let mut results = self.cleanup_batch(backend, &queries)?;
         Ok(results.pop().expect("one query row yields one result"))
     }
 
@@ -197,6 +220,15 @@ impl Codebook {
         backend: &dyn VsaBackend,
         queries: &HvMatrix,
     ) -> Result<Vec<(usize, f32)>, VsaError> {
+        // Packed fast path: the codebook sign planes are already cached, so a packed
+        // backend only has to pack the queries before the popcount kernel.
+        if let (Some(packed_backend), Some(packed_cb)) = (backend.as_packed(), &self.packed) {
+            if queries.dim() == self.dim() {
+                if let Some(packed_q) = BitMatrix::from_matrix(queries) {
+                    return Ok(packed_backend.cleanup_batch_packed(packed_cb, &packed_q));
+                }
+            }
+        }
         backend.cleanup_batch(&self.matrix, queries)
     }
 

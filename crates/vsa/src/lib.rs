@@ -59,6 +59,12 @@
 //!     assert!(*similarity > 0.4);
 //! }
 //! ```
+//!
+//! For bipolar `{-1, +1}` data under the MAP/Hadamard algebra, the [`packed`] module
+//! stores sign planes instead of floats ([`BitMatrix`], 32× smaller) and executes the
+//! same operations as word-wise XOR and popcount ([`PackedBackend`], selected with
+//! [`BackendKind::Packed`]); non-bipolar inputs and circular-convolution binding fall
+//! back to the dense backends transparently.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -69,12 +75,14 @@ pub mod error;
 pub mod fft;
 pub mod hypervector;
 pub mod ops;
+pub mod packed;
 pub mod quant;
 
 pub use batch::{BackendKind, HvMatrix, ParallelBackend, ReferenceBackend, VsaBackend};
 pub use codebook::{Codebook, CodebookSet, ProductCodebook};
 pub use error::VsaError;
 pub use hypervector::{Hypervector, VsaKind};
+pub use packed::{BitMatrix, PackedBackend};
 pub use quant::{Precision, QuantizedVector};
 
 use rand::rngs::StdRng;

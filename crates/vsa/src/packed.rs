@@ -1,0 +1,719 @@
+//! Bit-packed bipolar execution layer: XOR binding and popcount similarity.
+//!
+//! Every hot path in the repository runs bipolar `{-1, +1}` vectors, yet the dense
+//! backends push them through `f32` arithmetic — 32× more memory traffic than the
+//! algebra needs. For the MAP/Hadamard algebra the classic binary-spatter-code
+//! reductions apply exactly:
+//!
+//! * **bind/unbind** of sign vectors is the XOR of their sign bits,
+//! * **dot product** is `d − 2·hamming(a, b)` (so cosine is `1 − 2·hamming/d`),
+//! * **bundling** is per-dimension vote counting followed by a sign threshold.
+//!
+//! [`BitMatrix`] stores one sign plane per hypervector row — 64 dimensions per `u64`
+//! word, 32× smaller than the `f32` [`HvMatrix`] it mirrors — and [`PackedBackend`]
+//! implements the [`VsaBackend`] surface on top of it. Inputs that are not exactly
+//! bipolar, and the circular-convolution (HRR) binding, transparently fall back to the
+//! dense [`ParallelBackend`], so `BackendKind::Packed` is always safe to select.
+//!
+//! Sign convention: a set bit means **negative** (`-1.0`), mirroring the IEEE-754 sign
+//! bit; `+1.0` packs to 0. The unused tail bits of the last word in each row are kept
+//! at zero (see [`BitMatrix::tail_mask`]), which lets every kernel run whole-word
+//! XOR/popcount without per-row masking.
+
+use crate::batch::{HvMatrix, ParallelBackend, VsaBackend};
+use crate::codebook::BindingOp;
+use crate::error::VsaError;
+use crate::hypervector::{Hypervector, VsaKind};
+use serde::{Deserialize, Serialize};
+
+/// Bits per storage word.
+const WORD_BITS: usize = 64;
+
+/// Codebook rows per cache block in the popcount cleanup/similarity kernels.
+///
+/// A block of 128 rows at d = 4096 is 64 KiB of packed words — resident in L1/L2 while
+/// it is streamed against every query, so large codebooks are read from DRAM once per
+/// block instead of once per query.
+const CODEBOOK_BLOCK_ROWS: usize = 128;
+
+/// A dense, row-major batch of **sign planes**: the bit-packed mirror of [`HvMatrix`]
+/// for bipolar data.
+///
+/// Each row holds `dim` sign bits packed into `dim.div_ceil(64)` little-endian `u64`
+/// words (bit `j % 64` of word `j / 64` is dimension `j`); a set bit encodes `-1.0`.
+/// Rows are padded to a whole number of words and the padding bits are always zero.
+///
+/// # Example
+/// ```
+/// use cogsys_vsa::batch::HvMatrix;
+/// use cogsys_vsa::packed::BitMatrix;
+///
+/// let m = HvMatrix::from_vec(vec![1.0, -1.0, -1.0, 1.0], 1, 4).unwrap();
+/// let bits = BitMatrix::from_matrix(&m).unwrap();
+/// assert_eq!((bits.rows(), bits.dim(), bits.words_per_row()), (1, 4, 1));
+/// assert_eq!(bits.row_words(0), &[0b0110]);
+/// assert_eq!(bits.to_matrix(), m); // exact round trip
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct BitMatrix {
+    words: Vec<u64>,
+    rows: usize,
+    dim: usize,
+    words_per_row: usize,
+}
+
+/// Packs one `f32` row into sign-plane words, returning `false` if any element is not
+/// exactly `±1.0` (the packed representation would silently drop magnitudes).
+fn pack_row_strict(row: &[f32], words: &mut [u64]) -> bool {
+    let mut exact = true;
+    for (chunk, word) in row.chunks(WORD_BITS).zip(words.iter_mut()) {
+        let mut w = 0u64;
+        for (bit, &v) in chunk.iter().enumerate() {
+            let b = v.to_bits();
+            // abs(v) == 1.0 exactly; the sign bit becomes the packed bit.
+            exact &= (b & 0x7fff_ffff) == 0x3f80_0000;
+            w |= u64::from(b >> 31) << bit;
+        }
+        *word = w;
+    }
+    exact
+}
+
+/// Packs the *signs* of an arbitrary `f32` row, using the `v < 0.0` convention of the
+/// estimate binarisation step (`-0.0` packs to `+1`, unlike the IEEE sign bit).
+fn pack_row_signs(row: &[f32], words: &mut [u64]) {
+    for (chunk, word) in row.chunks(WORD_BITS).zip(words.iter_mut()) {
+        let mut w = 0u64;
+        for (bit, &v) in chunk.iter().enumerate() {
+            w |= u64::from(v < 0.0) << bit;
+        }
+        *word = w;
+    }
+}
+
+fn unpack_row(words: &[u64], row: &mut [f32]) {
+    for (chunk, word) in row.chunks_mut(WORD_BITS).zip(words) {
+        for (bit, v) in chunk.iter_mut().enumerate() {
+            *v = if (word >> bit) & 1 == 1 { -1.0 } else { 1.0 };
+        }
+    }
+}
+
+/// Hamming distance between two equal-length word rows (tail bits are zero on both
+/// sides, so whole-word popcount needs no masking).
+#[inline]
+fn hamming(a: &[u64], b: &[u64]) -> u32 {
+    a.iter().zip(b).map(|(x, y)| (x ^ y).count_ones()).sum()
+}
+
+impl BitMatrix {
+    /// Number of `u64` words needed per row of dimension `dim`.
+    pub fn words_for_dim(dim: usize) -> usize {
+        dim.div_ceil(WORD_BITS)
+    }
+
+    /// Mask of the valid bits in the last word of a row (`u64::MAX` when `dim` is a
+    /// multiple of 64). Padding bits above the mask are kept zero by construction.
+    pub fn tail_mask(dim: usize) -> u64 {
+        match dim % WORD_BITS {
+            0 => u64::MAX,
+            r => (1u64 << r) - 1,
+        }
+    }
+
+    /// An all-`+1` (all bits clear) matrix.
+    pub fn zeros(rows: usize, dim: usize) -> Self {
+        let words_per_row = Self::words_for_dim(dim);
+        Self {
+            words: vec![0; rows * words_per_row],
+            rows,
+            dim,
+            words_per_row,
+        }
+    }
+
+    /// Packs an f32 matrix of exactly-bipolar rows, or `None` if any element is not
+    /// `±1.0` — callers use `None` as the signal to stay on the dense path.
+    pub fn from_matrix(m: &HvMatrix) -> Option<Self> {
+        let mut packed = Self::zeros(m.rows(), m.dim());
+        if packed.pack_from(m) {
+            Some(packed)
+        } else {
+            None
+        }
+    }
+
+    /// Packs a slice of bipolar hypervectors (one row each).
+    ///
+    /// # Errors
+    /// Returns [`VsaError::DimensionMismatch`] on ragged rows, and
+    /// [`VsaError::InvalidParameter`] when an element is not `±1.0`.
+    pub fn from_hypervectors(rows: &[Hypervector]) -> Result<Self, VsaError> {
+        let m = HvMatrix::from_rows(rows)?;
+        Self::from_matrix(&m).ok_or(VsaError::InvalidParameter {
+            name: "rows",
+            message: "bit-packing requires exactly bipolar (±1.0) elements".to_string(),
+        })
+    }
+
+    /// Re-packs `m` into this matrix's storage (reshaping as needed), returning whether
+    /// every element was exactly `±1.0`. On `false` the contents are unspecified —
+    /// packing bails at the first non-bipolar row so the dense fallback stays cheap.
+    pub fn pack_from(&mut self, m: &HvMatrix) -> bool {
+        self.ensure_shape(m.rows(), m.dim());
+        for i in 0..m.rows() {
+            let start = i * self.words_per_row;
+            if !pack_row_strict(m.row(i), &mut self.words[start..start + self.words_per_row]) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Packs the signs of one `f32` row into row `i` using the `v < 0.0 → −1`
+    /// convention of the estimate binarisation step (magnitudes are discarded).
+    ///
+    /// # Panics
+    /// Panics when `i >= rows()` or `row.len() != dim()`.
+    pub fn pack_signs_row(&mut self, i: usize, row: &[f32]) {
+        assert_eq!(row.len(), self.dim, "row length must match dim");
+        let start = i * self.words_per_row;
+        pack_row_signs(row, &mut self.words[start..start + self.words_per_row]);
+    }
+
+    /// Reshapes to `rows × dim` without preserving contents (reuse as output buffer).
+    pub fn ensure_shape(&mut self, rows: usize, dim: usize) {
+        self.words_per_row = Self::words_for_dim(dim);
+        self.words.clear();
+        self.words.resize(rows * self.words_per_row, 0);
+        self.rows = rows;
+        self.dim = dim;
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Dimensionality (in bits) of each row.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Words per packed row.
+    pub fn words_per_row(&self) -> usize {
+        self.words_per_row
+    }
+
+    /// Storage footprint of the packed planes in bytes.
+    pub fn footprint_bytes(&self) -> usize {
+        self.words.len() * std::mem::size_of::<u64>()
+    }
+
+    /// Row `i` as packed words.
+    ///
+    /// # Panics
+    /// Panics when `i >= rows()`.
+    pub fn row_words(&self, i: usize) -> &[u64] {
+        &self.words[i * self.words_per_row..(i + 1) * self.words_per_row]
+    }
+
+    /// Unpacks into an owned `f32` matrix of `±1.0` values.
+    pub fn to_matrix(&self) -> HvMatrix {
+        let mut out = HvMatrix::zeros(self.rows, self.dim);
+        self.unpack_into(&mut out);
+        out
+    }
+
+    /// Unpacks into `out` (reshaped as needed).
+    pub fn unpack_into(&self, out: &mut HvMatrix) {
+        out.ensure_shape(self.rows, self.dim);
+        for i in 0..self.rows {
+            unpack_row(self.row_words(i), out.row_mut(i));
+        }
+    }
+
+    /// Unpacks row `i` into an owned [`Hypervector`] tagged [`VsaKind::Bipolar`].
+    ///
+    /// # Errors
+    /// Returns [`VsaError::IndexOutOfRange`] on a bad row index.
+    pub fn row_hypervector(&self, i: usize) -> Result<Hypervector, VsaError> {
+        if i >= self.rows {
+            return Err(VsaError::IndexOutOfRange {
+                index: i,
+                len: self.rows,
+            });
+        }
+        let mut row = vec![0.0f32; self.dim];
+        unpack_row(self.row_words(i), &mut row);
+        Ok(Hypervector::with_kind(row, VsaKind::Bipolar))
+    }
+
+    /// Selects `indices` rows into `out` (the packed analogue of [`HvMatrix::gather`]).
+    ///
+    /// # Errors
+    /// Returns [`VsaError::IndexOutOfRange`] on a bad row index.
+    pub fn gather_into(&self, indices: &[usize], out: &mut Self) -> Result<(), VsaError> {
+        out.ensure_shape(indices.len(), self.dim);
+        for (slot, &i) in indices.iter().enumerate() {
+            if i >= self.rows {
+                return Err(VsaError::IndexOutOfRange {
+                    index: i,
+                    len: self.rows,
+                });
+            }
+            let dst = slot * out.words_per_row;
+            out.words[dst..dst + out.words_per_row].copy_from_slice(self.row_words(i));
+        }
+        Ok(())
+    }
+
+    /// Allocating variant of [`BitMatrix::gather_into`].
+    ///
+    /// # Errors
+    /// See [`BitMatrix::gather_into`].
+    pub fn gather(&self, indices: &[usize]) -> Result<Self, VsaError> {
+        let mut out = Self::default();
+        self.gather_into(indices, &mut out)?;
+        Ok(out)
+    }
+
+    /// A matrix whose every row is a copy of row `src` of `self`.
+    ///
+    /// # Errors
+    /// Returns [`VsaError::IndexOutOfRange`] on a bad row index.
+    pub fn broadcast_row(&self, src: usize, rows: usize) -> Result<Self, VsaError> {
+        self.gather(&vec![src; rows])
+    }
+
+    /// XORs row `i` of `other` into row `i` of `self` for every row — the in-place MAP
+    /// bind/unbind (its own inverse).
+    ///
+    /// # Errors
+    /// Returns [`VsaError::DimensionMismatch`] when the shapes disagree.
+    pub fn xor_assign(&mut self, other: &Self) -> Result<(), VsaError> {
+        if self.rows != other.rows || self.dim != other.dim {
+            return Err(VsaError::DimensionMismatch {
+                left: self.rows.max(self.dim),
+                right: other.rows.max(other.dim),
+            });
+        }
+        for (w, o) in self.words.iter_mut().zip(&other.words) {
+            *w ^= o;
+        }
+        Ok(())
+    }
+
+    /// Copies `src` into `self`, reshaping as needed (allocation-free once warm).
+    pub fn copy_from(&mut self, src: &Self) {
+        self.ensure_shape(src.rows, src.dim);
+        self.words.copy_from_slice(&src.words);
+    }
+
+    /// Dot product of rows `self[i]` and `other[j]` under the bipolar interpretation:
+    /// `d − 2·hamming`.
+    ///
+    /// # Panics
+    /// Panics on out-of-range rows (shapes are caller-checked in the kernels).
+    pub fn dot_rows(&self, i: usize, other: &Self, j: usize) -> i32 {
+        self.dim as i32 - 2 * hamming(self.row_words(i), other.row_words(j)) as i32
+    }
+
+    /// Bipolar cosine of rows `self[i]` and `other[j]`: `1 − 2·hamming/d`.
+    pub fn cosine_rows(&self, i: usize, other: &Self, j: usize) -> f32 {
+        if self.dim == 0 {
+            return 0.0;
+        }
+        self.dot_rows(i, other, j) as f32 / self.dim as f32
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Packed backend
+// ---------------------------------------------------------------------------
+
+/// Per-call scratch for the packed kernels, reused across invocations so the steady
+/// state performs no allocation.
+#[derive(Debug, Default)]
+struct PackedScratch {
+    a: BitMatrix,
+    b: BitMatrix,
+}
+
+/// [`VsaBackend`] over bit-packed sign planes for the MAP/Hadamard algebra.
+///
+/// * Hadamard bind/unbind on exactly-bipolar operands packs both sides and XORs words.
+/// * `similarity_matrix` / `cleanup_batch` on bipolar operands run whole-word
+///   XOR+popcount and map Hamming distance back to dot products / cosine, blocked over
+///   codebook rows for cache residency.
+/// * `bundle` counts votes per dimension in `i32` and emits the exact superposition.
+/// * Everything else — circular convolution (HRR), non-bipolar inputs, weighted
+///   projection — delegates to the wrapped dense [`ParallelBackend`], so this backend
+///   is a drop-in [`crate::BackendKind::Packed`] choice for any pipeline.
+///
+/// Numerics: XOR bind/unbind and the popcount dot products are **exact** (bitwise equal
+/// to the reference on bipolar inputs — `f32` sums of `±1` are themselves exact).
+/// Cleanup cosines divide by `d` instead of the product of `f32` norms, which agrees
+/// with the reference within the documented 1e-4 cosine contract.
+#[derive(Debug, Default)]
+pub struct PackedBackend {
+    dense: ParallelBackend,
+    scratch: std::sync::Mutex<PackedScratch>,
+}
+
+impl PackedBackend {
+    /// Creates a packed backend with a dense [`ParallelBackend`] fallback.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The dense backend non-bipolar / HRR operations fall back to.
+    pub fn dense(&self) -> &ParallelBackend {
+        &self.dense
+    }
+
+    /// Packed GEMM: `out[q][m] = queries[q] · codebook[m] = d − 2·hamming`, exact.
+    pub fn similarity_matrix_packed_into(
+        &self,
+        codebook: &BitMatrix,
+        queries: &BitMatrix,
+        out: &mut HvMatrix,
+    ) {
+        debug_assert_eq!(codebook.dim(), queries.dim(), "operand dims must match");
+        out.ensure_shape(queries.rows(), codebook.rows());
+        let d = codebook.dim() as i32;
+        for block_start in (0..codebook.rows()).step_by(CODEBOOK_BLOCK_ROWS) {
+            let block_end = (block_start + CODEBOOK_BLOCK_ROWS).min(codebook.rows());
+            for q in 0..queries.rows() {
+                let qw = queries.row_words(q);
+                let sims = out.row_mut(q);
+                for (slot, m) in sims[block_start..block_end]
+                    .iter_mut()
+                    .zip(block_start..block_end)
+                {
+                    *slot = (d - 2 * hamming(qw, codebook.row_words(m)) as i32) as f32;
+                }
+            }
+        }
+    }
+
+    /// Packed cleanup: per query, the index and bipolar cosine (`1 − 2·hamming/d`) of
+    /// the best-matching codebook row. Ties resolve to the lowest index, matching the
+    /// dense backends. Blocked over codebook rows so each block stays cache-resident
+    /// across the whole query batch.
+    ///
+    /// # Panics
+    /// Panics on an empty codebook (the checked entry points — the [`VsaBackend`]
+    /// surface and [`crate::Codebook`] — guarantee at least one row).
+    pub fn cleanup_batch_packed(
+        &self,
+        codebook: &BitMatrix,
+        queries: &BitMatrix,
+    ) -> Vec<(usize, f32)> {
+        assert!(codebook.rows() > 0, "cleanup requires a non-empty codebook");
+        debug_assert_eq!(codebook.dim(), queries.dim(), "operand dims must match");
+        let mut best: Vec<(usize, u32)> = vec![(0, u32::MAX); queries.rows()];
+        for block_start in (0..codebook.rows()).step_by(CODEBOOK_BLOCK_ROWS) {
+            let block_end = (block_start + CODEBOOK_BLOCK_ROWS).min(codebook.rows());
+            for (q, slot) in best.iter_mut().enumerate() {
+                let qw = queries.row_words(q);
+                for m in block_start..block_end {
+                    let h = hamming(qw, codebook.row_words(m));
+                    // Strictly smaller Hamming distance wins; equal keeps the earlier
+                    // index — identical tie-breaking to the dense `sim > best` scan.
+                    if h < slot.1 {
+                        *slot = (m, h);
+                    }
+                }
+            }
+        }
+        let d = queries.dim().max(1) as f32;
+        best.into_iter()
+            .map(|(m, h)| (m, (d - 2.0 * h as f32) / d))
+            .collect()
+    }
+
+    /// Packed bundling: per-dimension `i32` vote counters over all rows. The result is
+    /// the exact element-wise sum of the `±1` rows (identical to the reference bundle).
+    pub fn bundle_packed(&self, items: &BitMatrix) -> Result<Hypervector, VsaError> {
+        if items.rows() == 0 {
+            return Err(VsaError::Empty {
+                what: "bundle input",
+            });
+        }
+        let mut neg = vec![0i32; items.dim()];
+        for i in 0..items.rows() {
+            for (chunk, word) in neg.chunks_mut(WORD_BITS).zip(items.row_words(i)) {
+                if *word == 0 {
+                    continue;
+                }
+                for (bit, slot) in chunk.iter_mut().enumerate() {
+                    *slot += ((word >> bit) & 1) as i32;
+                }
+            }
+        }
+        let rows = items.rows() as i32;
+        let values = neg.into_iter().map(|n| (rows - 2 * n) as f32).collect();
+        Ok(Hypervector::with_kind(values, VsaKind::Dense))
+    }
+
+    /// Packs `a` and `b` into the shared scratch and XORs them into `out` when both are
+    /// exactly bipolar; returns `false` (leaving `out` untouched) otherwise.
+    fn try_xor_bind(&self, a: &HvMatrix, b: &HvMatrix, out: &mut HvMatrix) -> bool {
+        let mut scratch = self.scratch.lock().expect("packed scratch poisoned");
+        let PackedScratch { a: pa, b: pb } = &mut *scratch;
+        if !pa.pack_from(a) || !pb.pack_from(b) {
+            return false;
+        }
+        pa.xor_assign(pb).expect("packed operands share a shape");
+        pa.unpack_into(out);
+        true
+    }
+}
+
+impl VsaBackend for PackedBackend {
+    fn name(&self) -> &'static str {
+        "packed"
+    }
+
+    fn as_packed(&self) -> Option<&PackedBackend> {
+        Some(self)
+    }
+
+    fn bind_batch_into(
+        &self,
+        a: &HvMatrix,
+        b: &HvMatrix,
+        op: BindingOp,
+        out: &mut HvMatrix,
+    ) -> Result<(), VsaError> {
+        if op == BindingOp::Hadamard && a.rows() == b.rows() && a.dim() == b.dim() {
+            // Bipolar Hadamard product = XOR of sign planes, exactly.
+            if self.try_xor_bind(a, b, out) {
+                return Ok(());
+            }
+        }
+        self.dense.bind_batch_into(a, b, op, out)
+    }
+
+    fn unbind_batch_into(
+        &self,
+        a: &HvMatrix,
+        b: &HvMatrix,
+        op: BindingOp,
+        out: &mut HvMatrix,
+    ) -> Result<(), VsaError> {
+        if op == BindingOp::Hadamard && a.rows() == b.rows() && a.dim() == b.dim() {
+            // Bipolar MAP binding is self-inverse: unbind is the same XOR.
+            if self.try_xor_bind(a, b, out) {
+                return Ok(());
+            }
+        }
+        self.dense.unbind_batch_into(a, b, op, out)
+    }
+
+    fn similarity_matrix_into(
+        &self,
+        codebook: &HvMatrix,
+        queries: &HvMatrix,
+        out: &mut HvMatrix,
+    ) -> Result<(), VsaError> {
+        if codebook.dim() == queries.dim() {
+            let mut scratch = self.scratch.lock().expect("packed scratch poisoned");
+            let PackedScratch { a: pc, b: pq } = &mut *scratch;
+            if pc.pack_from(codebook) && pq.pack_from(queries) {
+                self.similarity_matrix_packed_into(pc, pq, out);
+                return Ok(());
+            }
+        }
+        self.dense.similarity_matrix_into(codebook, queries, out)
+    }
+
+    fn project_batch_into(
+        &self,
+        codebook: &HvMatrix,
+        weights: &HvMatrix,
+        out: &mut HvMatrix,
+    ) -> Result<(), VsaError> {
+        // Weighted superposition carries f32 weights; the dense kernel is already the
+        // right tool (the packed win is in bind/similarity/cleanup, not here).
+        self.dense.project_batch_into(codebook, weights, out)
+    }
+
+    fn bundle(&self, items: &HvMatrix) -> Result<Hypervector, VsaError> {
+        {
+            let mut scratch = self.scratch.lock().expect("packed scratch poisoned");
+            if scratch.a.pack_from(items) {
+                return self.bundle_packed(&scratch.a);
+            }
+        }
+        self.dense.bundle(items)
+    }
+
+    fn cleanup_batch(
+        &self,
+        codebook: &HvMatrix,
+        queries: &HvMatrix,
+    ) -> Result<Vec<(usize, f32)>, VsaError> {
+        if codebook.rows() == 0 {
+            return Err(VsaError::Empty { what: "codebook" });
+        }
+        if codebook.dim() == queries.dim() {
+            let mut scratch = self.scratch.lock().expect("packed scratch poisoned");
+            let PackedScratch { a: pc, b: pq } = &mut *scratch;
+            if pc.pack_from(codebook) && pq.pack_from(queries) {
+                return Ok(self.cleanup_batch_packed(pc, pq));
+            }
+        }
+        self.dense.cleanup_batch(codebook, queries)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::batch::ReferenceBackend;
+    use crate::rng;
+
+    fn random_bipolar_matrix(rows: usize, dim: usize, seed: u64) -> HvMatrix {
+        let mut r = rng(seed);
+        let hvs: Vec<Hypervector> = (0..rows)
+            .map(|_| Hypervector::random_bipolar(dim, &mut r))
+            .collect();
+        HvMatrix::from_rows(&hvs).unwrap()
+    }
+
+    #[test]
+    fn pack_unpack_round_trips_across_tail_shapes() {
+        for dim in [1usize, 63, 64, 65, 100, 128, 1000] {
+            let m = random_bipolar_matrix(3, dim, dim as u64);
+            let bits = BitMatrix::from_matrix(&m).expect("bipolar input packs");
+            assert_eq!(bits.words_per_row(), dim.div_ceil(64));
+            assert_eq!(bits.to_matrix(), m, "dim {dim}");
+            // Padding bits stay zero so whole-word kernels need no masking.
+            let tail = BitMatrix::tail_mask(dim);
+            for i in 0..bits.rows() {
+                let last = *bits.row_words(i).last().unwrap();
+                assert_eq!(last & !tail, 0, "dim {dim} row {i} has dirty padding");
+            }
+        }
+    }
+
+    #[test]
+    fn non_bipolar_input_refuses_to_pack() {
+        let m = HvMatrix::from_vec(vec![1.0, -1.0, 0.5, 1.0], 1, 4).unwrap();
+        assert!(BitMatrix::from_matrix(&m).is_none());
+        let zero = HvMatrix::zeros(2, 8);
+        assert!(BitMatrix::from_matrix(&zero).is_none());
+        assert!(BitMatrix::from_hypervectors(&[Hypervector::zeros(4)]).is_err());
+    }
+
+    #[test]
+    fn xor_bind_matches_hadamard_product() {
+        for dim in [64usize, 96, 1024] {
+            let a = random_bipolar_matrix(4, dim, 1);
+            let b = random_bipolar_matrix(4, dim, 2);
+            let packed = PackedBackend::new();
+            let reference = ReferenceBackend;
+            let r = reference.bind_batch(&a, &b, BindingOp::Hadamard).unwrap();
+            let p = packed.bind_batch(&a, &b, BindingOp::Hadamard).unwrap();
+            assert_eq!(r, p, "dim {dim}");
+            // MAP binding is self-inverse: unbinding recovers the other operand.
+            let back = packed.unbind_batch(&p, &b, BindingOp::Hadamard).unwrap();
+            assert_eq!(back, a);
+        }
+    }
+
+    #[test]
+    fn popcount_similarity_is_exact() {
+        let cb = random_bipolar_matrix(9, 100, 3);
+        let q = random_bipolar_matrix(5, 100, 4);
+        let packed = PackedBackend::new();
+        let reference = ReferenceBackend;
+        let rs = reference.similarity_matrix(&cb, &q).unwrap();
+        let ps = packed.similarity_matrix(&cb, &q).unwrap();
+        // Dots of ±1 vectors are exact in f32, so the popcount mapping is bitwise equal.
+        assert_eq!(rs, ps);
+    }
+
+    #[test]
+    fn cleanup_matches_reference_within_contract() {
+        let cb = random_bipolar_matrix(16, 1000, 5);
+        let q = random_bipolar_matrix(8, 1000, 6);
+        let packed = PackedBackend::new();
+        let reference = ReferenceBackend;
+        let rc = reference.cleanup_batch(&cb, &q).unwrap();
+        let pc = packed.cleanup_batch(&cb, &q).unwrap();
+        for ((ri, rsim), (pi, psim)) in rc.iter().zip(&pc) {
+            assert_eq!(ri, pi);
+            assert!((rsim - psim).abs() < 1e-4, "{rsim} vs {psim}");
+        }
+    }
+
+    #[test]
+    fn bundle_counts_votes_exactly() {
+        let items = random_bipolar_matrix(7, 200, 8);
+        let packed = PackedBackend::new();
+        let reference = ReferenceBackend;
+        assert_eq!(
+            reference.bundle(&items).unwrap().values(),
+            packed.bundle(&items).unwrap().values(),
+        );
+    }
+
+    #[test]
+    fn non_bipolar_and_hrr_fall_back_to_dense() {
+        let mut r = rng(9);
+        let hvs: Vec<Hypervector> = (0..3)
+            .map(|_| Hypervector::random_real(64, &mut r))
+            .collect();
+        let a = HvMatrix::from_rows(&hvs).unwrap();
+        let b = random_bipolar_matrix(3, 64, 10);
+        let packed = PackedBackend::new();
+        let dense = ParallelBackend::new();
+        for op in [BindingOp::Hadamard, BindingOp::CircularConvolution] {
+            assert_eq!(
+                packed.bind_batch(&a, &b, op).unwrap(),
+                dense.bind_batch(&a, &b, op).unwrap(),
+                "{op:?}"
+            );
+        }
+        assert_eq!(
+            packed.similarity_matrix(&a, &b).unwrap(),
+            dense.similarity_matrix(&a, &b).unwrap()
+        );
+        assert_eq!(
+            packed.cleanup_batch(&a, &b).unwrap(),
+            dense.cleanup_batch(&a, &b).unwrap()
+        );
+        assert_eq!(
+            packed.bundle(&a).unwrap().values(),
+            dense.bundle(&a).unwrap().values()
+        );
+    }
+
+    #[test]
+    fn pack_signs_row_uses_strict_negative_convention() {
+        let mut bits = BitMatrix::zeros(1, 4);
+        bits.pack_signs_row(0, &[-0.5, 0.0, -0.0, 2.0]);
+        // `v < 0.0`: −0.0 packs to +1, matching the estimate binarisation step.
+        assert_eq!(bits.row_words(0), &[0b0001]);
+    }
+
+    #[test]
+    fn gather_broadcast_and_dot_helpers() {
+        let m = random_bipolar_matrix(4, 70, 11);
+        let bits = BitMatrix::from_matrix(&m).unwrap();
+        let g = bits.gather(&[2, 0]).unwrap();
+        assert_eq!(g.row_words(0), bits.row_words(2));
+        assert_eq!(g.row_words(1), bits.row_words(0));
+        assert!(bits.gather(&[4]).is_err());
+        let b = bits.broadcast_row(1, 3).unwrap();
+        for i in 0..3 {
+            assert_eq!(b.row_words(i), bits.row_words(1));
+        }
+        assert_eq!(bits.dot_rows(0, &bits, 0), 70);
+        assert!((bits.cosine_rows(0, &bits, 0) - 1.0).abs() < 1e-6);
+        assert_eq!(bits.footprint_bytes(), 4 * 2 * 8);
+    }
+}

@@ -143,6 +143,20 @@ impl NeurosymbolicSolver {
     /// Attribute indices of the two encoding blocks (into [`Attribute::ALL`]).
     const BLOCKS: [&'static [usize]; 2] = [&[0, 1, 2], &[3, 4]];
 
+    /// Convergence threshold for factorizing one block out of a `blocks`-way scene
+    /// superposition.
+    ///
+    /// The scene is the *sign-thresholded* superposition of the block products, so a
+    /// correctly decoded block plateaus well below cosine 1 against it (≈ 0.5 for two
+    /// blocks: the other block halves the sign agreement and ties break to +1; more
+    /// blocks push the plateau towards `sqrt(2/(π·blocks))`). A flat single-product
+    /// threshold like 0.9 is therefore unreachable and every panel would burn the whole
+    /// iteration budget. `0.6/sqrt(blocks)` tracks the plateau from below — safely
+    /// under it, and far above the ≈ 0 cosine of a wrong tuple.
+    pub fn block_convergence_threshold(blocks: usize) -> f32 {
+        0.6 / (blocks.max(1) as f32).sqrt()
+    }
+
     /// Creates a solver, generating one attribute codebook per RAVEN attribute.
     pub fn new<R: Rng + ?Sized>(config: SolverConfig, rng: &mut R) -> Self {
         let attribute_codebooks: Vec<_> = Attribute::ALL
@@ -168,10 +182,17 @@ impl NeurosymbolicSolver {
         // One shared backend instance serves both the solver's own batch kernels and
         // the factorizer (sharing the FFT-plan cache when the backend is parallel).
         let backend = config.backend.create();
-        let factorizer = Factorizer::with_backend(
-            config.factorizer.clone().with_backend(config.backend),
-            Arc::clone(&backend),
-        );
+        // The factorizer decodes *blocks* of the scene superposition, so it runs with
+        // the per-block convergence threshold; min() keeps a deliberately lower
+        // configured threshold in charge, it never tightens past the block plateau.
+        let block_threshold = Self::block_convergence_threshold(Self::BLOCKS.len())
+            .min(config.factorizer.convergence_threshold);
+        let factorizer_config = FactorizerConfig {
+            convergence_threshold: block_threshold,
+            ..config.factorizer.clone()
+        }
+        .with_backend(config.backend);
+        let factorizer = Factorizer::with_backend(factorizer_config, Arc::clone(&backend));
         Self {
             config,
             codebooks,
@@ -683,6 +704,55 @@ mod tests {
         assert!(slow_report.factorization_accuracy() >= 0.85);
         assert_eq!(fast.backend().name(), "parallel");
         assert_eq!(slow.backend().name(), "reference");
+    }
+
+    #[test]
+    fn block_threshold_stops_factorizer_early() {
+        // The scene superposition caps the per-block rebind cosine around
+        // 1/sqrt(#blocks), so with the flat 0.9 threshold every panel used to burn the
+        // whole 200-iteration budget per block. The per-block threshold converges
+        // correct decodes in a handful of iterations.
+        let (s, mut r) = solver(12, SolverConfig::default());
+        assert!(
+            (NeurosymbolicSolver::block_convergence_threshold(2) - 0.6 / 2f32.sqrt()).abs() < 1e-6
+        );
+        let panels: Vec<Panel> = (0..4).map(|_| Panel::random(&mut r)).collect();
+        let (decoded, iters) = s.perceive_and_factorize_batch(&panels, &mut r).unwrap();
+        let exact = decoded.iter().zip(&panels).filter(|(a, b)| a == b).count();
+        assert!(exact >= 3, "only {exact}/4 panels decoded exactly");
+        let budget = panels.len() * 2 * s.config().factorizer.max_iterations;
+        assert!(
+            iters * 4 < budget,
+            "expected early convergence: {iters} of {budget} budget iterations"
+        );
+    }
+
+    #[test]
+    fn packed_backend_reaches_same_accuracy() {
+        // BackendKind::Packed end to end: the XOR/popcount pipeline must match the
+        // dense backends' reasoning quality (its similarity decisions are exact).
+        let config = SolverConfig::default();
+        let (packed, mut r1) = solver(13, config.clone().with_backend(BackendKind::Packed));
+        let (dense, mut r2) = solver(13, config.with_backend(BackendKind::Parallel));
+        let problems = ProblemGenerator::new(DatasetKind::Raven).generate_batch(4, &mut r1);
+        let packed_report = packed.solve_batch(&problems, &mut r1).unwrap();
+        let _ = ProblemGenerator::new(DatasetKind::Raven).generate_batch(4, &mut r2);
+        let dense_report = dense.solve_batch(&problems, &mut r2).unwrap();
+        assert_eq!(packed_report.problems, dense_report.problems);
+        assert_eq!(packed_report.panels_total, dense_report.panels_total);
+        assert!(
+            (packed_report.correct as i64 - dense_report.correct as i64).abs() <= 1,
+            "packed {} vs dense {}",
+            packed_report.correct,
+            dense_report.correct
+        );
+        assert!(
+            packed_report.accuracy() >= 0.66,
+            "{}",
+            packed_report.accuracy()
+        );
+        assert!(packed_report.factorization_accuracy() >= 0.85);
+        assert_eq!(packed.backend().name(), "packed");
     }
 
     #[test]

@@ -5,12 +5,17 @@
 //!
 //! 1. `ReferenceBackend` and `ParallelBackend` agree (bitwise for Hadamard ops and the
 //!    planned FFT, within float tolerance when compared against the `O(d²)` kernel);
-//! 2. batching is a pure performance transform — `factorize_batch` returns exactly the
+//! 2. `PackedBackend` reproduces the reference exactly where the bit-packed algebra
+//!    applies (bipolar Hadamard bind/unbind, integer dot products, vote-count bundling)
+//!    and within the 1e-4 cosine contract for the Hamming→cosine cleanup mapping, on
+//!    power-of-two and non-power-of-two dimensions (tail-word padding included);
+//! 3. batching is a pure performance transform — `factorize_batch` returns exactly the
 //!    per-query `factorize` results.
 
 use cogsys_factorizer::{Factorizer, FactorizerConfig};
 use cogsys_vsa::batch::{BackendKind, HvMatrix};
 use cogsys_vsa::codebook::BindingOp;
+use cogsys_vsa::packed::BitMatrix;
 use cogsys_vsa::{ops, rng, CodebookSet, Hypervector, Precision};
 use proptest::prelude::*;
 
@@ -107,6 +112,86 @@ proptest! {
         prop_assert_eq!(
             reference.bundle(&q).unwrap().values(),
             parallel.bundle(&q).unwrap().values()
+        );
+    }
+
+    /// PackedBackend parity on bipolar inputs: bind/unbind are *exact* (XOR equals the
+    /// Hadamard product of signs), across power-of-two and non-power-of-two dims so
+    /// tail-word padding is exercised.
+    #[test]
+    fn prop_packed_bind_unbind_exact_on_bipolar(seed in 0u64..1000, d_pow in 2u32..9, odd in 0usize..7) {
+        let dim = (1usize << d_pow) + [0, 1, 3, 5, 7, 11, 13][odd];
+        let (_, a) = random_batch(3, dim, seed);
+        let (_, b) = random_batch(3, dim, seed ^ 0xb17);
+        let reference = BackendKind::Reference.create();
+        let packed = BackendKind::Packed.create();
+        let r = reference.bind_batch(&a, &b, BindingOp::Hadamard).unwrap();
+        let p = packed.bind_batch(&a, &b, BindingOp::Hadamard).unwrap();
+        prop_assert_eq!(&r, &p);
+        let ru = reference.unbind_batch(&a, &b, BindingOp::Hadamard).unwrap();
+        let pu = packed.unbind_batch(&a, &b, BindingOp::Hadamard).unwrap();
+        prop_assert_eq!(&ru, &pu);
+        // Packed round trip through the BitMatrix representation is lossless.
+        let bits = BitMatrix::from_matrix(&a).expect("bipolar rows pack");
+        prop_assert_eq!(bits.to_matrix(), a);
+        prop_assert_eq!(bits.words_per_row(), dim.div_ceil(64));
+    }
+
+    /// PackedBackend similarity is the exact integer dot product and its cleanup
+    /// agrees with the reference within 1e-4 cosine after the Hamming→cosine mapping;
+    /// bundling (vote counters) matches the reference sum exactly, which pins down the
+    /// tie behaviour of any later sign threshold.
+    #[test]
+    fn prop_packed_similarity_cleanup_bundle(
+        seed in 0u64..1000,
+        d_pow in 2u32..9,
+        odd in 0usize..7,
+        code_rows in 2usize..24,
+        queries in 1usize..10,
+    ) {
+        let dim = (1usize << d_pow) + [0, 1, 3, 5, 7, 11, 13][odd];
+        let (_, cb) = random_batch(code_rows, dim, seed);
+        let (_, q) = random_batch(queries, dim, seed + 131);
+        let reference = BackendKind::Reference.create();
+        let packed = BackendKind::Packed.create();
+        // Dots of ±1 rows are exact in f32, so popcount similarity is bitwise equal.
+        prop_assert_eq!(
+            reference.similarity_matrix(&cb, &q).unwrap(),
+            packed.similarity_matrix(&cb, &q).unwrap()
+        );
+        let rc = reference.cleanup_batch(&cb, &q).unwrap();
+        let pc = packed.cleanup_batch(&cb, &q).unwrap();
+        for ((ri, rsim), (pi, psim)) in rc.iter().zip(&pc) {
+            prop_assert_eq!(ri, pi);
+            prop_assert!((rsim - psim).abs() < 1e-4, "{} vs {}", rsim, psim);
+        }
+        prop_assert_eq!(
+            reference.bundle(&q).unwrap().values(),
+            packed.bundle(&q).unwrap().values()
+        );
+    }
+
+    /// Non-bipolar operands must not silently lose magnitude: the packed backend's
+    /// results match the dense fallback bitwise.
+    #[test]
+    fn prop_packed_falls_back_on_real_inputs(seed in 0u64..500, dim in 2usize..130) {
+        let mut r = rng(seed);
+        let hvs: Vec<Hypervector> = (0..3)
+            .map(|_| Hypervector::random_real(dim, &mut r))
+            .collect();
+        let a = HvMatrix::from_rows(&hvs).unwrap();
+        let (_, b) = random_batch(3, dim, seed + 7);
+        let parallel = BackendKind::Parallel.create();
+        let packed = BackendKind::Packed.create();
+        for op in [BindingOp::Hadamard, BindingOp::CircularConvolution] {
+            prop_assert_eq!(
+                parallel.bind_batch(&a, &b, op).unwrap(),
+                packed.bind_batch(&a, &b, op).unwrap()
+            );
+        }
+        prop_assert_eq!(
+            parallel.similarity_matrix(&a, &b).unwrap(),
+            packed.similarity_matrix(&a, &b).unwrap()
         );
     }
 }
