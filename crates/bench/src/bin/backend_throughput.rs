@@ -1,17 +1,35 @@
-//! Backend throughput sweep with machine-readable output.
+//! Backend throughput sweep with machine-readable output and a regression guard.
 //!
-//! Measures the circular-convolution binding and codebook-cleanup kernels for every
-//! [`cogsys_vsa::BackendKind`] across `d ∈ {256, 1024, 4096}` × `batch ∈ {1, 32, 256}`,
-//! prints the speedup table, and writes the raw `(backend, kernel, dim, batch) →
-//! ns/op` records to `BENCH_backends.json` in the current directory — the file the CI
-//! bench-smoke step publishes so the perf trajectory is tracked across PRs.
+//! Measures the circular-convolution binding and codebook-cleanup kernels (both `f32`
+//! and pre-packed `BitMatrix` queries) for every [`cogsys_vsa::BackendKind`] across
+//! `d ∈ {256, 1024, 4096}` × `batch ∈ {1, 32, 256}`, prints the speedup table, and
+//! writes the raw `(backend, kernel, dim, batch) → ns/op` records to
+//! `BENCH_backends.json` in the current directory — the file the CI bench-smoke step
+//! publishes so the perf trajectory is tracked across PRs.
+//!
+//! **Regression guard:** before overwriting, the committed `BENCH_backends.json` is
+//! read as the baseline; if any packed-backend kernel slowed down by more than 1.3×,
+//! the binary prints the offending cells and exits non-zero, failing the CI
+//! bench-smoke step. Set `BENCH_GUARD=off` to record a new baseline without gating
+//! (e.g. after an intentional trade-off or a hardware change).
 //!
 //! Run with: `cargo run --release -p cogsys-bench --bin backend_throughput`
 
-fn main() {
+use std::process::ExitCode;
+
+/// Maximum tolerated slowdown of a packed kernel relative to the committed baseline.
+const GUARD_FACTOR: f64 = 1.3;
+
+fn main() -> ExitCode {
     const DIMS: [usize; 3] = [256, 1024, 4096];
     const BATCHES: [usize; 3] = [1, 32, 256];
     const SEED: u64 = 7;
+
+    let path = "BENCH_backends.json";
+    let baseline = std::fs::read_to_string(path)
+        .ok()
+        .map(|text| cogsys::experiments::parse_backend_throughput_json(&text))
+        .unwrap_or_default();
 
     let records = cogsys::experiments::backend_throughput_records(&DIMS, &BATCHES, SEED);
     println!(
@@ -20,25 +38,57 @@ fn main() {
     );
 
     let json = cogsys::experiments::backend_throughput_json(SEED, &records);
-    let path = "BENCH_backends.json";
     std::fs::write(path, &json).expect("BENCH_backends.json is writable");
     println!("wrote {} records to {path}", records.len());
 
-    // Surface the headline acceptance number: packed cleanup at d=1024, batch=256.
-    let cell = |backend: &str| {
+    // Surface the headline acceptance numbers: packed cleanup at d=1024, batch=256,
+    // with and without the per-call query packing.
+    let cell = |backend: &str, kernel: &str| {
         records
             .iter()
-            .find(|r| {
-                r.backend == backend && r.kernel == "cleanup" && r.dim == 1024 && r.batch == 256
-            })
+            .find(|r| r.backend == backend && r.kernel == kernel && r.dim == 1024 && r.batch == 256)
             .map(|r| r.ns_per_op)
     };
-    if let (Some(parallel), Some(packed)) = (cell("parallel"), cell("packed")) {
+    if let (Some(parallel), Some(packed)) = (cell("parallel", "cleanup"), cell("packed", "cleanup"))
+    {
         println!(
             "cleanup d=1024 batch=256: parallel {:.3} ms, packed {:.3} ms ({:.1}x)",
             parallel / 1e6,
             packed / 1e6,
             parallel / packed.max(1.0)
         );
+    }
+    if let (Some(per_call), Some(prepacked)) = (
+        cell("packed", "cleanup"),
+        cell("packed", "cleanup_prepacked"),
+    ) {
+        println!(
+            "packed cleanup d=1024 batch=256: pack-per-call {:.3} ms, prepacked BitMatrix \
+             queries {:.3} ms ({:.2}x)",
+            per_call / 1e6,
+            prepacked / 1e6,
+            per_call / prepacked.max(1.0)
+        );
+    }
+
+    if std::env::var("BENCH_GUARD").as_deref() == Ok("off") {
+        println!("BENCH_GUARD=off: baseline comparison skipped");
+        return ExitCode::SUCCESS;
+    }
+    let regressions =
+        cogsys::experiments::packed_bench_regressions(&baseline, &records, GUARD_FACTOR);
+    if regressions.is_empty() {
+        println!(
+            "bench guard: no packed kernel slower than {GUARD_FACTOR}x baseline \
+             ({} baseline cells)",
+            baseline.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("bench guard FAILED: packed kernels regressed past {GUARD_FACTOR}x baseline:");
+        for r in &regressions {
+            eprintln!("  {r}");
+        }
+        ExitCode::FAILURE
     }
 }

@@ -86,14 +86,15 @@ impl fmt::Display for ExperimentTable {
 pub struct BenchRecord {
     /// Backend name (`reference`, `parallel`, `packed`).
     pub backend: String,
-    /// Kernel name (`bind_circular` — row-wise circular-convolution binding — or
-    /// `cleanup` — codebook cleanup of the whole query batch).
+    /// Kernel name: `bind_circular` (row-wise circular-convolution binding),
+    /// `cleanup` (codebook cleanup of an `f32` query batch) or `cleanup_prepacked`
+    /// (codebook cleanup of pre-packed `BitMatrix` queries).
     pub kernel: String,
     /// Hypervector dimensionality.
     pub dim: usize,
     /// Number of rows in the batch.
     pub batch: usize,
-    /// Best-of-three wall-clock nanoseconds for one batched kernel call.
+    /// Best-of-five wall-clock nanoseconds for one batched kernel call.
     pub ns_per_op: f64,
 }
 
@@ -106,17 +107,22 @@ impl BenchRecord {
 /// Number of codebook rows used by the throughput sweep's cleanup kernel.
 pub const BENCH_CODEBOOK_ROWS: usize = 64;
 
-/// Measures the two hot batch kernels — circular-convolution binding and codebook
-/// cleanup — for every [`BackendKind`] across the requested dimensionalities and batch
-/// sizes. Each record is the best (minimum) of three timed rounds after one warm-up.
+/// Measures the hot batch kernels — circular-convolution binding, codebook cleanup of
+/// `f32` queries, and codebook cleanup of **pre-packed** `BitMatrix` queries — for
+/// every [`BackendKind`] across the requested dimensionalities and batch sizes. Each
+/// record is the best (minimum) of five timed rounds after one warm-up.
 ///
-/// The cleanup measurement goes through [`Codebook::cleanup_batch`], so packed-aware
-/// backends get their cached codebook sign planes — exactly the production call path.
+/// The cleanup measurements go through [`Codebook::cleanup_batch`] /
+/// [`Codebook::cleanup_batch_bits`], so packed-aware backends get their cached
+/// codebook sign planes — exactly the production call paths. The gap between
+/// `cleanup` and `cleanup_prepacked` on the packed backend is the per-call query
+/// packing cost that end-to-end `BitMatrix` pipelines avoid.
 pub fn backend_throughput_records(
     dims: &[usize],
     batches: &[usize],
     seed: u64,
 ) -> Vec<BenchRecord> {
+    use cogsys_vsa::packed::BitMatrix;
     use std::time::Instant;
 
     let backends: Vec<_> = BackendKind::ALL.iter().map(|k| k.create()).collect();
@@ -133,11 +139,13 @@ pub fn backend_throughput_records(
                 .collect();
             let a = HvMatrix::from_rows(&rows).expect("rows share a dimension");
             let b = HvMatrix::from_rows(&others).expect("rows share a dimension");
+            let a_bits = BitMatrix::from_matrix(&a).expect("bipolar queries pack");
 
             let time = |f: &mut dyn FnMut()| {
-                // One warm-up round, then the best (minimum) of three timed rounds.
+                // One warm-up round, then the best (minimum) of five timed rounds —
+                // the minimum is the least noisy statistic on a shared CI core.
                 f();
-                (0..3)
+                (0..5)
                     .map(|_| {
                         let t = Instant::now();
                         f();
@@ -171,10 +179,120 @@ pub fn backend_throughput_records(
                     batch,
                     ns_per_op: cleanup * 1e9,
                 });
+                let prepacked = time(&mut || {
+                    let _ = codebook
+                        .cleanup_batch_bits(backend.as_ref(), &a_bits)
+                        .expect("shapes match");
+                });
+                records.push(BenchRecord {
+                    backend: backend.name().to_string(),
+                    kernel: "cleanup_prepacked".to_string(),
+                    dim,
+                    batch,
+                    ns_per_op: prepacked * 1e9,
+                });
             }
         }
     }
     records
+}
+
+/// Parses a `BENCH_backends.json` payload produced by
+/// [`backend_throughput_json`] back into records (a hand-rolled line scanner — the
+/// build is offline, so no JSON crate is available). Unparseable lines are skipped.
+pub fn parse_backend_throughput_json(text: &str) -> Vec<BenchRecord> {
+    let field = |line: &str, key: &str| -> Option<String> {
+        let start = line.find(&format!("\"{key}\":"))? + key.len() + 3;
+        let rest = line[start..].trim_start();
+        let rest = rest.strip_prefix('"').unwrap_or(rest);
+        let end = rest.find(['"', ',', '}']).unwrap_or(rest.len());
+        Some(rest[..end].trim().to_string())
+    };
+    text.lines()
+        .filter(|line| line.contains("\"backend\":"))
+        .filter_map(|line| {
+            Some(BenchRecord {
+                backend: field(line, "backend")?,
+                kernel: field(line, "kernel")?,
+                dim: field(line, "dim")?.parse().ok()?,
+                batch: field(line, "batch")?.parse().ok()?,
+                ns_per_op: field(line, "ns_per_op")?.parse().ok()?,
+            })
+        })
+        .collect()
+}
+
+/// Compares fresh throughput records against a committed baseline and reports every
+/// **packed-backend kernel** that slowed down by more than `factor` (e.g. 1.3 = 30%).
+///
+/// Two levels of noise-robustness make this safe as a hard CI gate on a shared
+/// one-core container:
+///
+/// * each packed cell is normalised by the **same run's** reference-backend time for
+///   the same `(kernel, dim, batch)` cell, so a machine-wide slowdown (busier
+///   container, different host generation) cancels out — what is gated is the packed
+///   kernel's advantage over the reference, not absolute nanoseconds;
+/// * cells are aggregated into one **geometric mean per kernel** before comparing, so
+///   single-cell timing jitter (which routinely reaches ±40% per cell) averages out
+///   across the dim × batch sweep instead of tripping the gate.
+///
+/// Cells present in only one of the two record sets are ignored (new kernels, retired
+/// ones), as are cells whose baseline reference twin is missing.
+///
+/// This is the CI bench-smoke regression guard: the `backend_throughput` binary exits
+/// non-zero when this list is non-empty.
+pub fn packed_bench_regressions(
+    baseline: &[BenchRecord],
+    fresh: &[BenchRecord],
+    factor: f64,
+) -> Vec<String> {
+    let reference = |records: &[BenchRecord], probe: &BenchRecord| -> Option<f64> {
+        records
+            .iter()
+            .find(|r| r.matches("reference", &probe.kernel, probe.dim, probe.batch))
+            .map(|r| r.ns_per_op.max(1.0))
+    };
+    // kernel -> (sum of ln(old_norm), sum of ln(new_norm), cell count)
+    let mut per_kernel: Vec<(String, f64, f64, usize)> = Vec::new();
+    for old in baseline {
+        if old.backend != "packed" {
+            continue;
+        }
+        let Some(new) = fresh
+            .iter()
+            .find(|r| r.matches(&old.backend, &old.kernel, old.dim, old.batch))
+        else {
+            continue;
+        };
+        let (Some(old_ref), Some(new_ref)) = (reference(baseline, old), reference(fresh, new))
+        else {
+            continue;
+        };
+        let old_norm = (old.ns_per_op.max(1.0) / old_ref).ln();
+        let new_norm = (new.ns_per_op.max(1.0) / new_ref).ln();
+        match per_kernel.iter_mut().find(|(k, ..)| *k == old.kernel) {
+            Some((_, o, n, c)) => {
+                *o += old_norm;
+                *n += new_norm;
+                *c += 1;
+            }
+            None => per_kernel.push((old.kernel.clone(), old_norm, new_norm, 1)),
+        }
+    }
+    per_kernel
+        .into_iter()
+        .filter_map(|(kernel, old_sum, new_sum, count)| {
+            let old_geo = (old_sum / count as f64).exp();
+            let new_geo = (new_sum / count as f64).exp();
+            (new_geo > old_geo * factor).then(|| {
+                format!(
+                    "packed {kernel} ({count} cells): geomean {old_geo:.4}x reference -> \
+                     {new_geo:.4}x reference ({:.2}x slower than baseline)",
+                    new_geo / old_geo
+                )
+            })
+        })
+        .collect()
 }
 
 /// Renders throughput records as the machine-readable `BENCH_backends.json` payload:
@@ -210,6 +328,7 @@ pub fn backend_throughput_table(records: &[BenchRecord]) -> ExperimentTable {
             "packed bind x",
             "parallel cleanup x",
             "packed cleanup x",
+            "packed prepacked x",
         ],
     );
     let mut cells: Vec<(usize, usize)> = Vec::new();
@@ -240,6 +359,10 @@ pub fn backend_throughput_table(records: &[BenchRecord]) -> ExperimentTable {
                 speedup("packed", "bind_circular"),
                 speedup("parallel", "cleanup"),
                 speedup("packed", "cleanup"),
+                // Pre-packed BitMatrix queries on both sides: packed popcount
+                // cleanup vs the reference default (unpack + f32 cleanup) — the
+                // end-to-end packed pipeline's advantage, query packing excluded.
+                speedup("packed", "cleanup_prepacked"),
             ],
         );
     }
@@ -1002,6 +1125,87 @@ mod tests {
         // One record per line, valid trailing-comma structure (last record bare).
         assert_eq!(json.matches("\"backend\":").count(), 3);
         assert!(json.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn bench_json_round_trips_through_the_parser() {
+        let records = vec![
+            BenchRecord {
+                backend: "packed".into(),
+                kernel: "cleanup_prepacked".into(),
+                dim: 1024,
+                batch: 256,
+                ns_per_op: 123456.0,
+            },
+            BenchRecord {
+                backend: "parallel".into(),
+                kernel: "bind_circular".into(),
+                dim: 256,
+                batch: 1,
+                ns_per_op: 900.5,
+            },
+        ];
+        let parsed = parse_backend_throughput_json(&backend_throughput_json(7, &records));
+        assert_eq!(parsed, records);
+        // Garbage lines are skipped, not fatal.
+        assert!(parse_backend_throughput_json("{\"backend\": oops\n").is_empty());
+        assert!(parse_backend_throughput_json("not json at all").is_empty());
+    }
+
+    #[test]
+    fn bench_guard_flags_only_real_packed_regressions() {
+        let rec = |backend: &str, kernel: &str, dim: usize, ns: f64| BenchRecord {
+            backend: backend.into(),
+            kernel: kernel.into(),
+            dim,
+            batch: 256,
+            ns_per_op: ns,
+        };
+        let baseline = vec![
+            rec("packed", "cleanup", 256, 100_000.0),
+            rec("reference", "cleanup", 256, 1_000_000.0),
+            rec("packed", "cleanup", 1024, 400_000.0),
+            rec("reference", "cleanup", 1024, 4_000_000.0),
+            rec("packed", "cleanup_prepacked", 256, 50_000.0),
+            rec("reference", "cleanup_prepacked", 256, 1_000_000.0),
+            rec("parallel", "cleanup", 256, 300_000.0), // dense backend: never gated
+        ];
+
+        // A machine-wide 2x slowdown (packed and reference both doubled) cancels out.
+        let uniformly_slower: Vec<BenchRecord> = baseline
+            .iter()
+            .map(|r| rec(&r.backend, &r.kernel, r.dim, r.ns_per_op * 2.0))
+            .collect();
+        assert!(packed_bench_regressions(&baseline, &uniformly_slower, 1.3).is_empty());
+
+        // Opposite single-cell jitter (one cell 1.4x up, its sibling 1.4x down)
+        // cancels in the per-kernel geometric mean instead of tripping the gate.
+        let jitter = vec![
+            rec("packed", "cleanup", 256, 140_000.0),
+            rec("reference", "cleanup", 256, 1_000_000.0),
+            rec("packed", "cleanup", 1024, 285_000.0),
+            rec("reference", "cleanup", 1024, 4_000_000.0),
+            rec("packed", "cleanup_prepacked", 256, 50_000.0),
+            rec("reference", "cleanup_prepacked", 256, 1_000_000.0),
+        ];
+        assert!(packed_bench_regressions(&baseline, &jitter, 1.3).is_empty());
+
+        // A packed-only slowdown of one kernel is flagged, and names the kernel.
+        let regressed = vec![
+            rec("packed", "cleanup", 256, 100_000.0),
+            rec("reference", "cleanup", 256, 1_000_000.0),
+            rec("packed", "cleanup", 1024, 400_000.0),
+            rec("reference", "cleanup", 1024, 4_000_000.0),
+            rec("packed", "cleanup_prepacked", 256, 200_000.0), // 4x slower
+            rec("reference", "cleanup_prepacked", 256, 1_000_000.0),
+        ];
+        let flagged = packed_bench_regressions(&baseline, &regressed, 1.3);
+        assert_eq!(flagged.len(), 1, "{flagged:?}");
+        assert!(flagged[0].contains("cleanup_prepacked"));
+        assert!(flagged[0].contains("x reference"));
+
+        // Missing cells (kernel added or retired) are ignored entirely.
+        assert!(packed_bench_regressions(&baseline, &[], 1.3).is_empty());
     }
 
     #[test]

@@ -68,8 +68,11 @@ pub struct FactorizerConfig {
     /// Which batched execution backend runs the three factorization steps.
     ///
     /// The backends agree within a 1e-4 cosine tolerance (binding/bundling are
-    /// bitwise identical); [`BackendKind::Parallel`] adds row parallelism, cached FFT
-    /// plans, vectorised similarity kernels and allocation-free inner loops.
+    /// bitwise identical). The default, [`BackendKind::Packed`], runs the whole
+    /// resonator loop on bit-packed sign planes for bipolar Hadamard configurations
+    /// (XOR unbinding, popcount similarity, fused packed projection) and falls back
+    /// to [`BackendKind::Parallel`] — row parallelism, cached FFT plans, vectorised
+    /// similarity kernels — for HRR/circular binding and non-bipolar operands.
     pub backend: BackendKind,
 }
 
@@ -123,6 +126,18 @@ impl FactorizerConfig {
                 self.stochasticity.decay
             ));
         }
+        // The sigmas parameterise Gaussian distributions deep in the resonator's hot
+        // loop; validating here means distribution construction can never fail there.
+        for (name, sigma) in [
+            ("similarity_sigma", self.stochasticity.similarity_sigma),
+            ("projection_sigma", self.stochasticity.projection_sigma),
+        ] {
+            if !sigma.is_finite() || sigma < 0.0 {
+                return Err(format!(
+                    "stochasticity {name} must be finite and >= 0, got {sigma}"
+                ));
+            }
+        }
         Ok(())
     }
 }
@@ -162,6 +177,15 @@ mod tests {
             convergence_threshold: 1.5,
             ..FactorizerConfig::default()
         };
+        assert!(c.validate().is_err());
+
+        // Negative or non-finite sigmas must be rejected up front — the resonator
+        // builds Normal distributions from them in its hot loop.
+        let mut c = FactorizerConfig::default();
+        c.stochasticity.similarity_sigma = -0.1;
+        assert!(c.validate().is_err());
+        let mut c = FactorizerConfig::default();
+        c.stochasticity.projection_sigma = f32::NAN;
         assert!(c.validate().is_err());
 
         let mut c = FactorizerConfig::default();

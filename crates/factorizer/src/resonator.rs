@@ -60,12 +60,20 @@ impl Default for Factorizer {
 }
 
 /// Adds i.i.d. Gaussian noise in place; numerically identical to
-/// [`ops::add_gaussian_noise`] on the same generator state.
-fn add_noise_slice(values: &mut [f32], sigma: f32, rng: &mut StdRng) {
-    let normal = Normal::new(0.0_f32, sigma).expect("sigma is positive and finite");
+/// [`ops::add_gaussian_noise`] on the same generator state. The distribution is built
+/// once per sigma change ([`QueryState`] caches it), never in this hot-loop call.
+fn add_noise_slice(values: &mut [f32], normal: &Normal<f32>, rng: &mut StdRng) {
     for v in values {
         *v += normal.sample(rng);
     }
+}
+
+/// The cached distribution for a sigma, or `None` when noise is disabled. Sigmas are
+/// validated by [`FactorizerConfig::validate`] (finite, non-negative), so construction
+/// only fails if the `sqrt(d)` scaling overflowed — a configuration bug, not a
+/// per-iteration hazard.
+fn noise_dist(sigma: f32) -> Option<Normal<f32>> {
+    (sigma > 0.0).then(|| Normal::new(0.0_f32, sigma).expect("validated sigma stays finite"))
 }
 
 /// Cosine similarity of two rows, matching [`ops::try_cosine_similarity`] numerics.
@@ -87,6 +95,10 @@ fn cosine_rows(a: &[f32], b: &[f32]) -> f32 {
 struct QueryState {
     sim_sigma: f32,
     proj_sigma: f32,
+    /// Distributions for the current sigmas, rebuilt only when the schedule decays —
+    /// the per-step noise calls sample a cached `Normal` instead of constructing one.
+    sim_noise: Option<Normal<f32>>,
+    proj_noise: Option<Normal<f32>>,
     decoded: Vec<usize>,
     best_indices: Vec<usize>,
     best_similarity: f32,
@@ -96,9 +108,13 @@ struct QueryState {
 
 impl QueryState {
     fn new(config: &FactorizerConfig, num_factors: usize, noise_scale: f32) -> Self {
+        let sim_sigma = config.stochasticity.similarity_sigma * noise_scale;
+        let proj_sigma = config.stochasticity.projection_sigma * noise_scale;
         Self {
-            sim_sigma: config.stochasticity.similarity_sigma * noise_scale,
-            proj_sigma: config.stochasticity.projection_sigma * noise_scale,
+            sim_sigma,
+            proj_sigma,
+            sim_noise: noise_dist(sim_sigma),
+            proj_noise: noise_dist(proj_sigma),
             decoded: vec![0usize; num_factors],
             best_indices: vec![0usize; num_factors],
             best_similarity: f32::NEG_INFINITY,
@@ -159,8 +175,12 @@ impl QueryState {
             }
         }
 
-        self.sim_sigma *= config.stochasticity.decay;
-        self.proj_sigma *= config.stochasticity.decay;
+        if config.stochasticity.decay != 1.0 {
+            self.sim_sigma *= config.stochasticity.decay;
+            self.proj_sigma *= config.stochasticity.decay;
+            self.sim_noise = noise_dist(self.sim_sigma);
+            self.proj_noise = noise_dist(self.proj_sigma);
+        }
         false
     }
 
@@ -305,20 +325,74 @@ impl Factorizer {
             fake_quantize_slice(query_q.row_mut(q), precision);
         }
 
-        // Packed fast path. FP32 only: lower precisions quantize the projected
-        // estimate *before* the sign threshold, which the packed pipeline skips, and
-        // the fast path must stay decision-identical to the dense engine.
-        if precision == Precision::Fp32
-            && set.binding() == BindingOp::Hadamard
-            && self.backend.as_packed().is_some()
-            && set.codebooks().iter().all(|cb| cb.packed().is_some())
-        {
+        // Packed fast path (see [`Factorizer::packed_pipeline`]). FP32 only: lower
+        // precisions quantize the projected estimate *before* the sign threshold,
+        // which the packed pipeline skips, and the fast path must stay
+        // decision-identical to the dense engine.
+        if self.packed_pipeline(set) {
             if let Some(query_bits) = BitMatrix::from_matrix(&query_q) {
                 return self.factorize_matrix_packed(set, query_bits, streams);
             }
         }
 
         self.factorize_matrix_dense(set, query_q, streams)
+    }
+
+    /// Returns `true` when factorizing against `set` runs the bit-packed resonator
+    /// engine: Hadamard binding, FP32 precision, a backend with a packed fast path,
+    /// and cached sign planes on every factor codebook. Callers that already hold
+    /// packed queries can then stay in sign planes end to end via
+    /// [`Factorizer::factorize_matrix_bits`].
+    pub fn packed_pipeline(&self, set: &CodebookSet) -> bool {
+        self.config.precision == Precision::Fp32
+            && set.binding() == BindingOp::Hadamard
+            && self.backend.as_packed().is_some()
+            && set.all_packed()
+    }
+
+    /// [`Factorizer::factorize_matrix`] with **bit-packed** queries: the entry point
+    /// for pipelines that already hold the query batch as sign planes (e.g. a
+    /// packed-encoded scene batch), skipping the per-call pack of the dense path.
+    ///
+    /// On a packed-capable configuration ([`Factorizer::packed_pipeline`]) the bits
+    /// feed the packed engine directly; otherwise the queries are unpacked once and
+    /// the dense engine runs. Results are identical to calling
+    /// [`Factorizer::factorize_matrix`] on the unpacked queries.
+    ///
+    /// # Errors
+    /// Returns [`VsaError::DimensionMismatch`] when `queries.dim()` differs from the
+    /// codebook dimension or `streams.len() != queries.rows()`.
+    pub fn factorize_matrix_bits(
+        &self,
+        set: &CodebookSet,
+        queries: &BitMatrix,
+        streams: &mut [StdRng],
+    ) -> Result<Vec<FactorizationResult>, VsaError> {
+        let n = queries.rows();
+        if queries.dim() != set.dim() && n > 0 {
+            return Err(VsaError::DimensionMismatch {
+                left: set.dim(),
+                right: queries.dim(),
+            });
+        }
+        if streams.len() != n {
+            return Err(VsaError::DimensionMismatch {
+                left: n,
+                right: streams.len(),
+            });
+        }
+        if n == 0 {
+            return Ok(Vec::new());
+        }
+        if self.packed_pipeline(set) {
+            return self.factorize_matrix_packed(set, queries.clone(), streams);
+        }
+        // Unpacked fallback (non-Hadamard binding, reduced precision, dense backend):
+        // ±1 values survive quantization at every precision, so the dense engine sees
+        // exactly the queries the caller packed.
+        let mut dense = HvMatrix::default();
+        queries.unpack_into(&mut dense);
+        self.factorize_matrix_dense(set, dense, streams)
     }
 
     /// Dense (`f32`) resonator engine with converged-row compaction. Takes the
@@ -399,8 +473,8 @@ impl Factorizer {
                 backend.similarity_matrix_into(cb_matrix, &unbound, &mut sims)?;
                 for slot in 0..rows {
                     let q = order[slot];
-                    if states[q].sim_sigma > 0.0 {
-                        add_noise_slice(sims.row_mut(slot), states[q].sim_sigma, &mut streams[q]);
+                    if let Some(noise) = &states[q].sim_noise {
+                        add_noise_slice(sims.row_mut(slot), noise, &mut streams[q]);
                     }
                     states[q].decoded[f] = ops::argmax(sims.row(slot)).unwrap_or(0);
                 }
@@ -409,12 +483,8 @@ impl Factorizer {
                 backend.project_batch_into(cb_matrix, &sims, &mut projected)?;
                 for slot in 0..rows {
                     let q = order[slot];
-                    if states[q].proj_sigma > 0.0 {
-                        add_noise_slice(
-                            projected.row_mut(slot),
-                            states[q].proj_sigma,
-                            &mut streams[q],
-                        );
+                    if let Some(noise) = &states[q].proj_noise {
+                        add_noise_slice(projected.row_mut(slot), noise, &mut streams[q]);
                     }
                     fake_quantize_slice(projected.row_mut(slot), precision);
                     for (est, &v) in estimates[f]
@@ -477,11 +547,14 @@ impl Factorizer {
     ///
     /// Factor estimates live as [`BitMatrix`] sign planes: the unbind step is word-wise
     /// XOR against the packed query, the similarity step is popcount (exactly the
-    /// integer dot products the dense GEMM produces on bipolar inputs), and the rebind
-    /// convergence check XORs gathered codebook rows. Only the weighted projection
-    /// (f32 weights) runs on the dense backend, after which the sign threshold packs
-    /// straight back into the estimate planes. Decisions (argmax, convergence,
-    /// limit cycles) are identical to the dense engine on the same noise streams.
+    /// integer dot products the dense GEMM produces on bipolar inputs), the weighted
+    /// projection is the fused packed kernel
+    /// [`cogsys_vsa::packed::PackedBackend::project_signs_packed_into`] (noise and
+    /// sign threshold included, written straight into the estimate planes), and the
+    /// rebind convergence check XORs gathered codebook rows — no dense estimate or
+    /// projection matrix exists anywhere in this engine. Decisions (argmax,
+    /// convergence, limit cycles) are identical to the dense engine on the same noise
+    /// streams.
     #[allow(clippy::needless_range_loop)]
     fn factorize_matrix_packed(
         &self,
@@ -516,12 +589,14 @@ impl Factorizer {
             .collect();
         let mut order: Vec<usize> = (0..n).collect();
 
-        // Packed scratch planes plus the two f32 matrices the projection step needs.
+        // Packed scratch planes plus the similarity matrix (f32 weights) and the
+        // one-row accumulator the fused projection kernel reuses — no dense estimate
+        // or projection HvMatrix exists anywhere in this engine.
         let mut unbound_bits = BitMatrix::default();
         let mut rebound_bits = BitMatrix::default();
         let mut factor_bits = BitMatrix::default();
         let mut sims = HvMatrix::default();
-        let mut projected = HvMatrix::default();
+        let mut proj_acc: Vec<f32> = Vec::new();
         let mut decoded_rows: Vec<usize> = Vec::new();
 
         let deterministic = !self.config.stochasticity.is_enabled();
@@ -550,26 +625,30 @@ impl Factorizer {
                 packed.similarity_matrix_packed_into(cb_bits, &unbound_bits, &mut sims);
                 for slot in 0..rows {
                     let q = order[slot];
-                    if states[q].sim_sigma > 0.0 {
-                        add_noise_slice(sims.row_mut(slot), states[q].sim_sigma, &mut streams[q]);
+                    if let Some(noise) = &states[q].sim_noise {
+                        add_noise_slice(sims.row_mut(slot), noise, &mut streams[q]);
                     }
                     states[q].decoded[f] = ops::argmax(sims.row(slot)).unwrap_or(0);
                 }
 
-                // Step 3: weighted projection stays dense (f32 weights), then the sign
-                // threshold packs straight back into the estimate plane.
-                backend.project_batch_into(factor.matrix(), &sims, &mut projected)?;
-                for slot in 0..rows {
-                    let q = order[slot];
-                    if states[q].proj_sigma > 0.0 {
-                        add_noise_slice(
-                            projected.row_mut(slot),
-                            states[q].proj_sigma,
-                            &mut streams[q],
-                        );
-                    }
-                    estimates[f].pack_signs_row(slot, projected.row(slot));
-                }
+                // Step 3 (fused): packed weighted projection — per-dimension f32
+                // accumulators driven word-wise over the codebook sign planes, with
+                // the per-query noise injection and sign threshold fused, written
+                // straight back into the estimate plane. Accumulation order matches
+                // the dense `project_batch_into` bitwise, so decisions are identical
+                // to the dense engine on the same noise streams.
+                packed.project_signs_packed_into(
+                    cb_bits,
+                    &sims,
+                    |slot, acc| {
+                        let q = order[slot];
+                        if let Some(noise) = &states[q].proj_noise {
+                            add_noise_slice(acc, noise, &mut streams[q]);
+                        }
+                    },
+                    &mut proj_acc,
+                    &mut estimates[f],
+                );
             }
 
             // Convergence check: XOR the decoded codevector planes together and map
@@ -773,6 +852,72 @@ mod tests {
             ..FactorizerConfig::default()
         };
         let _ = Factorizer::new(c);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid factorizer configuration")]
+    fn negative_sigma_panics_at_construction() {
+        // Regression: a negative sigma used to survive construction and explode as an
+        // expect-panic deep inside the per-iteration noise call.
+        let mut c = FactorizerConfig::default();
+        c.stochasticity.projection_sigma = -1.0;
+        let _ = Factorizer::new(c);
+    }
+
+    #[test]
+    fn factorize_matrix_bits_equals_dense_queries() {
+        // Pre-packed queries through the packed engine return exactly what the f32
+        // entry point returns — the end-to-end packed path is a pure perf transform.
+        let (set, mut r) = standard_set(408, &[8, 8, 8], 512);
+        let queries: Vec<Hypervector> = [[0usize, 1, 2], [7, 6, 5], [3, 3, 3], [2, 0, 7]]
+            .iter()
+            .map(|t| ops::flip_noise(&set.bind_indices(t).unwrap(), 0.05, &mut r))
+            .collect();
+        let matrix = HvMatrix::from_rows(&queries).unwrap();
+        let bits = BitMatrix::from_matrix(&matrix).unwrap();
+        let factorizer =
+            Factorizer::new(FactorizerConfig::default().with_backend(BackendKind::Packed));
+        assert!(factorizer.packed_pipeline(&set));
+
+        let mut s1: Vec<_> = (0..4).map(StdRng::seed_from_u64).collect();
+        let mut s2: Vec<_> = (0..4).map(StdRng::seed_from_u64).collect();
+        let dense = factorizer.factorize_matrix(&set, &matrix, &mut s1).unwrap();
+        let packed = factorizer
+            .factorize_matrix_bits(&set, &bits, &mut s2)
+            .unwrap();
+        assert_eq!(dense, packed);
+
+        // Error paths: stream-count and dimension mismatches are reported.
+        let mut bad: Vec<_> = (0..2).map(StdRng::seed_from_u64).collect();
+        assert!(factorizer
+            .factorize_matrix_bits(&set, &bits, &mut bad)
+            .is_err());
+        let narrow = BitMatrix::zeros(4, 128);
+        let mut s3: Vec<_> = (0..4).map(StdRng::seed_from_u64).collect();
+        assert!(factorizer
+            .factorize_matrix_bits(&set, &narrow, &mut s3)
+            .is_err());
+    }
+
+    #[test]
+    fn factorize_matrix_bits_falls_back_without_packed_pipeline() {
+        // On a dense backend the packed queries are unpacked once and the dense
+        // engine runs; results equal the f32 entry point on the same streams.
+        let (set, mut r) = standard_set(409, &[6, 6], 512);
+        let query = ops::flip_noise(&set.bind_indices(&[2, 5]).unwrap(), 0.05, &mut r);
+        let matrix = HvMatrix::from_hypervector(&query);
+        let bits = BitMatrix::from_matrix(&matrix).unwrap();
+        let factorizer =
+            Factorizer::new(FactorizerConfig::default().with_backend(BackendKind::Parallel));
+        assert!(!factorizer.packed_pipeline(&set));
+        let mut s1 = [StdRng::seed_from_u64(9)];
+        let mut s2 = [StdRng::seed_from_u64(9)];
+        let dense = factorizer.factorize_matrix(&set, &matrix, &mut s1).unwrap();
+        let packed = factorizer
+            .factorize_matrix_bits(&set, &bits, &mut s2)
+            .unwrap();
+        assert_eq!(dense, packed);
+        assert_eq!(dense[0].indices, vec![2, 5]);
     }
 
     #[test]

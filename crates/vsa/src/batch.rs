@@ -7,12 +7,16 @@
 //! exposing the array-level operations — batched binding/unbinding, bundling,
 //! codebook-vs-queries similarity (GEMM-style) and batched cleanup.
 //!
-//! Two implementations ship:
+//! Three implementations ship:
 //!
 //! * [`ReferenceBackend`] — row-at-a-time delegation to [`crate::ops`], kept as ground
 //!   truth;
 //! * [`ParallelBackend`] — data-parallel over rows with scoped threads, cached FFT
-//!   plans (precomputed twiddle/bit-reversal tables) and reusable scratch buffers.
+//!   plans (precomputed twiddle/bit-reversal tables) and reusable scratch buffers;
+//! * [`PackedBackend`] (the default) — bit-packed sign planes with XOR binding and
+//!   popcount similarity for the bipolar MAP/Hadamard algebra, falling back to
+//!   [`ParallelBackend`] elsewhere, and accepting pre-packed
+//!   [`crate::packed::BitMatrix`] queries through the `*_bits` surface.
 //!
 //! Backend compatibility contract: binding/unbinding (Hadamard and circular, planned
 //! FFT included — the plans replay the reference twiddle recurrence), bundling and
@@ -26,7 +30,7 @@ use crate::error::VsaError;
 use crate::fft::{self, Complex, FftPlan};
 use crate::hypervector::{Hypervector, VsaKind};
 use crate::ops;
-use crate::packed::PackedBackend;
+use crate::packed::{BitMatrix, PackedBackend};
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
@@ -218,9 +222,16 @@ impl HvMatrix {
         Ok(())
     }
 
-    /// Reshapes the buffer to `rows × dim` without preserving contents (for reuse as an
-    /// output buffer; avoids reallocation when the capacity already suffices).
+    /// Reshapes the buffer to `rows × dim` for reuse as an output buffer (avoids
+    /// reallocation when the capacity already suffices). Contents are preserved when
+    /// the shape is unchanged and **zeroed on any shape change** — a plain `resize`
+    /// would silently reinterpret stale elements under the new `(rows, dim)` layout.
     pub fn ensure_shape(&mut self, rows: usize, dim: usize) {
+        if self.rows == rows && self.dim == dim {
+            return;
+        }
+        // clear() drops the length to zero first, so resize() zero-fills everything.
+        self.data.clear();
         self.data.resize(rows * dim, 0.0);
         self.rows = rows;
         self.dim = dim;
@@ -287,10 +298,15 @@ pub enum BackendKind {
     /// Row-at-a-time ground truth ([`ReferenceBackend`]).
     Reference,
     /// Multi-threaded batch execution with cached FFT plans ([`ParallelBackend`]).
-    #[default]
     Parallel,
     /// Bit-packed bipolar execution — XOR binding and popcount similarity for the
     /// MAP/Hadamard algebra, dense fallback otherwise ([`PackedBackend`]).
+    ///
+    /// The **default**: every hot pipeline in the repository runs bipolar Hadamard
+    /// configurations, where the packed kernels are exact and several times faster;
+    /// HRR/circular-convolution and non-bipolar workloads transparently run on the
+    /// wrapped dense [`ParallelBackend`].
+    #[default]
     Packed,
 }
 
@@ -427,6 +443,44 @@ pub trait VsaBackend: Send + Sync + std::fmt::Debug {
         codebook: &HvMatrix,
         queries: &HvMatrix,
     ) -> Result<Vec<(usize, f32)>, VsaError>;
+
+    /// Batched cleanup with **bit-packed** queries: callers that already hold sign
+    /// planes (the packed resonator's estimates, a packed-encoded scene batch) pass
+    /// them directly instead of round-tripping through `f32` and re-packing per call.
+    ///
+    /// The default unpacks the queries and delegates to
+    /// [`VsaBackend::cleanup_batch`]; [`PackedBackend`] overrides it to stay entirely
+    /// in sign planes. Results are identical to cleaning up the unpacked queries.
+    ///
+    /// # Errors
+    /// Returns [`VsaError::DimensionMismatch`] when the dimensionalities disagree and
+    /// [`VsaError::Empty`] for an empty codebook.
+    fn cleanup_batch_bits(
+        &self,
+        codebook: &HvMatrix,
+        queries: &BitMatrix,
+    ) -> Result<Vec<(usize, f32)>, VsaError> {
+        let mut dense = HvMatrix::default();
+        queries.unpack_into(&mut dense);
+        self.cleanup_batch(codebook, &dense)
+    }
+
+    /// GEMM-style similarity with **bit-packed** queries (see
+    /// [`VsaBackend::cleanup_batch_bits`] for the motivation). The default unpacks and
+    /// delegates to [`VsaBackend::similarity_matrix_into`].
+    ///
+    /// # Errors
+    /// Returns [`VsaError::DimensionMismatch`] when the dimensionalities disagree.
+    fn similarity_matrix_bits_into(
+        &self,
+        codebook: &HvMatrix,
+        queries: &BitMatrix,
+        out: &mut HvMatrix,
+    ) -> Result<(), VsaError> {
+        let mut dense = HvMatrix::default();
+        queries.unpack_into(&mut dense);
+        self.similarity_matrix_into(codebook, &dense, out)
+    }
 
     /// Allocating variant of [`VsaBackend::bind_batch_into`].
     ///
@@ -1220,12 +1274,64 @@ mod tests {
     }
 
     #[test]
+    fn ensure_shape_zeroes_stale_data_on_reshape() {
+        // Regression: a populated buffer reshaped to a new (rows, dim) must not
+        // reinterpret the old elements under the new row layout.
+        let mut m = HvMatrix::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], 2, 3).unwrap();
+        m.ensure_shape(3, 2);
+        assert_eq!((m.rows(), m.dim()), (3, 2));
+        assert!(
+            m.as_slice().iter().all(|&v| v == 0.0),
+            "stale data survived the reshape: {:?}",
+            m.as_slice()
+        );
+        // Same-shape calls preserve contents (in-place scratch reuse stays valid).
+        let mut m = HvMatrix::from_vec(vec![1.0, 2.0, 3.0, 4.0], 2, 2).unwrap();
+        m.ensure_shape(2, 2);
+        assert_eq!(m.as_slice(), &[1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn packed_query_cleanup_matches_dense_query_cleanup() {
+        use crate::packed::BitMatrix;
+        let mut r = rng(91);
+        let hvs: Vec<Hypervector> = (0..6)
+            .map(|_| Hypervector::random_bipolar(130, &mut r))
+            .collect();
+        let cb = HvMatrix::from_rows(&hvs).unwrap();
+        let q = random_matrix(4, 130, 92);
+        // Bipolar queries so both the packed kernel and the dense default apply.
+        let mut qb = q.clone();
+        for v in qb.as_mut_slice() {
+            *v = if *v < 0.0 { -1.0 } else { 1.0 };
+        }
+        let bits = BitMatrix::from_matrix(&qb).unwrap();
+        for kind in BackendKind::ALL {
+            let backend = kind.create();
+            let dense = backend.cleanup_batch(&cb, &qb).unwrap();
+            let packed = backend.cleanup_batch_bits(&cb, &bits).unwrap();
+            for ((di, dsim), (pi, psim)) in dense.iter().zip(&packed) {
+                assert_eq!(di, pi, "{kind}");
+                assert!((dsim - psim).abs() < 1e-4, "{kind}: {dsim} vs {psim}");
+            }
+            let mut from_bits = HvMatrix::default();
+            backend
+                .similarity_matrix_bits_into(&cb, &bits, &mut from_bits)
+                .unwrap();
+            let dense_sims = backend.similarity_matrix(&cb, &qb).unwrap();
+            for (x, y) in from_bits.as_slice().iter().zip(dense_sims.as_slice()) {
+                assert!((x - y).abs() < 1e-3, "{kind}: {x} vs {y}");
+            }
+        }
+    }
+
+    #[test]
     fn backend_kind_round_trip() {
         for kind in BackendKind::ALL {
             let backend = kind.create();
             assert_eq!(backend.name(), kind.to_string());
         }
-        assert_eq!(BackendKind::default(), BackendKind::Parallel);
+        assert_eq!(BackendKind::default(), BackendKind::Packed);
     }
 
     #[test]

@@ -232,6 +232,51 @@ impl Codebook {
         backend.cleanup_batch(&self.matrix, queries)
     }
 
+    /// Batched cleanup of **bit-packed** queries: the end-to-end packed path. With a
+    /// packed backend this hits the popcount kernel directly — cached codebook sign
+    /// planes against caller-held query planes, no per-call packing on either operand;
+    /// other backends unpack the queries and run their dense cleanup.
+    ///
+    /// Results are identical to [`Codebook::cleanup_batch`] on the unpacked queries.
+    ///
+    /// # Errors
+    /// Returns [`VsaError::DimensionMismatch`] if the query dimension differs.
+    pub fn cleanup_batch_bits(
+        &self,
+        backend: &dyn VsaBackend,
+        queries: &BitMatrix,
+    ) -> Result<Vec<(usize, f32)>, VsaError> {
+        if let (Some(packed_backend), Some(packed_cb)) = (backend.as_packed(), &self.packed) {
+            if queries.dim() == self.dim() {
+                return Ok(packed_backend.cleanup_batch_packed(packed_cb, queries));
+            }
+        }
+        backend.cleanup_batch_bits(&self.matrix, queries)
+    }
+
+    /// Similarities of a batch of **bit-packed** queries (the packed analogue of
+    /// [`Codebook::similarities_batch`]): `out[q][m] = queries[q] · code[m]`, exact
+    /// integer dot products via popcount when both sides are sign planes.
+    ///
+    /// # Errors
+    /// Returns [`VsaError::DimensionMismatch`] if the query dimension differs.
+    pub fn similarities_batch_bits(
+        &self,
+        backend: &dyn VsaBackend,
+        queries: &BitMatrix,
+    ) -> Result<HvMatrix, VsaError> {
+        if let (Some(packed_backend), Some(packed_cb)) = (backend.as_packed(), &self.packed) {
+            if queries.dim() == self.dim() {
+                let mut out = HvMatrix::default();
+                packed_backend.similarity_matrix_packed_into(packed_cb, queries, &mut out);
+                return Ok(out);
+            }
+        }
+        let mut out = HvMatrix::default();
+        backend.similarity_matrix_bits_into(&self.matrix, queries, &mut out)?;
+        Ok(out)
+    }
+
     /// Memory footprint of the codebook in bytes assuming `bytes_per_element` storage.
     pub fn footprint_bytes(&self, bytes_per_element: usize) -> usize {
         self.len() * self.dim() * bytes_per_element
@@ -318,6 +363,13 @@ impl CodebookSet {
     /// The per-factor codebooks.
     pub fn codebooks(&self) -> &[Codebook] {
         &self.codebooks
+    }
+
+    /// Returns `true` when every factor codebook carries cached sign planes
+    /// ([`Codebook::packed`]) — the precondition for running a factorization or decode
+    /// entirely in the bit-packed representation.
+    pub fn all_packed(&self) -> bool {
+        self.codebooks.iter().all(|cb| cb.packed().is_some())
     }
 
     /// Returns the codebook of factor `f`.
@@ -743,6 +795,35 @@ mod tests {
             assert_eq!(idx, scalar_cleanup.0, "{kind}");
             assert!((sim - scalar_cleanup.1).abs() < 1e-4, "{kind}");
         }
+    }
+
+    #[test]
+    fn cleanup_batch_bits_matches_dense_queries() {
+        use crate::batch::BackendKind;
+        let mut r = rng(64);
+        let cb = Codebook::random("bits", 10, 260, &mut r);
+        let queries: Vec<Hypervector> = (0..5)
+            .map(|i| ops::flip_noise(cb.vector(i).unwrap(), 0.2, &mut r))
+            .collect();
+        let qm = HvMatrix::from_rows(&queries).unwrap();
+        let bits = BitMatrix::from_matrix(&qm).expect("flip noise keeps queries bipolar");
+        for kind in BackendKind::ALL {
+            let backend = kind.create();
+            let dense = cb.cleanup_batch(backend.as_ref(), &qm).unwrap();
+            let packed = cb.cleanup_batch_bits(backend.as_ref(), &bits).unwrap();
+            for ((di, dsim), (pi, psim)) in dense.iter().zip(&packed) {
+                assert_eq!(di, pi, "{kind}");
+                assert!((dsim - psim).abs() < 1e-4, "{kind}");
+            }
+            let dense_sims = cb.similarities_batch(backend.as_ref(), &qm).unwrap();
+            let packed_sims = cb.similarities_batch_bits(backend.as_ref(), &bits).unwrap();
+            for (x, y) in dense_sims.as_slice().iter().zip(packed_sims.as_slice()) {
+                assert!((x - y).abs() < 1e-3, "{kind}: {x} vs {y}");
+            }
+        }
+        assert!(CodebookSet::new(vec![cb], BindingOp::Hadamard)
+            .unwrap()
+            .all_packed());
     }
 
     #[test]

@@ -62,11 +62,17 @@
 //!
 //! For bipolar `{-1, +1}` data under the MAP/Hadamard algebra, the [`packed`] module
 //! stores sign planes instead of floats ([`BitMatrix`], 32× smaller) and executes the
-//! same operations as word-wise XOR and popcount ([`PackedBackend`], selected with
-//! [`BackendKind::Packed`]); non-bipolar inputs and circular-convolution binding fall
-//! back to the dense backends transparently.
+//! same operations as word-wise XOR and popcount ([`PackedBackend`],
+//! [`BackendKind::Packed`] — the **default** backend); non-bipolar inputs and
+//! circular-convolution binding fall back to the dense backends transparently, and
+//! callers that already hold sign planes pass [`BitMatrix`] queries end to end
+//! (`cleanup_batch_bits`, `similarities_batch_bits`) without re-packing per call.
 
-#![forbid(unsafe_code)]
+// Unsafe is denied crate-wide; the single exception is the runtime-dispatched
+// `popcnt` Hamming kernel in `packed` (`#[target_feature]` functions cannot be called
+// or coerced without `unsafe` even when the feature was verified via cpuid), which
+// carries a scoped `#[allow(unsafe_code)]` and a safety argument.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod batch;

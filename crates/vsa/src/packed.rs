@@ -99,11 +99,76 @@ fn unpack_row(words: &[u64], row: &mut [f32]) {
     }
 }
 
-/// Hamming distance between two equal-length word rows (tail bits are zero on both
-/// sides, so whole-word popcount needs no masking).
+/// Portable Hamming distance between two equal-length word rows (tail bits are zero
+/// on both sides, so whole-word popcount needs no masking).
+#[inline]
+fn hamming_generic(a: &[u64], b: &[u64]) -> u32 {
+    a.iter().zip(b).map(|(x, y)| (x ^ y).count_ones()).sum()
+}
+
+/// Hamming distance compiled with the `popcnt` target feature enabled.
+///
+/// The workspace builds for baseline x86-64, where `u64::count_ones()` lowers to a
+/// ~12-operation bit-twiddling sequence; with the feature enabled it is a single
+/// `popcnt` instruction. Four independent accumulators break the serial add chain so
+/// the XOR+popcount stream runs at popcount-unit throughput instead of add latency.
+///
+/// Declared as a safe `#[target_feature]` function (stable since Rust 1.86); callers
+/// outside a `popcnt` context still need `unsafe` and must have verified support via
+/// cpuid first (see [`hamming_fn`]).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "popcnt")]
+fn hamming_popcnt(a: &[u64], b: &[u64]) -> u32 {
+    let chunks_a = a.chunks_exact(4);
+    let chunks_b = b.chunks_exact(4);
+    let tail: u32 = chunks_a
+        .remainder()
+        .iter()
+        .zip(chunks_b.remainder())
+        .map(|(x, y)| (x ^ y).count_ones())
+        .sum();
+    let mut acc = [0u32; 4];
+    for (xa, xb) in chunks_a.zip(chunks_b) {
+        acc[0] += (xa[0] ^ xb[0]).count_ones();
+        acc[1] += (xa[1] ^ xb[1]).count_ones();
+        acc[2] += (xa[2] ^ xb[2]).count_ones();
+        acc[3] += (xa[3] ^ xb[3]).count_ones();
+    }
+    (acc[0] + acc[1]) + (acc[2] + acc[3]) + tail
+}
+
+/// Safe wrapper over [`hamming_popcnt`]: only ever reachable through [`hamming_fn`],
+/// which gates it on runtime `popcnt` detection. This is the crate's single
+/// `unsafe_code` exception (see the crate-level lint note) — a `#[target_feature]`
+/// function cannot be called or coerced without `unsafe` even after cpuid
+/// verification.
+#[cfg(target_arch = "x86_64")]
+#[allow(unsafe_code)]
+fn hamming_popcnt_checked(a: &[u64], b: &[u64]) -> u32 {
+    // SAFETY: hamming_fn() returns this function only when the popcnt feature was
+    // detected on the running CPU.
+    unsafe { hamming_popcnt(a, b) }
+}
+
+/// Resolves the fastest available Hamming kernel for this CPU, once per kernel call
+/// (std caches the cpuid probe). The hot loops fetch the function pointer outside
+/// their row loops, so dispatch never sits on the per-row path.
+#[inline]
+fn hamming_fn() -> fn(&[u64], &[u64]) -> u32 {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("popcnt") {
+            return hamming_popcnt_checked;
+        }
+    }
+    hamming_generic
+}
+
+/// Hamming distance via the best kernel for this CPU (single-shot entry point; the
+/// batch kernels hoist [`hamming_fn`] instead).
 #[inline]
 fn hamming(a: &[u64], b: &[u64]) -> u32 {
-    a.iter().zip(b).map(|(x, y)| (x ^ y).count_ones()).sum()
+    hamming_fn()(a, b)
 }
 
 impl BitMatrix {
@@ -122,7 +187,16 @@ impl BitMatrix {
     }
 
     /// An all-`+1` (all bits clear) matrix.
+    ///
+    /// # Panics
+    /// Panics when `dim == 0` with `rows > 0`: a sign plane with rows but no
+    /// dimensions has no meaningful Hamming geometry, and rejecting it here lets the
+    /// popcount kernels divide by `dim` without degenerate-input masks.
     pub fn zeros(rows: usize, dim: usize) -> Self {
+        assert!(
+            rows == 0 || dim > 0,
+            "BitMatrix requires dim > 0 for a non-empty matrix"
+        );
         let words_per_row = Self::words_for_dim(dim);
         Self {
             words: vec![0; rows * words_per_row],
@@ -133,9 +207,10 @@ impl BitMatrix {
     }
 
     /// Packs an f32 matrix of exactly-bipolar rows, or `None` if any element is not
-    /// `±1.0` — callers use `None` as the signal to stay on the dense path.
+    /// `±1.0` — callers use `None` as the signal to stay on the dense path. A
+    /// zero-dimension matrix with rows is likewise refused (see [`BitMatrix::zeros`]).
     pub fn from_matrix(m: &HvMatrix) -> Option<Self> {
-        let mut packed = Self::zeros(m.rows(), m.dim());
+        let mut packed = Self::default();
         if packed.pack_from(m) {
             Some(packed)
         } else {
@@ -159,7 +234,11 @@ impl BitMatrix {
     /// Re-packs `m` into this matrix's storage (reshaping as needed), returning whether
     /// every element was exactly `±1.0`. On `false` the contents are unspecified —
     /// packing bails at the first non-bipolar row so the dense fallback stays cheap.
+    /// A zero-dimension matrix with rows is refused like any other unpackable input.
     pub fn pack_from(&mut self, m: &HvMatrix) -> bool {
+        if m.rows() > 0 && m.dim() == 0 {
+            return false;
+        }
         self.ensure_shape(m.rows(), m.dim());
         for i in 0..m.rows() {
             let start = i * self.words_per_row;
@@ -181,9 +260,22 @@ impl BitMatrix {
         pack_row_signs(row, &mut self.words[start..start + self.words_per_row]);
     }
 
-    /// Reshapes to `rows × dim` without preserving contents (reuse as output buffer).
+    /// Reshapes to `rows × dim` for reuse as an output buffer: contents are preserved
+    /// when the shape is unchanged and **zeroed on any shape change** — stale words
+    /// must never be reinterpreted under a new `(rows, dim)` layout.
+    ///
+    /// # Panics
+    /// Panics when `dim == 0` with `rows > 0` (see [`BitMatrix::zeros`]).
     pub fn ensure_shape(&mut self, rows: usize, dim: usize) {
+        assert!(
+            rows == 0 || dim > 0,
+            "BitMatrix requires dim > 0 for a non-empty matrix"
+        );
+        if self.rows == rows && self.dim == dim {
+            return;
+        }
         self.words_per_row = Self::words_for_dim(dim);
+        // clear() drops the length to zero first, so resize() zero-fills every word.
         self.words.clear();
         self.words.resize(rows * self.words_per_row, 0);
         self.rows = rows;
@@ -382,16 +474,21 @@ impl PackedBackend {
         debug_assert_eq!(codebook.dim(), queries.dim(), "operand dims must match");
         out.ensure_shape(queries.rows(), codebook.rows());
         let d = codebook.dim() as i32;
+        let wpr = codebook.words_per_row().max(1);
+        let ham = hamming_fn();
         for block_start in (0..codebook.rows()).step_by(CODEBOOK_BLOCK_ROWS) {
             let block_end = (block_start + CODEBOOK_BLOCK_ROWS).min(codebook.rows());
+            // One contiguous slice per block: the row iteration below is a plain
+            // chunked walk with no per-row bounds-checked slicing.
+            let block_words = &codebook.words[block_start * wpr..block_end * wpr];
             for q in 0..queries.rows() {
                 let qw = queries.row_words(q);
                 let sims = out.row_mut(q);
-                for (slot, m) in sims[block_start..block_end]
+                for (slot, row) in sims[block_start..block_end]
                     .iter_mut()
-                    .zip(block_start..block_end)
+                    .zip(block_words.chunks_exact(wpr))
                 {
-                    *slot = (d - 2 * hamming(qw, codebook.row_words(m)) as i32) as f32;
+                    *slot = (d - 2 * ham(qw, row) as i32) as f32;
                 }
             }
         }
@@ -413,21 +510,26 @@ impl PackedBackend {
         assert!(codebook.rows() > 0, "cleanup requires a non-empty codebook");
         debug_assert_eq!(codebook.dim(), queries.dim(), "operand dims must match");
         let mut best: Vec<(usize, u32)> = vec![(0, u32::MAX); queries.rows()];
+        let wpr = codebook.words_per_row().max(1);
+        let ham = hamming_fn();
         for block_start in (0..codebook.rows()).step_by(CODEBOOK_BLOCK_ROWS) {
             let block_end = (block_start + CODEBOOK_BLOCK_ROWS).min(codebook.rows());
+            let block_words = &codebook.words[block_start * wpr..block_end * wpr];
             for (q, slot) in best.iter_mut().enumerate() {
                 let qw = queries.row_words(q);
-                for m in block_start..block_end {
-                    let h = hamming(qw, codebook.row_words(m));
+                for (offset, row) in block_words.chunks_exact(wpr).enumerate() {
+                    let h = ham(qw, row);
                     // Strictly smaller Hamming distance wins; equal keeps the earlier
                     // index — identical tie-breaking to the dense `sim > best` scan.
                     if h < slot.1 {
-                        *slot = (m, h);
+                        *slot = (block_start + offset, h);
                     }
                 }
             }
         }
-        let d = queries.dim().max(1) as f32;
+        // A non-empty BitMatrix always has dim > 0 (enforced at construction), so the
+        // cosine mapping never needs a degenerate-input mask.
+        let d = queries.dim() as f32;
         best.into_iter()
             .map(|(m, h)| (m, (d - 2.0 * h as f32) / d))
             .collect()
@@ -455,6 +557,64 @@ impl PackedBackend {
         let rows = items.rows() as i32;
         let values = neg.into_iter().map(|n| (rows - 2 * n) as f32).collect();
         Ok(Hypervector::with_kind(values, VsaKind::Dense))
+    }
+
+    /// Packed weighted superposition fused with a per-query perturbation and the sign
+    /// threshold: for every weight row `q` it accumulates
+    /// `acc[j] = Σ_m weights[q][m] · codebook[m][j]` in per-dimension `f32`
+    /// accumulators driven word-wise over the codebook sign planes, hands the row to
+    /// `perturb(q, acc)` (noise injection), and packs `acc[j] < 0.0` straight into row
+    /// `q` of `out` — the resonator's Step 3 without ever materialising a dense
+    /// projection matrix.
+    ///
+    /// Numerics: adding `w` for a clear bit and `-w` for a set bit is **bitwise
+    /// identical** to the dense `acc[j] += w * (±1.0)` accumulation (multiplying by
+    /// `±1.0` only copies/flips the sign), and rows are accumulated in codebook order,
+    /// so the result equals the dense `project_batch_into` + threshold exactly.
+    ///
+    /// `acc` is caller-owned scratch (resized to `codebook.dim()`), so steady-state
+    /// calls allocate nothing.
+    pub fn project_signs_packed_into<F>(
+        &self,
+        codebook: &BitMatrix,
+        weights: &HvMatrix,
+        mut perturb: F,
+        acc: &mut Vec<f32>,
+        out: &mut BitMatrix,
+    ) where
+        F: FnMut(usize, &mut [f32]),
+    {
+        debug_assert_eq!(
+            weights.dim(),
+            codebook.rows(),
+            "one weight per codebook row"
+        );
+        let dim = codebook.dim();
+        out.ensure_shape(weights.rows(), dim);
+        acc.clear();
+        acc.resize(dim, 0.0);
+        for q in 0..weights.rows() {
+            acc.fill(0.0);
+            for (m, &w) in weights.row(q).iter().enumerate() {
+                let w_bits = w.to_bits();
+                for (chunk, &word) in acc.chunks_mut(WORD_BITS).zip(codebook.row_words(m)) {
+                    if word == 0 {
+                        // All-positive word: += w for the whole chunk, branch-free.
+                        for slot in chunk.iter_mut() {
+                            *slot += w;
+                        }
+                    } else {
+                        // Flip the IEEE sign bit per packed bit: +w or -w exactly.
+                        for (bit, slot) in chunk.iter_mut().enumerate() {
+                            let sign = ((word >> bit) as u32 & 1) << 31;
+                            *slot += f32::from_bits(w_bits ^ sign);
+                        }
+                    }
+                }
+            }
+            perturb(q, acc);
+            out.pack_signs_row(q, acc);
+        }
     }
 
     /// Packs `a` and `b` into the shared scratch and XORs them into `out` when both are
@@ -566,6 +726,45 @@ impl VsaBackend for PackedBackend {
             }
         }
         self.dense.cleanup_batch(codebook, queries)
+    }
+
+    fn cleanup_batch_bits(
+        &self,
+        codebook: &HvMatrix,
+        queries: &BitMatrix,
+    ) -> Result<Vec<(usize, f32)>, VsaError> {
+        if codebook.rows() == 0 {
+            return Err(VsaError::Empty { what: "codebook" });
+        }
+        if codebook.dim() == queries.dim() {
+            let mut scratch = self.scratch.lock().expect("packed scratch poisoned");
+            if scratch.a.pack_from(codebook) {
+                return Ok(self.cleanup_batch_packed(&scratch.a, queries));
+            }
+        }
+        // Non-bipolar codebook (or dim mismatch): unpack the queries and let the
+        // dense path produce its usual result / error.
+        let mut dense = HvMatrix::default();
+        queries.unpack_into(&mut dense);
+        self.dense.cleanup_batch(codebook, &dense)
+    }
+
+    fn similarity_matrix_bits_into(
+        &self,
+        codebook: &HvMatrix,
+        queries: &BitMatrix,
+        out: &mut HvMatrix,
+    ) -> Result<(), VsaError> {
+        if codebook.dim() == queries.dim() {
+            let mut scratch = self.scratch.lock().expect("packed scratch poisoned");
+            if scratch.a.pack_from(codebook) {
+                self.similarity_matrix_packed_into(&scratch.a, queries, out);
+                return Ok(());
+            }
+        }
+        let mut dense = HvMatrix::default();
+        queries.unpack_into(&mut dense);
+        self.dense.similarity_matrix_into(codebook, &dense, out)
     }
 }
 
@@ -698,6 +897,146 @@ mod tests {
         bits.pack_signs_row(0, &[-0.5, 0.0, -0.0, 2.0]);
         // `v < 0.0`: −0.0 packs to +1, matching the estimate binarisation step.
         assert_eq!(bits.row_words(0), &[0b0001]);
+    }
+
+    #[test]
+    fn ensure_shape_zeroes_on_reshape() {
+        // Regression: reshaping a populated matrix must not reinterpret stale words
+        // under the new (rows, dim) layout.
+        let m = random_bipolar_matrix(3, 64, 42);
+        let mut bits = BitMatrix::from_matrix(&m).unwrap();
+        assert!(bits.row_words(0).iter().any(|&w| w != 0));
+        bits.ensure_shape(2, 96);
+        assert_eq!((bits.rows(), bits.dim(), bits.words_per_row()), (2, 96, 2));
+        for i in 0..2 {
+            assert_eq!(
+                bits.row_words(i),
+                &[0, 0],
+                "stale words leaked into row {i}"
+            );
+        }
+        // Same-shape calls preserve contents (scratch reuse must stay cheap).
+        let mut bits = BitMatrix::from_matrix(&m).unwrap();
+        let before = bits.clone();
+        bits.ensure_shape(3, 64);
+        assert_eq!(bits, before);
+    }
+
+    #[test]
+    #[should_panic(expected = "dim > 0")]
+    fn zero_dim_nonempty_construction_panics() {
+        let _ = BitMatrix::zeros(2, 0);
+    }
+
+    #[test]
+    fn zero_dim_nonempty_matrix_refuses_to_pack() {
+        let m = HvMatrix::zeros(2, 0);
+        assert!(BitMatrix::from_matrix(&m).is_none());
+        let mut bits = BitMatrix::default();
+        assert!(!bits.pack_from(&m));
+        // The empty 0×0 matrix still packs (scratch buffers start there).
+        assert!(BitMatrix::from_matrix(&HvMatrix::default()).is_some());
+    }
+
+    #[test]
+    fn project_signs_matches_dense_projection_and_threshold() {
+        let reference = ReferenceBackend;
+        let packed = PackedBackend::new();
+        for dim in [64usize, 70, 128, 200, 1000] {
+            let cb = random_bipolar_matrix(9, dim, 20 + dim as u64);
+            let cb_bits = BitMatrix::from_matrix(&cb).unwrap();
+            // Arbitrary real-valued weights (as the resonator's similarity rows are).
+            let mut r = rng(77 + dim as u64);
+            let weights = HvMatrix::from_rows(
+                &(0..4)
+                    .map(|_| Hypervector::random_real(9, &mut r))
+                    .collect::<Vec<_>>(),
+            )
+            .unwrap();
+
+            let dense = reference.project_batch(&cb, &weights).unwrap();
+            let mut out = BitMatrix::default();
+            let mut acc = Vec::new();
+            let mut seen: Vec<Vec<f32>> = Vec::new();
+            packed.project_signs_packed_into(
+                &cb_bits,
+                &weights,
+                |_, row| seen.push(row.to_vec()),
+                &mut acc,
+                &mut out,
+            );
+            assert_eq!((out.rows(), out.dim()), (4, dim));
+            for (q, acc_row) in seen.iter().enumerate() {
+                // Accumulators are bitwise equal to the dense projection...
+                assert_eq!(acc_row.as_slice(), dense.row(q), "dim {dim} row {q}");
+                // ...and the packed signs equal the dense sign threshold.
+                let expected: Vec<f32> = dense
+                    .row(q)
+                    .iter()
+                    .map(|&v| if v < 0.0 { -1.0 } else { 1.0 })
+                    .collect();
+                assert_eq!(out.to_matrix().row(q), expected.as_slice(), "dim {dim}");
+            }
+
+            // A perturbation applied through the fused hook equals perturb-then-sign.
+            let mut out2 = BitMatrix::default();
+            packed.project_signs_packed_into(
+                &cb_bits,
+                &weights,
+                |q, row| {
+                    for (j, v) in row.iter_mut().enumerate() {
+                        *v += ((q + j) % 3) as f32 - 1.0;
+                    }
+                },
+                &mut acc,
+                &mut out2,
+            );
+            for q in 0..4 {
+                let expected: Vec<f32> = dense
+                    .row(q)
+                    .iter()
+                    .enumerate()
+                    .map(|(j, &v)| v + ((q + j) % 3) as f32 - 1.0)
+                    .map(|v| if v < 0.0 { -1.0 } else { 1.0 })
+                    .collect();
+                assert_eq!(out2.to_matrix().row(q), expected.as_slice(), "dim {dim}");
+            }
+        }
+    }
+
+    #[test]
+    fn cleanup_and_similarity_accept_packed_queries() {
+        let cb = random_bipolar_matrix(12, 300, 50);
+        let q = random_bipolar_matrix(5, 300, 51);
+        let q_bits = BitMatrix::from_matrix(&q).unwrap();
+        let packed = PackedBackend::new();
+        let reference = ReferenceBackend;
+        // Packed-query cleanup equals dense-query cleanup on every backend surface.
+        assert_eq!(
+            packed.cleanup_batch_bits(&cb, &q_bits).unwrap(),
+            packed.cleanup_batch(&cb, &q).unwrap()
+        );
+        assert_eq!(
+            reference.cleanup_batch_bits(&cb, &q_bits).unwrap(),
+            reference.cleanup_batch(&cb, &q).unwrap()
+        );
+        let mut from_bits = HvMatrix::default();
+        packed
+            .similarity_matrix_bits_into(&cb, &q_bits, &mut from_bits)
+            .unwrap();
+        assert_eq!(from_bits, packed.similarity_matrix(&cb, &q).unwrap());
+        // A non-bipolar codebook routes packed queries through the dense fallback.
+        let mut r = rng(52);
+        let real_cb = HvMatrix::from_rows(
+            &(0..4)
+                .map(|_| Hypervector::random_real(300, &mut r))
+                .collect::<Vec<_>>(),
+        )
+        .unwrap();
+        assert_eq!(
+            packed.cleanup_batch_bits(&real_cb, &q_bits).unwrap(),
+            packed.cleanup_batch(&real_cb, &q).unwrap()
+        );
     }
 
     #[test]

@@ -21,6 +21,7 @@ use cogsys_datasets::{Attribute, DatasetKind, Panel, Problem, RuleKind};
 use cogsys_factorizer::{Factorizer, FactorizerConfig};
 use cogsys_vsa::batch::{BackendKind, HvMatrix, VsaBackend};
 use cogsys_vsa::codebook::{BindingOp, CodebookSet};
+use cogsys_vsa::packed::BitMatrix;
 use cogsys_vsa::quant::fake_quantize_slice;
 use cogsys_vsa::{ops, Hypervector, Precision, VsaError, VsaKind};
 use rand::rngs::StdRng;
@@ -325,37 +326,80 @@ impl NeurosymbolicSolver {
         let mut iterations = 0usize;
         let mut unbound = HvMatrix::default();
         let mut scratch = HvMatrix::default();
+        // End-to-end packed decode: when the factorizer runs its bit-packed engine on
+        // these blocks, the encoded scenes are packed ONCE here and the whole decode —
+        // resonator, polish unbinding, cleanup — stays in sign planes, with no
+        // per-call re-pack of the query batch.
+        let encoded_bits = if self
+            .blocks
+            .iter()
+            .any(|(set, _)| self.factorizer.packed_pipeline(set))
+        {
+            BitMatrix::from_matrix(&encoded)
+        } else {
+            None
+        };
+        let mut unbound_bits = BitMatrix::default();
+        let mut est_bits = BitMatrix::default();
+        let mut gather_idx: Vec<usize> = Vec::new();
         for (set, attrs) in &self.blocks {
             let mut streams: Vec<StdRng> = (0..n)
                 .map(|_| StdRng::seed_from_u64(rng.next_u64()))
                 .collect();
-            let results = self
-                .factorizer
-                .factorize_matrix(set, &encoded, &mut streams)?;
+            let packed_query = encoded_bits
+                .as_ref()
+                .filter(|_| self.factorizer.packed_pipeline(set));
+            let results = match packed_query {
+                Some(bits) => self
+                    .factorizer
+                    .factorize_matrix_bits(set, bits, &mut streams)?,
+                None => self
+                    .factorizer
+                    .factorize_matrix(set, &encoded, &mut streams)?,
+            };
             iterations += results.iter().map(|r| r.iterations).sum::<usize>();
 
             // One coordinate-descent polish sweep from the hard assignment: unbind the
             // other factors' decoded codevectors and clean up against the remaining
             // factor's codebook. This repairs single-attribute decode errors cheaply
             // using the same unbind→search primitive the factorizer iterates — here as
-            // one gather + batched unbind + batched cleanup per factor.
+            // one gather + batched unbind + batched cleanup per factor. On the packed
+            // route the sweep is XOR + popcount over sign planes (identical results:
+            // bipolar Hadamard unbinding is exactly the XOR of sign planes).
             let mut indices: Vec<Vec<usize>> = results.into_iter().map(|r| r.indices).collect();
             for f in 0..set.num_factors() {
-                let estimates: Vec<HvMatrix> = (0..set.num_factors())
-                    .map(|g| {
-                        let per_query: Vec<usize> = indices.iter().map(|t| t[g]).collect();
-                        set.factor(g)?.matrix().gather(&per_query)
-                    })
-                    .collect::<Result<_, _>>()?;
-                set.unbind_all_but_batch(
-                    backend,
-                    &encoded,
-                    &estimates,
-                    f,
-                    &mut unbound,
-                    &mut scratch,
-                )?;
-                let cleaned = set.factor(f)?.cleanup_batch(backend, &unbound)?;
+                let cleaned = if let Some(bits) = packed_query {
+                    unbound_bits.copy_from(bits);
+                    for g in 0..set.num_factors() {
+                        if g == f {
+                            continue;
+                        }
+                        gather_idx.clear();
+                        gather_idx.extend(indices.iter().map(|t| t[g]));
+                        set.factor(g)?
+                            .packed()
+                            .expect("packed pipeline requires packed codebooks")
+                            .gather_into(&gather_idx, &mut est_bits)?;
+                        unbound_bits.xor_assign(&est_bits)?;
+                    }
+                    set.factor(f)?.cleanup_batch_bits(backend, &unbound_bits)?
+                } else {
+                    let estimates: Vec<HvMatrix> = (0..set.num_factors())
+                        .map(|g| {
+                            let per_query: Vec<usize> = indices.iter().map(|t| t[g]).collect();
+                            set.factor(g)?.matrix().gather(&per_query)
+                        })
+                        .collect::<Result<_, _>>()?;
+                    set.unbind_all_but_batch(
+                        backend,
+                        &encoded,
+                        &estimates,
+                        f,
+                        &mut unbound,
+                        &mut scratch,
+                    )?;
+                    set.factor(f)?.cleanup_batch(backend, &unbound)?
+                };
                 for (t, (best, _)) in indices.iter_mut().zip(cleaned) {
                     t[f] = best;
                 }
@@ -753,6 +797,35 @@ mod tests {
         );
         assert!(packed_report.factorization_accuracy() >= 0.85);
         assert_eq!(packed.backend().name(), "packed");
+    }
+
+    #[test]
+    fn packed_decode_equals_dense_decode_exactly() {
+        // The end-to-end packed decode (scene packed once, XOR polish, popcount
+        // cleanup) makes the same decisions as the dense route: the packed kernels'
+        // similarities are the exact integer dot products, so on identical codebooks
+        // and rng streams the decoded panels must be *equal*, not just close.
+        let config = SolverConfig::default();
+        let (packed, _) = solver(21, config.clone().with_backend(BackendKind::Packed));
+        let (dense, _) = solver(21, config.with_backend(BackendKind::Parallel));
+        let mut r1 = rng(31);
+        let mut r2 = rng(31);
+        let panels: Vec<Panel> = (0..5).map(|_| Panel::random(&mut r1)).collect();
+        let _: Vec<Panel> = (0..5).map(|_| Panel::random(&mut r2)).collect();
+        let (decoded_packed, iters_packed) = packed
+            .perceive_and_factorize_batch(&panels, &mut r1)
+            .unwrap();
+        let (decoded_dense, iters_dense) = dense
+            .perceive_and_factorize_batch(&panels, &mut r2)
+            .unwrap();
+        assert_eq!(decoded_packed, decoded_dense);
+        assert_eq!(iters_packed, iters_dense);
+        let exact = decoded_packed
+            .iter()
+            .zip(&panels)
+            .filter(|(a, b)| a == b)
+            .count();
+        assert!(exact >= 4, "only {exact}/5 panels decoded exactly");
     }
 
     #[test]

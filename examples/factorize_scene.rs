@@ -97,6 +97,8 @@ fn main() {
     );
 
     let block_threshold = NeurosymbolicSolver::block_convergence_threshold(blocks.len());
+    // BackendKind::Packed is the default since the packed pipeline closed end to end;
+    // the explicit call documents that this example leans on the XOR/popcount engine.
     let factorizer = Factorizer::new(
         FactorizerConfig {
             convergence_threshold: block_threshold,

@@ -171,6 +171,99 @@ proptest! {
         );
     }
 
+    /// The fused packed weighted-projection kernel (per-dimension f32 accumulators
+    /// over sign planes + fused perturbation + sign threshold) equals the dense
+    /// `project_batch_into` followed by the same perturbation and threshold —
+    /// **bitwise**, with and without noise, across power-of-two and non-power-of-two
+    /// dimensions (tail words included).
+    #[test]
+    fn prop_packed_projection_matches_dense(
+        seed in 0u64..1000,
+        d_pow in 2u32..9,
+        odd in 0usize..7,
+        code_rows in 2usize..16,
+        queries in 1usize..6,
+        noise_sel in 0usize..2,
+    ) {
+        use cogsys_vsa::packed::PackedBackend;
+        use rand::SeedableRng;
+        use rand_distr::{Distribution, Normal};
+
+        let with_noise = noise_sel == 1;
+        let dim = (1usize << d_pow) + [0, 1, 3, 5, 7, 11, 13][odd];
+        let (_, cb) = random_batch(code_rows, dim, seed);
+        let cb_bits = BitMatrix::from_matrix(&cb).expect("bipolar codebook packs");
+        // Real-valued weights, as the resonator's (noise-injected) similarity rows are.
+        let mut r = rng(seed ^ 0xfeed);
+        let weights = HvMatrix::from_rows(
+            &(0..queries)
+                .map(|_| Hypervector::random_real(code_rows, &mut r))
+                .collect::<Vec<_>>(),
+        ).unwrap();
+
+        let noise = Normal::new(0.0_f32, 0.75).unwrap();
+        // Dense path: project, perturb with a per-query stream, sign-threshold.
+        let reference = BackendKind::Reference.create();
+        let dense = reference.project_batch(&cb, &weights).unwrap();
+        let mut expected = Vec::new();
+        for q in 0..queries {
+            let mut row = dense.row(q).to_vec();
+            if with_noise {
+                let mut stream = rand::rngs::StdRng::seed_from_u64(seed + q as u64);
+                for v in &mut row {
+                    *v += noise.sample(&mut stream);
+                }
+            }
+            expected.push(row.iter().map(|&v| if v < 0.0 { -1.0 } else { 1.0 }).collect::<Vec<f32>>());
+        }
+
+        // Packed path: the same perturbation runs fused inside the kernel.
+        let packed = PackedBackend::new();
+        let (mut out, mut acc) = (BitMatrix::default(), Vec::new());
+        packed.project_signs_packed_into(&cb_bits, &weights, |q, row| {
+            if with_noise {
+                let mut stream = rand::rngs::StdRng::seed_from_u64(seed + q as u64);
+                for v in row.iter_mut() {
+                    *v += noise.sample(&mut stream);
+                }
+            }
+        }, &mut acc, &mut out);
+
+        let unpacked = out.to_matrix();
+        for (q, row) in expected.iter().enumerate() {
+            prop_assert_eq!(unpacked.row(q), row.as_slice());
+        }
+    }
+
+    /// Pre-packed `BitMatrix` queries through `Codebook::cleanup_batch_bits` decode
+    /// exactly like the same queries through the f32 `cleanup_batch` surface, on every
+    /// backend — the end-to-end packed query path changes cost, never results.
+    #[test]
+    fn prop_packed_query_cleanup_equals_dense_query(
+        seed in 0u64..1000,
+        d_pow in 2u32..9,
+        odd in 0usize..7,
+        code_rows in 2usize..24,
+        queries in 1usize..10,
+    ) {
+        use cogsys_vsa::Codebook;
+
+        let dim = (1usize << d_pow) + [0, 1, 3, 5, 7, 11, 13][odd];
+        let mut r = rng(seed);
+        let cb = Codebook::random("p", code_rows, dim, &mut r);
+        let (_, q) = random_batch(queries, dim, seed + 211);
+        let bits = BitMatrix::from_matrix(&q).expect("bipolar queries pack");
+        for kind in BackendKind::ALL {
+            let backend = kind.create();
+            let dense = cb.cleanup_batch(backend.as_ref(), &q).unwrap();
+            let packed = cb.cleanup_batch_bits(backend.as_ref(), &bits).unwrap();
+            for ((di, dsim), (pi, psim)) in dense.iter().zip(&packed) {
+                prop_assert_eq!(di, pi);
+                prop_assert!((dsim - psim).abs() < 1e-4, "{}: {} vs {}", kind, dsim, psim);
+            }
+        }
+    }
+
     /// Non-bipolar operands must not silently lose magnitude: the packed backend's
     /// results match the dense fallback bitwise.
     #[test]
