@@ -2,10 +2,12 @@
 //!
 //! Measures the circular-convolution binding and codebook-cleanup kernels (both `f32`
 //! and pre-packed `BitMatrix` queries) for every [`cogsys_vsa::BackendKind`] across
-//! `d ∈ {256, 1024, 4096}` × `batch ∈ {1, 32, 256}`, prints the speedup table, and
-//! writes the raw `(backend, kernel, dim, batch) → ns/op` records to
-//! `BENCH_backends.json` in the current directory — the file the CI bench-smoke step
-//! publishes so the perf trajectory is tracked across PRs.
+//! `d ∈ {256, 1024, 4096}` × `batch ∈ {1, 32, 256}`, plus the **end-to-end solver
+//! kernels** — `solve_batch` (the cross-problem batched serving engine with reused
+//! scratch) vs `solve_sequential` (per-problem loop) at 8- and 64-problem batches —
+//! prints the speedup table, and writes the raw `(backend, kernel, dim, batch) →
+//! ns/op` records to `BENCH_backends.json` in the current directory — the file the
+//! CI bench-smoke step publishes so the perf trajectory is tracked across PRs.
 //!
 //! **Regression guard:** before overwriting, the committed `BENCH_backends.json` is
 //! read as the baseline; if any packed-backend kernel slowed down by more than 1.3×,
@@ -31,11 +33,15 @@ fn main() -> ExitCode {
         .map(|text| cogsys::experiments::parse_backend_throughput_json(&text))
         .unwrap_or_default();
 
-    let records = cogsys::experiments::backend_throughput_records(&DIMS, &BATCHES, SEED);
+    let mut records = cogsys::experiments::backend_throughput_records(&DIMS, &BATCHES, SEED);
     println!(
         "{}",
         cogsys::experiments::backend_throughput_table(&records)
     );
+    records.extend(cogsys::experiments::solver_throughput_records(
+        &cogsys::experiments::SOLVER_BENCH_PROBLEMS,
+        SEED,
+    ));
 
     let json = cogsys::experiments::backend_throughput_json(SEED, &records);
     std::fs::write(path, &json).expect("BENCH_backends.json is writable");
@@ -68,6 +74,30 @@ fn main() -> ExitCode {
             per_call / 1e6,
             prepacked / 1e6,
             per_call / prepacked.max(1.0)
+        );
+    }
+
+    // End-to-end solver throughput: the cross-problem batched engine vs the
+    // per-problem loop at a 64-problem serving batch (8·64 = 512 panel rows per
+    // factorize call) on the packed backend.
+    let solver_cell = |backend: &str, kernel: &str| {
+        records
+            .iter()
+            .find(|r| r.backend == backend && r.kernel == kernel && r.batch == 64)
+            .map(|r| r.ns_per_op)
+    };
+    if let (Some(batched), Some(sequential)) = (
+        solver_cell("packed", "solve_batch"),
+        solver_cell("packed", "solve_sequential"),
+    ) {
+        println!(
+            "solver 64-problem batch (packed): batched {:.1} ms ({:.0} problems/s), \
+             per-problem {:.1} ms ({:.0} problems/s), {:.2}x from cross-problem batching",
+            batched / 1e6,
+            64.0 / (batched / 1e9),
+            sequential / 1e6,
+            64.0 / (sequential / 1e9),
+            sequential / batched.max(1.0),
         );
     }
 

@@ -87,14 +87,18 @@ pub struct BenchRecord {
     /// Backend name (`reference`, `parallel`, `packed`).
     pub backend: String,
     /// Kernel name: `bind_circular` (row-wise circular-convolution binding),
-    /// `cleanup` (codebook cleanup of an `f32` query batch) or `cleanup_prepacked`
-    /// (codebook cleanup of pre-packed `BitMatrix` queries).
+    /// `cleanup` (codebook cleanup of an `f32` query batch), `cleanup_prepacked`
+    /// (codebook cleanup of pre-packed `BitMatrix` queries), `solve_batch` (the
+    /// cross-problem batched solver over `batch` problems, reused scratch) or
+    /// `solve_sequential` (per-problem solver loop over the same problems).
     pub kernel: String,
     /// Hypervector dimensionality.
     pub dim: usize,
     /// Number of rows in the batch.
     pub batch: usize,
-    /// Best-of-five wall-clock nanoseconds for one batched kernel call.
+    /// Best-of-N wall-clock nanoseconds for one batched kernel call (one warm-up,
+    /// then best of five rounds for the micro-kernels, best of three for the
+    /// end-to-end solver kernels — see the producing functions).
     pub ns_per_op: f64,
 }
 
@@ -192,6 +196,84 @@ pub fn backend_throughput_records(
                     ns_per_op: prepacked * 1e9,
                 });
             }
+        }
+    }
+    records
+}
+
+/// Problem count and vector dimensionality of the solver-throughput sweep.
+///
+/// 64 problems is the batch size of the headline acceptance measurement (one
+/// `batch_tasks`-sized serving chunk of 8·64 = 512 panel rows through the packed
+/// kernels); d = 2048 is the solver's production dimensionality.
+pub const SOLVER_BENCH_PROBLEMS: [usize; 2] = [8, 64];
+
+/// Measures end-to-end solver throughput for every [`BackendKind`]: the
+/// `solve_batch` kernel runs the cross-problem batched engine (one reused
+/// [`cogsys_workloads::SolverScratch`], all problems in one call) and the
+/// `solve_sequential` kernel runs the per-problem path (a loop over
+/// [`NeurosymbolicSolver::solve`], the pre-batching `solve_batch` behaviour). Both
+/// solve the same RAVEN problems from the same rng state, so their wall-clock ratio
+/// is the pure cross-problem-batching dividend; tracking `solve_batch` against the
+/// committed baseline guards the whole serving path (encode, factorize, polish,
+/// answer scoring) rather than single kernels.
+///
+/// `ns_per_op` is the best wall clock for solving the *whole* batch (one warm-up,
+/// best of three), mirroring the per-batched-call convention of
+/// [`backend_throughput_records`].
+pub fn solver_throughput_records(problem_counts: &[usize], seed: u64) -> Vec<BenchRecord> {
+    use cogsys_workloads::SolverScratch;
+    use std::time::Instant;
+
+    let mut records = Vec::new();
+    for &backend in &BackendKind::ALL {
+        let mut rng = cogsys_vsa::rng(seed);
+        let solver =
+            NeurosymbolicSolver::new(SolverConfig::default().with_backend(backend), &mut rng);
+        let dim = solver.config().vector_dim;
+        for &count in problem_counts {
+            let problems =
+                ProblemGenerator::new(DatasetKind::Raven).generate_batch(count, &mut rng);
+            let mut scratch = SolverScratch::default();
+
+            let time = |f: &mut dyn FnMut()| {
+                f();
+                (0..3)
+                    .map(|_| {
+                        let t = Instant::now();
+                        f();
+                        t.elapsed().as_secs_f64()
+                    })
+                    .fold(f64::INFINITY, f64::min)
+            };
+
+            let batched = time(&mut || {
+                let mut r = cogsys_vsa::rng(seed ^ 0x5eed);
+                let _ = solver
+                    .solve_batch_with(&problems, &mut r, &mut scratch)
+                    .expect("well-formed problems solve");
+            });
+            records.push(BenchRecord {
+                backend: backend.to_string(),
+                kernel: "solve_batch".to_string(),
+                dim,
+                batch: count,
+                ns_per_op: batched * 1e9,
+            });
+
+            let sequential = time(&mut || {
+                let mut r = cogsys_vsa::rng(seed ^ 0x5eed);
+                for problem in &problems {
+                    let _ = solver.solve(problem, &mut r).expect("well-formed problem");
+                }
+            });
+            records.push(BenchRecord {
+                backend: backend.to_string(),
+                kernel: "solve_sequential".to_string(),
+                dim,
+                batch: count,
+                ns_per_op: sequential * 1e9,
+            });
         }
     }
     records
@@ -780,23 +862,35 @@ pub fn tab07_factorization_accuracy_with_backend(
 
 /// Tab. VIII: end-to-end reasoning accuracy of CogSys (factorization + stochasticity,
 /// then + quantization) on RAVEN, I-RAVEN and PGM, plus the parameter-memory column.
+///
+/// Each dataset's problem set is solved as **one cross-problem batch** through the
+/// batched engine, with one [`cogsys_workloads::SolverScratch`] reused across all
+/// datasets and precisions — the same serving configuration `CogSysSystem::
+/// run_reasoning` uses, so the table measures exactly the production path. (The
+/// batched engine is decision-identical to the per-problem path, so the numbers are
+/// unchanged from per-problem solving.)
 pub fn tab08_reasoning_accuracy(problems: usize, seed: u64) -> ExperimentTable {
     let mut table = ExperimentTable::new(
         "Tab. VIII: reasoning accuracy (%) and symbolic memory (MB)",
         &["FP32 accuracy %", "INT8 accuracy %", "codebook KB"],
     );
+    let mut scratch = cogsys_workloads::SolverScratch::default();
     for dataset in [DatasetKind::Raven, DatasetKind::IRaven, DatasetKind::Pgm] {
         let mut rng = cogsys_vsa::rng(seed);
         let fp32 = NeurosymbolicSolver::new(SolverConfig::default(), &mut rng);
         let batch = ProblemGenerator::new(dataset).generate_batch(problems, &mut rng);
-        let fp32_report = fp32.solve_batch(&batch, &mut rng).expect("valid problems");
+        let fp32_report = fp32
+            .solve_batch_with(&batch, &mut rng, &mut scratch)
+            .expect("valid problems");
 
         let mut rng2 = cogsys_vsa::rng(seed);
         let int8 = NeurosymbolicSolver::new(
             SolverConfig::default().with_precision(Precision::Int8),
             &mut rng2,
         );
-        let int8_report = int8.solve_batch(&batch, &mut rng2).expect("valid problems");
+        let int8_report = int8
+            .solve_batch_with(&batch, &mut rng2, &mut scratch)
+            .expect("valid problems");
 
         let codebook_kb = fp32.codebooks().footprint_bytes(4) as f64 / 1024.0;
         table.push(

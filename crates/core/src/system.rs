@@ -190,6 +190,14 @@ impl CogSysSystem {
     /// Runs the full pipeline: functional accuracy over `problems` synthetic problems of
     /// `dataset`, plus accelerator latency/energy/utilisation for the same workload.
     ///
+    /// The functional solver consumes the problem stream in `batch_tasks`-sized
+    /// chunks through the cross-problem batched engine with one reused
+    /// [`cogsys_workloads::SolverScratch`] — `batch_tasks` now means the same thing
+    /// in the functional model as in the performance model (adSCH interleaves the
+    /// same number of tasks). The batched engine's per-problem rng draws make the
+    /// result independent of the chunk size, so changing `batch_tasks` changes
+    /// throughput, never answers.
+    ///
     /// # Errors
     /// Returns [`SimError`] for invalid accelerator configurations; VSA errors cannot
     /// occur for well-formed configurations and are reported as accuracy 0 rather than
@@ -204,7 +212,14 @@ impl CogSysSystem {
         let mut rng = cogsys_vsa::rng(seed);
         let solver = NeurosymbolicSolver::new(self.config.solver.clone(), &mut rng);
         let batch = ProblemGenerator::new(dataset).generate_batch(problems, &mut rng);
-        let report = solver.solve_batch(&batch, &mut rng).unwrap_or_default();
+        let mut scratch = cogsys_workloads::SolverScratch::default();
+        let report = batch
+            .chunks(self.config.batch_tasks.max(1))
+            .try_fold(SolverReport::default(), |mut total, chunk| {
+                total.merge(&solver.solve_batch_with(chunk, &mut rng, &mut scratch)?);
+                Ok::<_, cogsys_vsa::VsaError>(total)
+            })
+            .unwrap_or_default();
 
         // Performance.
         let schedule = self.schedule_batch(true)?;
@@ -350,6 +365,26 @@ mod tests {
         let system = CogSysSystem::new(config);
         let outcome = system.run_reasoning(DatasetKind::Raven, 1, 9).unwrap();
         assert_eq!(outcome.report.problems, 1);
+    }
+
+    #[test]
+    fn batch_tasks_changes_throughput_not_answers() {
+        // run_reasoning slices the problem stream into batch_tasks-sized chunks for
+        // the cross-problem batched solver; the chunk size must never change the
+        // functional outcome (the batched engine draws rng per problem).
+        let narrow = CogSysSystem::new(CogSysConfig {
+            batch_tasks: 2,
+            ..CogSysConfig::default()
+        });
+        let wide = CogSysSystem::new(CogSysConfig {
+            batch_tasks: 64,
+            ..CogSysConfig::default()
+        });
+        let a = narrow.run_reasoning(DatasetKind::Raven, 6, 77).unwrap();
+        let b = wide.run_reasoning(DatasetKind::Raven, 6, 77).unwrap();
+        assert_eq!(a.report, b.report);
+        // The performance model still sees the different batch size.
+        assert!(a.seconds_per_task > 0.0 && b.seconds_per_task > 0.0);
     }
 
     #[test]

@@ -5,9 +5,13 @@ use serde::{Deserialize, Serialize};
 
 /// Stochasticity-injection settings (paper Sec. IV-B).
 ///
-/// Additive Gaussian noise applied to the similarity vector (Step 2) and to the
+/// Additive zero-mean noise applied to the similarity vector (Step 2) and to the
 /// projected estimate before the sign non-linearity (Step 3) lets the iteration escape
 /// limit cycles, exploring a larger solution space and converging in fewer iterations.
+/// The kernel is **bounded symmetric triangular** noise of the configured standard
+/// deviation (samples never exceed `sqrt(6)·sigma` in magnitude — see
+/// `BoundedNoise` in the resonator), chosen over a Gaussian so the projection step
+/// can both sample cheaply and provably skip dimensions whose sign cannot flip.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct StochasticityConfig {
     /// Standard deviation of the noise added to each similarity score, expressed as a
@@ -126,8 +130,9 @@ impl FactorizerConfig {
                 self.stochasticity.decay
             ));
         }
-        // The sigmas parameterise Gaussian distributions deep in the resonator's hot
-        // loop; validating here means distribution construction can never fail there.
+        // The sigmas parameterise the bounded noise kernel deep in the resonator's
+        // hot loop; validating here means its amplitude (`sqrt(6)·sigma`) is always
+        // finite and non-negative there.
         for (name, sigma) in [
             ("similarity_sigma", self.stochasticity.similarity_sigma),
             ("projection_sigma", self.stochasticity.projection_sigma),
@@ -180,7 +185,7 @@ mod tests {
         assert!(c.validate().is_err());
 
         // Negative or non-finite sigmas must be rejected up front — the resonator
-        // builds Normal distributions from them in its hot loop.
+        // derives its noise amplitude from them in its hot loop.
         let mut c = FactorizerConfig::default();
         c.stochasticity.similarity_sigma = -0.1;
         assert!(c.validate().is_err());

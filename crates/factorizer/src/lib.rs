@@ -10,9 +10,10 @@
 //! 2. **Similarity search** — `α_f(t) = x̃_f(t) · X_f`
 //! 3. **Factor projection** — `x̂_f(t+1) = sign(α_f(t) · X_fᵀ)`
 //!
-//! plus the Sec. IV-B optimisations: additive Gaussian **stochasticity** on steps 2 and
-//! 3 (escapes limit cycles, reduces iteration count) and reduced-precision (**FP8 /
-//! INT8**) execution of all three steps.
+//! plus the Sec. IV-B optimisations: additive zero-mean **stochasticity** on steps 2
+//! and 3 (a bounded triangular kernel in this implementation — escapes limit cycles,
+//! reduces iteration count) and reduced-precision (**FP8 / INT8**) execution of all
+//! three steps.
 //!
 //! # Example
 //!
@@ -41,4 +42,4 @@ pub mod resonator;
 pub use baseline::{BruteForceFactorizer, BruteForceOutcome};
 pub use config::{FactorizerConfig, StochasticityConfig};
 pub use metrics::{AccuracyReport, FactorizationCost, WorkloadStats};
-pub use resonator::{FactorizationResult, Factorizer};
+pub use resonator::{FactorizationResult, Factorizer, FactorizerScratch};

@@ -15,7 +15,6 @@ use cogsys_vsa::quant::fake_quantize_slice;
 use cogsys_vsa::{ops, Hypervector, Precision, VsaError};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use rand_distr::{Distribution, Normal};
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
@@ -59,46 +58,103 @@ impl Default for Factorizer {
     }
 }
 
-/// Adds i.i.d. Gaussian noise in place; numerically identical to
-/// [`ops::add_gaussian_noise`] on the same generator state. The distribution is built
-/// once per sigma change ([`QueryState`] caches it), never in this hot-loop call.
-fn add_noise_slice(values: &mut [f32], normal: &Normal<f32>, rng: &mut StdRng) {
-    for v in values {
-        *v += normal.sample(rng);
+/// The stochasticity kernel: zero-mean symmetric **triangular** noise on
+/// `[-amplitude, amplitude]` with `amplitude = sqrt(6)·sigma` (so the variance is
+/// exactly `sigma²`), sampled as the difference of two uniform draws from the query's
+/// private stream.
+///
+/// Two properties make this the right noise source for the resonator's hot loop:
+///
+/// * **Cheap.** One sample is two generator words and a multiply. The Box–Muller
+///   Gaussian it replaces spent ~10× longer in `ln`/`cos` per sample, and the
+///   projection step consumes one sample per *dimension* per factor per iteration —
+///   profiling showed noise generation, not VSA arithmetic, dominating the whole
+///   solver (≈230 µs vs ≈46 µs per row-iteration at d = 2048).
+/// * **Bounded.** A sample can never exceed `amplitude` in magnitude, so the
+///   projection step can prove `sign(v + z) == sign(v)` whenever `|v| > amplitude`
+///   and skip the draw entirely ([`BoundedNoise::perturb_signs`]). On the FP32 path
+///   (where the sign threshold directly follows the noise) only the binarised sign
+///   survives the iteration, so a skipped draw is provably without downstream
+///   effect; see `perturb_signs` for the sub-FP32 caveat.
+///
+/// The annealing role of stochasticity (paper Sec. IV-B: escape limit cycles,
+/// converge in fewer iterations) needs symmetric zero-mean jitter on the scale of the
+/// cross-similarity noise floor; the exact tail shape is immaterial, and the
+/// `stochasticity_reduces_iterations_on_hard_problems` regression pins the behaviour.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct BoundedNoise {
+    amplitude: f32,
+}
+
+impl BoundedNoise {
+    /// The noise for one sigma, or `None` when disabled (`sigma == 0`). Sigmas are
+    /// validated by [`FactorizerConfig::validate`] (finite, non-negative).
+    fn for_sigma(sigma: f32) -> Option<Self> {
+        (sigma > 0.0).then(|| Self {
+            amplitude: sigma * 6.0_f32.sqrt(),
+        })
+    }
+
+    /// One sample: `(u1 - u2) · amplitude`, triangular on `[-amplitude, amplitude]`.
+    /// The uniforms are 24-bit multiples of 2⁻²⁴ in `[0, 1)`, so the difference is
+    /// exact in `f32` and the bound is tight (`|z| ≤ amplitude` after rounding).
+    #[inline]
+    fn sample(&self, rng: &mut StdRng) -> f32 {
+        let u1: f32 = rng.gen();
+        let u2: f32 = rng.gen();
+        (u1 - u2) * self.amplitude
+    }
+
+    /// Adds one sample to every element — the similarity-step perturbation, where the
+    /// scores feed a global argmax and no element can be proven irrelevant.
+    fn perturb_all(&self, values: &mut [f32], rng: &mut StdRng) {
+        for v in values {
+            *v += self.sample(rng);
+        }
+    }
+
+    /// Adds one sample to every element whose **sign** the noise could possibly flip
+    /// — the projection-step perturbation. `|v| > amplitude ≥ |z|` bounds `v + z`
+    /// strictly away from zero on the same side as `v` (two finite `f32`s only sum
+    /// to ±0.0 when they are exact negatives, which the strict bound excludes), so
+    /// on the FP32 path — where the sign threshold directly follows — the skipped
+    /// draw is provably dead weight. At sub-FP32 precisions `fake_quantize` sits
+    /// between the noise and the sign threshold and the skip is *not* equivalent to
+    /// a full-sampling run (quantization can move a near-zero value across zero and
+    /// its row-global Int8 scale couples elements); it remains a well-defined noise
+    /// model there because the skip rule is deterministic in the accumulator values.
+    /// Skipping changes which stream position lands on which dimension, but every
+    /// engine — dense and packed, per-query and batched — runs this same code on
+    /// bitwise-identical accumulators, so their skip patterns and therefore their
+    /// decisions stay identical at every precision.
+    fn perturb_signs(&self, values: &mut [f32], rng: &mut StdRng) {
+        let a = self.amplitude;
+        for v in values {
+            if v.abs() <= a {
+                *v += self.sample(rng);
+            }
+        }
     }
 }
 
-/// The cached distribution for a sigma, or `None` when noise is disabled. Sigmas are
-/// validated by [`FactorizerConfig::validate`] (finite, non-negative), so construction
-/// only fails if the `sqrt(d)` scaling overflowed — a configuration bug, not a
-/// per-iteration hazard.
-fn noise_dist(sigma: f32) -> Option<Normal<f32>> {
-    (sigma > 0.0).then(|| Normal::new(0.0_f32, sigma).expect("validated sigma stays finite"))
-}
-
-/// Cosine similarity of two rows, matching [`ops::try_cosine_similarity`] numerics.
+/// Cosine similarity of two rows — the canonical [`ops::cosine_slices`] numerics.
 fn cosine_rows(a: &[f32], b: &[f32]) -> f32 {
-    let dot: f32 = a.iter().zip(b).map(|(x, y)| x * y).sum();
-    let norm = |v: &[f32]| v.iter().map(|x| x * x).sum::<f32>().sqrt();
-    let denom = norm(a) * norm(b);
-    if denom == 0.0 {
-        return 0.0;
-    }
-    dot / denom
+    ops::cosine_slices(a, b)
 }
 
 /// Per-query mutable state of the batched iteration.
 ///
 /// Indexed by the *original* query index throughout; converged queries are compacted
 /// out of the batch matrices (see the `order` vectors in the engines) but their state
-/// stays here until the results are assembled.
+/// stays here until the results are assembled. Lives in [`FactorizerScratch`] and is
+/// [`QueryState::reset`] per call, so the steady state reuses its vectors.
+#[derive(Debug, Default)]
 struct QueryState {
     sim_sigma: f32,
     proj_sigma: f32,
-    /// Distributions for the current sigmas, rebuilt only when the schedule decays —
-    /// the per-step noise calls sample a cached `Normal` instead of constructing one.
-    sim_noise: Option<Normal<f32>>,
-    proj_noise: Option<Normal<f32>>,
+    /// Noise kernels for the current sigmas, rebuilt only when the schedule decays.
+    sim_noise: Option<BoundedNoise>,
+    proj_noise: Option<BoundedNoise>,
     decoded: Vec<usize>,
     best_indices: Vec<usize>,
     best_similarity: f32,
@@ -107,20 +163,19 @@ struct QueryState {
 }
 
 impl QueryState {
-    fn new(config: &FactorizerConfig, num_factors: usize, noise_scale: f32) -> Self {
-        let sim_sigma = config.stochasticity.similarity_sigma * noise_scale;
-        let proj_sigma = config.stochasticity.projection_sigma * noise_scale;
-        Self {
-            sim_sigma,
-            proj_sigma,
-            sim_noise: noise_dist(sim_sigma),
-            proj_noise: noise_dist(proj_sigma),
-            decoded: vec![0usize; num_factors],
-            best_indices: vec![0usize; num_factors],
-            best_similarity: f32::NEG_INFINITY,
-            history: Vec::new(),
-            result: None,
-        }
+    /// Re-initialises the state for a fresh query, keeping the vector allocations.
+    fn reset(&mut self, config: &FactorizerConfig, num_factors: usize, noise_scale: f32) {
+        self.sim_sigma = config.stochasticity.similarity_sigma * noise_scale;
+        self.proj_sigma = config.stochasticity.projection_sigma * noise_scale;
+        self.sim_noise = BoundedNoise::for_sigma(self.sim_sigma);
+        self.proj_noise = BoundedNoise::for_sigma(self.proj_sigma);
+        self.decoded.clear();
+        self.decoded.resize(num_factors, 0);
+        self.best_indices.clear();
+        self.best_indices.resize(num_factors, 0);
+        self.best_similarity = f32::NEG_INFINITY;
+        self.history.clear();
+        self.result = None;
     }
 
     /// End-of-iteration bookkeeping for one query: records the rebind `similarity`,
@@ -178,20 +233,64 @@ impl QueryState {
         if config.stochasticity.decay != 1.0 {
             self.sim_sigma *= config.stochasticity.decay;
             self.proj_sigma *= config.stochasticity.decay;
-            self.sim_noise = noise_dist(self.sim_sigma);
-            self.proj_noise = noise_dist(self.proj_sigma);
+            self.sim_noise = BoundedNoise::for_sigma(self.sim_sigma);
+            self.proj_noise = BoundedNoise::for_sigma(self.proj_sigma);
         }
         false
     }
 
-    fn into_result(self, max_iterations: usize) -> FactorizationResult {
-        self.result.unwrap_or(FactorizationResult {
-            indices: self.best_indices,
+    /// Extracts the query's result, leaving the state ready for [`QueryState::reset`].
+    fn take_result(&mut self, max_iterations: usize) -> FactorizationResult {
+        self.result.take().unwrap_or_else(|| FactorizationResult {
+            indices: self.best_indices.clone(),
             similarity: self.best_similarity,
             iterations: max_iterations,
             converged: false,
             limit_cycle: false,
         })
+    }
+}
+
+/// Caller-owned scratch for the resonator engines: every batch matrix, sign plane and
+/// bookkeeping vector the iteration touches, reused across calls so a steady-state
+/// serving loop allocates nothing in the factorization stage beyond the returned
+/// [`FactorizationResult`]s themselves.
+///
+/// One scratch serves both engines and any sequence of shapes — buffers are reshaped
+/// per call (`ensure_shape` keeps the backing storage when the shape repeats). The
+/// scratch carries no query state across calls; using a fresh `FactorizerScratch`
+/// yields bitwise-identical results, which is what the allocating entry points do.
+#[derive(Debug, Default)]
+pub struct FactorizerScratch {
+    // Shared bookkeeping.
+    states: Vec<QueryState>,
+    order: Vec<usize>,
+    survivors: Vec<usize>,
+    decoded_rows: Vec<usize>,
+    sims: HvMatrix,
+    // Dense engine.
+    query_q: HvMatrix,
+    estimates: Vec<HvMatrix>,
+    unbound: HvMatrix,
+    work: HvMatrix,
+    projected: HvMatrix,
+    rebound: HvMatrix,
+    gather_tmp: HvMatrix,
+    // Packed engine.
+    query_bits: BitMatrix,
+    estimates_bits: Vec<BitMatrix>,
+    unbound_bits: BitMatrix,
+    rebound_bits: BitMatrix,
+    factor_bits: BitMatrix,
+    init_bits: BitMatrix,
+    proj_acc: Vec<f32>,
+    gather_tmp_bits: BitMatrix,
+}
+
+impl FactorizerScratch {
+    /// Packs `query_q` into `query_bits`, reporting whether it was exactly bipolar.
+    fn pack_query(&mut self) -> bool {
+        self.query_bits.pack_from(&self.query_q)
     }
 }
 
@@ -300,6 +399,24 @@ impl Factorizer {
         queries: &HvMatrix,
         streams: &mut [StdRng],
     ) -> Result<Vec<FactorizationResult>, VsaError> {
+        self.factorize_matrix_scratch(set, queries, streams, &mut FactorizerScratch::default())
+    }
+
+    /// [`Factorizer::factorize_matrix`] with **caller-owned scratch**: all batch
+    /// matrices, sign planes and per-query state live in `scratch` and are reused
+    /// across calls, so a steady-state serving loop allocates nothing in the
+    /// factorization stage. Results are identical to the allocating entry point.
+    ///
+    /// # Errors
+    /// Returns [`VsaError::DimensionMismatch`] when `queries.dim()` differs from the
+    /// codebook dimension or `streams.len() != queries.rows()`.
+    pub fn factorize_matrix_scratch(
+        &self,
+        set: &CodebookSet,
+        queries: &HvMatrix,
+        streams: &mut [StdRng],
+        scratch: &mut FactorizerScratch,
+    ) -> Result<Vec<FactorizationResult>, VsaError> {
         let n = queries.rows();
         let dim = set.dim();
         if queries.dim() != dim && n > 0 {
@@ -320,22 +437,20 @@ impl Factorizer {
         let precision = self.config.precision;
 
         // Quantized queries (the factorization runs at the configured precision).
-        let mut query_q = queries.clone();
+        scratch.query_q.copy_from(queries);
         for q in 0..n {
-            fake_quantize_slice(query_q.row_mut(q), precision);
+            fake_quantize_slice(scratch.query_q.row_mut(q), precision);
         }
 
         // Packed fast path (see [`Factorizer::packed_pipeline`]). FP32 only: lower
         // precisions quantize the projected estimate *before* the sign threshold,
         // which the packed pipeline skips, and the fast path must stay
         // decision-identical to the dense engine.
-        if self.packed_pipeline(set) {
-            if let Some(query_bits) = BitMatrix::from_matrix(&query_q) {
-                return self.factorize_matrix_packed(set, query_bits, streams);
-            }
+        if self.packed_pipeline(set) && scratch.pack_query() {
+            return self.factorize_matrix_packed(set, streams, scratch);
         }
 
-        self.factorize_matrix_dense(set, query_q, streams)
+        self.factorize_matrix_dense(set, streams, scratch)
     }
 
     /// Returns `true` when factorizing against `set` runs the bit-packed resonator
@@ -368,6 +483,24 @@ impl Factorizer {
         queries: &BitMatrix,
         streams: &mut [StdRng],
     ) -> Result<Vec<FactorizationResult>, VsaError> {
+        self.factorize_matrix_bits_scratch(set, queries, streams, &mut FactorizerScratch::default())
+    }
+
+    /// [`Factorizer::factorize_matrix_bits`] with **caller-owned scratch** (see
+    /// [`Factorizer::factorize_matrix_scratch`]): the allocation-free entry point of
+    /// the end-to-end packed serving path — a packed-encoded scene batch flows in as
+    /// sign planes and every buffer of the resonator loop is reused across calls.
+    ///
+    /// # Errors
+    /// Returns [`VsaError::DimensionMismatch`] when `queries.dim()` differs from the
+    /// codebook dimension or `streams.len() != queries.rows()`.
+    pub fn factorize_matrix_bits_scratch(
+        &self,
+        set: &CodebookSet,
+        queries: &BitMatrix,
+        streams: &mut [StdRng],
+        scratch: &mut FactorizerScratch,
+    ) -> Result<Vec<FactorizationResult>, VsaError> {
         let n = queries.rows();
         if queries.dim() != set.dim() && n > 0 {
             return Err(VsaError::DimensionMismatch {
@@ -385,18 +518,19 @@ impl Factorizer {
             return Ok(Vec::new());
         }
         if self.packed_pipeline(set) {
-            return self.factorize_matrix_packed(set, queries.clone(), streams);
+            scratch.query_bits.copy_from(queries);
+            return self.factorize_matrix_packed(set, streams, scratch);
         }
         // Unpacked fallback (non-Hadamard binding, reduced precision, dense backend):
         // ±1 values survive quantization at every precision, so the dense engine sees
         // exactly the queries the caller packed.
-        let mut dense = HvMatrix::default();
-        queries.unpack_into(&mut dense);
-        self.factorize_matrix_dense(set, dense, streams)
+        queries.unpack_into(&mut scratch.query_q);
+        self.factorize_matrix_dense(set, streams, scratch)
     }
 
-    /// Dense (`f32`) resonator engine with converged-row compaction. Takes the
-    /// already-quantized query batch by value (it shrinks in place as rows converge).
+    /// Dense (`f32`) resonator engine with converged-row compaction. Reads the
+    /// already-quantized query batch from `scratch.query_q` (it shrinks in place as
+    /// rows converge) and reuses every other buffer from `scratch`.
     // The row loops index parallel structures (states, streams, matrix rows) through
     // the same slot; iterator-zip rewrites would fight the borrow checker for no
     // clarity.
@@ -404,9 +538,23 @@ impl Factorizer {
     fn factorize_matrix_dense(
         &self,
         set: &CodebookSet,
-        mut query_q: HvMatrix,
         streams: &mut [StdRng],
+        scratch: &mut FactorizerScratch,
     ) -> Result<Vec<FactorizationResult>, VsaError> {
+        let FactorizerScratch {
+            states,
+            order,
+            survivors,
+            sims,
+            query_q,
+            estimates,
+            unbound,
+            work,
+            projected,
+            rebound,
+            gather_tmp,
+            ..
+        } = scratch;
         let n = query_q.rows();
         let num_factors = set.num_factors();
         let dim = set.dim();
@@ -416,29 +564,25 @@ impl Factorizer {
         // Initial estimates: bundle of every codevector in each factor, snapped to
         // bipolar so the Hadamard unbinding stays well-conditioned. The start point is
         // query-independent, hence one broadcast row per factor.
-        let mut estimates: Vec<HvMatrix> = (0..num_factors)
-            .map(|f| {
-                let cb = set.factor(f).expect("factor index in range");
-                let init = ops::majority_bundle(cb.iter()).expect("codebooks are non-empty");
-                HvMatrix::broadcast(&init, n)
-            })
-            .collect();
+        estimates.resize_with(num_factors, HvMatrix::default);
+        for (f, est) in estimates.iter_mut().enumerate() {
+            let cb = set.factor(f).expect("factor index in range");
+            let init = ops::majority_bundle(cb.iter()).expect("codebooks are non-empty");
+            est.ensure_shape(n, dim);
+            for slot in 0..n {
+                est.row_mut(slot).copy_from_slice(init.values());
+            }
+        }
 
         let noise_scale = (dim as f32).sqrt();
-        let mut states: Vec<QueryState> = (0..n)
-            .map(|_| QueryState::new(&self.config, num_factors, noise_scale))
-            .collect();
+        states.resize_with(n, QueryState::default);
+        for state in states.iter_mut() {
+            state.reset(&self.config, num_factors, noise_scale);
+        }
         // `order[slot]` is the original query index occupying batch row `slot`;
         // finished rows are gathered out so every kernel lane always does live work.
-        let mut order: Vec<usize> = (0..n).collect();
-
-        // Reused batch scratch — the iteration allocates nothing once these warm up
-        // (compaction gathers are the exception, and they shrink the working set).
-        let mut unbound = HvMatrix::default();
-        let mut scratch = HvMatrix::default();
-        let mut sims = HvMatrix::default();
-        let mut projected = HvMatrix::default();
-        let mut rebound = HvMatrix::zeros(n, dim);
+        order.clear();
+        order.extend(0..n);
 
         let deterministic = !self.config.stochasticity.is_enabled();
 
@@ -456,35 +600,28 @@ impl Factorizer {
                 // in the same sweep already see the refreshed earlier factors — this is
                 // the "interactive" factorization the paper describes and converges in
                 // fewer iterations than a fully synchronous update.
-                set.unbind_all_but_batch(
-                    backend,
-                    &query_q,
-                    &estimates,
-                    f,
-                    &mut unbound,
-                    &mut scratch,
-                )?;
+                set.unbind_all_but_batch(backend, query_q, estimates, f, unbound, work)?;
                 for slot in 0..rows {
                     fake_quantize_slice(unbound.row_mut(slot), precision);
                 }
 
                 // Step 2: similarity search against the factor codebook (one GEMM for
                 // the whole batch).
-                backend.similarity_matrix_into(cb_matrix, &unbound, &mut sims)?;
+                backend.similarity_matrix_into(cb_matrix, unbound, sims)?;
                 for slot in 0..rows {
                     let q = order[slot];
                     if let Some(noise) = &states[q].sim_noise {
-                        add_noise_slice(sims.row_mut(slot), noise, &mut streams[q]);
+                        noise.perturb_all(sims.row_mut(slot), &mut streams[q]);
                     }
                     states[q].decoded[f] = ops::argmax(sims.row(slot)).unwrap_or(0);
                 }
 
                 // Step 3: project back into the codevector space and binarise.
-                backend.project_batch_into(cb_matrix, &sims, &mut projected)?;
+                backend.project_batch_into(cb_matrix, sims, projected)?;
                 for slot in 0..rows {
                     let q = order[slot];
                     if let Some(noise) = &states[q].proj_noise {
-                        add_noise_slice(projected.row_mut(slot), noise, &mut streams[q]);
+                        noise.perturb_signs(projected.row_mut(slot), &mut streams[q]);
                     }
                     fake_quantize_slice(projected.row_mut(slot), precision);
                     for (est, &v) in estimates[f]
@@ -499,7 +636,7 @@ impl Factorizer {
 
             // Convergence check: re-bind the decoded codevectors and compare to the
             // query, batched across rows (scratch ping-pong, no allocation).
-            scratch.ensure_shape(rows, dim);
+            work.ensure_shape(rows, dim);
             rebound.ensure_shape(rows, dim);
             for slot in 0..rows {
                 let row_indices = &states[order[slot]].decoded;
@@ -509,15 +646,15 @@ impl Factorizer {
             }
             for f in 1..num_factors {
                 for slot in 0..rows {
-                    scratch.row_mut(slot).copy_from_slice(
+                    work.row_mut(slot).copy_from_slice(
                         set.factor(f)?.matrix().row(states[order[slot]].decoded[f]),
                     );
                 }
-                backend.bind_batch_into(&rebound, &scratch, set.binding(), &mut unbound)?;
-                std::mem::swap(&mut rebound, &mut unbound);
+                backend.bind_batch_into(rebound, work, set.binding(), unbound)?;
+                std::mem::swap(rebound, unbound);
             }
 
-            let mut survivors: Vec<usize> = Vec::with_capacity(rows);
+            survivors.clear();
             for slot in 0..rows {
                 let q = order[slot];
                 let similarity = cosine_rows(rebound.row(slot), query_q.row(slot));
@@ -529,17 +666,25 @@ impl Factorizer {
             // Gather/scatter compaction: drop finished rows from the batch so the
             // remaining iterations run kernels over live lanes only.
             if survivors.len() < rows {
-                query_q = query_q.gather(&survivors)?;
-                for est in &mut estimates {
-                    *est = est.gather(&survivors)?;
+                query_q.gather_into(survivors, gather_tmp)?;
+                std::mem::swap(query_q, gather_tmp);
+                for est in estimates.iter_mut() {
+                    est.gather_into(survivors, gather_tmp)?;
+                    std::mem::swap(est, gather_tmp);
                 }
-                order = survivors.into_iter().map(|slot| order[slot]).collect();
+                // Map surviving slots back to original query indices in place, then
+                // adopt the mapped vector as the new order.
+                for slot in survivors.iter_mut() {
+                    *slot = order[*slot];
+                }
+                std::mem::swap(order, survivors);
             }
         }
 
         Ok(states
-            .into_iter()
-            .map(|state| state.into_result(self.config.max_iterations))
+            .iter_mut()
+            .take(n)
+            .map(|state| state.take_result(self.config.max_iterations))
             .collect())
     }
 
@@ -559,9 +704,25 @@ impl Factorizer {
     fn factorize_matrix_packed(
         &self,
         set: &CodebookSet,
-        query_bits: BitMatrix,
         streams: &mut [StdRng],
+        scratch: &mut FactorizerScratch,
     ) -> Result<Vec<FactorizationResult>, VsaError> {
+        let FactorizerScratch {
+            states,
+            order,
+            survivors,
+            decoded_rows,
+            sims,
+            query_bits,
+            estimates_bits: estimates,
+            unbound_bits,
+            rebound_bits,
+            factor_bits,
+            init_bits,
+            proj_acc,
+            gather_tmp_bits,
+            ..
+        } = scratch;
         let n = query_bits.rows();
         let num_factors = set.num_factors();
         let dim = set.dim();
@@ -570,34 +731,27 @@ impl Factorizer {
             .as_packed()
             .expect("packed engine requires a packed backend");
 
-        let mut query_bits = query_bits;
-        let mut estimates: Vec<BitMatrix> = (0..num_factors)
-            .map(|f| {
-                let cb = set.factor(f).expect("factor index in range");
-                let init = ops::majority_bundle(cb.iter()).expect("codebooks are non-empty");
-                let row = HvMatrix::from_hypervector(&init);
-                BitMatrix::from_matrix(&row)
-                    .expect("majority bundle output is bipolar")
-                    .broadcast_row(0, n)
-                    .expect("broadcast of row 0")
-            })
-            .collect();
+        estimates.resize_with(num_factors, BitMatrix::default);
+        for (f, est) in estimates.iter_mut().enumerate() {
+            let cb = set.factor(f).expect("factor index in range");
+            let init = ops::majority_bundle(cb.iter()).expect("codebooks are non-empty");
+            let row = HvMatrix::from_hypervector(&init);
+            assert!(
+                init_bits.pack_from(&row),
+                "majority bundle output is bipolar"
+            );
+            init_bits
+                .broadcast_row_into(0, n, est)
+                .expect("broadcast of row 0");
+        }
 
         let noise_scale = (dim as f32).sqrt();
-        let mut states: Vec<QueryState> = (0..n)
-            .map(|_| QueryState::new(&self.config, num_factors, noise_scale))
-            .collect();
-        let mut order: Vec<usize> = (0..n).collect();
-
-        // Packed scratch planes plus the similarity matrix (f32 weights) and the
-        // one-row accumulator the fused projection kernel reuses — no dense estimate
-        // or projection HvMatrix exists anywhere in this engine.
-        let mut unbound_bits = BitMatrix::default();
-        let mut rebound_bits = BitMatrix::default();
-        let mut factor_bits = BitMatrix::default();
-        let mut sims = HvMatrix::default();
-        let mut proj_acc: Vec<f32> = Vec::new();
-        let mut decoded_rows: Vec<usize> = Vec::new();
+        states.resize_with(n, QueryState::default);
+        for state in states.iter_mut() {
+            state.reset(&self.config, num_factors, noise_scale);
+        }
+        order.clear();
+        order.extend(0..n);
 
         let deterministic = !self.config.stochasticity.is_enabled();
 
@@ -614,7 +768,7 @@ impl Factorizer {
                     .expect("packed engine requires packed codebooks");
 
                 // Step 1 (XOR): unbind every other factor's estimate from the query.
-                unbound_bits.copy_from(&query_bits);
+                unbound_bits.copy_from(query_bits);
                 for (g, est) in estimates.iter().enumerate() {
                     if g != f {
                         unbound_bits.xor_assign(est)?;
@@ -622,11 +776,11 @@ impl Factorizer {
                 }
 
                 // Step 2 (popcount): similarity search against the factor codebook.
-                packed.similarity_matrix_packed_into(cb_bits, &unbound_bits, &mut sims);
+                packed.similarity_matrix_packed_into(cb_bits, unbound_bits, sims);
                 for slot in 0..rows {
                     let q = order[slot];
                     if let Some(noise) = &states[q].sim_noise {
-                        add_noise_slice(sims.row_mut(slot), noise, &mut streams[q]);
+                        noise.perturb_all(sims.row_mut(slot), &mut streams[q]);
                     }
                     states[q].decoded[f] = ops::argmax(sims.row(slot)).unwrap_or(0);
                 }
@@ -639,14 +793,14 @@ impl Factorizer {
                 // to the dense engine on the same noise streams.
                 packed.project_signs_packed_into(
                     cb_bits,
-                    &sims,
+                    sims,
                     |slot, acc| {
                         let q = order[slot];
                         if let Some(noise) = &states[q].proj_noise {
-                            add_noise_slice(acc, noise, &mut streams[q]);
+                            noise.perturb_signs(acc, &mut streams[q]);
                         }
                     },
-                    &mut proj_acc,
+                    proj_acc,
                     &mut estimates[f],
                 );
             }
@@ -661,34 +815,40 @@ impl Factorizer {
                 decoded_rows.clear();
                 decoded_rows.extend(order.iter().map(|&q| states[q].decoded[f]));
                 if f == 0 {
-                    cb_bits.gather_into(&decoded_rows, &mut rebound_bits)?;
+                    cb_bits.gather_into(decoded_rows, rebound_bits)?;
                 } else {
-                    cb_bits.gather_into(&decoded_rows, &mut factor_bits)?;
-                    rebound_bits.xor_assign(&factor_bits)?;
+                    cb_bits.gather_into(decoded_rows, factor_bits)?;
+                    rebound_bits.xor_assign(factor_bits)?;
                 }
             }
 
-            let mut survivors: Vec<usize> = Vec::with_capacity(rows);
+            survivors.clear();
             for slot in 0..rows {
                 let q = order[slot];
-                let similarity = rebound_bits.cosine_rows(slot, &query_bits, slot);
+                let similarity = rebound_bits.cosine_rows(slot, query_bits, slot);
                 if !states[q].finish_iteration(&self.config, similarity, iteration, deterministic) {
                     survivors.push(slot);
                 }
             }
 
             if survivors.len() < rows {
-                query_bits = query_bits.gather(&survivors)?;
-                for est in &mut estimates {
-                    *est = est.gather(&survivors)?;
+                query_bits.gather_into(survivors, gather_tmp_bits)?;
+                std::mem::swap(query_bits, gather_tmp_bits);
+                for est in estimates.iter_mut() {
+                    est.gather_into(survivors, gather_tmp_bits)?;
+                    std::mem::swap(est, gather_tmp_bits);
                 }
-                order = survivors.into_iter().map(|slot| order[slot]).collect();
+                for slot in survivors.iter_mut() {
+                    *slot = order[*slot];
+                }
+                std::mem::swap(order, survivors);
             }
         }
 
         Ok(states
-            .into_iter()
-            .map(|state| state.into_result(self.config.max_iterations))
+            .iter_mut()
+            .take(n)
+            .map(|state| state.take_result(self.config.max_iterations))
             .collect())
     }
 }

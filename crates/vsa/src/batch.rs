@@ -259,6 +259,31 @@ impl HvMatrix {
         })
     }
 
+    /// Allocation-free [`HvMatrix::gather`]: selects `indices` rows into `out`
+    /// (reshaped as needed). `out` must not alias `self`.
+    ///
+    /// # Errors
+    /// Returns [`VsaError::IndexOutOfRange`] on a bad row index.
+    pub fn gather_into(&self, indices: &[usize], out: &mut Self) -> Result<(), VsaError> {
+        out.ensure_shape(indices.len(), self.dim);
+        for (slot, &i) in indices.iter().enumerate() {
+            if i >= self.rows {
+                return Err(VsaError::IndexOutOfRange {
+                    index: i,
+                    len: self.rows,
+                });
+            }
+            out.row_mut(slot).copy_from_slice(self.row(i));
+        }
+        Ok(())
+    }
+
+    /// Copies `src` into `self`, reshaping as needed (allocation-free once warm).
+    pub fn copy_from(&mut self, src: &Self) {
+        self.ensure_shape(src.rows, src.dim);
+        self.data.copy_from_slice(&src.data);
+    }
+
     /// Converts row `i` into an owned [`Hypervector`] with the given kind tag.
     ///
     /// # Errors

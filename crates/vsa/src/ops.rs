@@ -205,12 +205,28 @@ pub fn cosine_similarity(a: &Hypervector, b: &Hypervector) -> f32 {
 /// # Errors
 /// Returns [`VsaError::DimensionMismatch`] when the operands differ in dimension.
 pub fn try_cosine_similarity(a: &Hypervector, b: &Hypervector) -> Result<f32, VsaError> {
-    let dot = a.dot(b)?;
-    let denom = a.norm() * b.norm();
-    if denom == 0.0 {
-        return Ok(0.0);
+    if a.dim() != b.dim() {
+        return Err(VsaError::DimensionMismatch {
+            left: a.dim(),
+            right: b.dim(),
+        });
     }
-    Ok(dot / denom)
+    Ok(cosine_slices(a.values(), b.values()))
+}
+
+/// Cosine similarity of two equal-length slices — the **canonical numerics** (strict
+/// serial dot, serial squared-sum norms, zero-norm pairs score 0) every cosine in the
+/// workspace reduces to. The resonator's convergence check and the solver's answer
+/// scoring call this same function, which is what makes their decision-identity
+/// contracts structural rather than three hand-synchronized copies.
+pub fn cosine_slices(a: &[f32], b: &[f32]) -> f32 {
+    let dot: f32 = a.iter().zip(b).map(|(x, y)| x * y).sum();
+    let norm = |v: &[f32]| v.iter().map(|x| x * x).sum::<f32>().sqrt();
+    let denom = norm(a) * norm(b);
+    if denom == 0.0 {
+        return 0.0;
+    }
+    dot / denom
 }
 
 /// Normalised Hamming-style similarity for bipolar vectors: fraction of positions with

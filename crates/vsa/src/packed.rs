@@ -62,30 +62,74 @@ pub struct BitMatrix {
     words_per_row: usize,
 }
 
+/// IEEE sign bits of eight lanes gathered into the low byte — the scalar spelling of
+/// a `movmskps`-style extraction. The fixed `[f32; 8]` shape removes bounds checks and
+/// the variable per-bit shift of a 64-step loop, so the eight extractions are
+/// independent and combine as a tree instead of one serial OR chain.
+#[inline]
+fn sign_mask8(lane: &[f32; 8]) -> u64 {
+    let s = |i: usize| u64::from(lane[i].to_bits() >> 31) << i;
+    ((s(0) | s(1)) | (s(2) | s(3))) | ((s(4) | s(5)) | (s(6) | s(7)))
+}
+
+/// OR-accumulated "not exactly `±1.0`" detector for eight lanes: `|v| == 1.0` iff the
+/// magnitude bits equal those of `1.0`, so the XOR is zero exactly on bipolar input.
+#[inline]
+fn nonbipolar_mask8(lane: &[f32; 8]) -> u32 {
+    let b = |i: usize| (lane[i].to_bits() & 0x7fff_ffff) ^ 0x3f80_0000;
+    ((b(0) | b(1)) | (b(2) | b(3))) | ((b(4) | b(5)) | (b(6) | b(7)))
+}
+
+/// Negative-mask of eight lanes under the estimate-binarisation convention `v < 0.0`
+/// (`-0.0` packs to `+1`, unlike the raw IEEE sign bit).
+#[inline]
+fn neg_mask8(lane: &[f32; 8]) -> u64 {
+    let s = |i: usize| u64::from(lane[i] < 0.0) << i;
+    ((s(0) | s(1)) | (s(2) | s(3))) | ((s(4) | s(5)) | (s(6) | s(7)))
+}
+
 /// Packs one `f32` row into sign-plane words, returning `false` if any element is not
 /// exactly `±1.0` (the packed representation would silently drop magnitudes).
+///
+/// Branchless: whole 8-lane groups flow through [`sign_mask8`] / [`nonbipolar_mask8`]
+/// and the bipolarity verdict is OR-accumulated instead of tested per element, so the
+/// first pack at the encode boundary runs at SIMD gather speed rather than one
+/// test-and-shift per dimension.
 fn pack_row_strict(row: &[f32], words: &mut [u64]) -> bool {
-    let mut exact = true;
+    let mut bad = 0u32;
     for (chunk, word) in row.chunks(WORD_BITS).zip(words.iter_mut()) {
         let mut w = 0u64;
-        for (bit, &v) in chunk.iter().enumerate() {
+        let mut lanes = chunk.chunks_exact(8);
+        for (group, lane) in lanes.by_ref().enumerate() {
+            let lane: &[f32; 8] = lane.try_into().expect("chunks_exact(8) yields 8 lanes");
+            bad |= nonbipolar_mask8(lane);
+            w |= sign_mask8(lane) << (group * 8);
+        }
+        let tail_base = chunk.len() - lanes.remainder().len();
+        for (offset, &v) in lanes.remainder().iter().enumerate() {
             let b = v.to_bits();
-            // abs(v) == 1.0 exactly; the sign bit becomes the packed bit.
-            exact &= (b & 0x7fff_ffff) == 0x3f80_0000;
-            w |= u64::from(b >> 31) << bit;
+            bad |= (b & 0x7fff_ffff) ^ 0x3f80_0000;
+            w |= u64::from(b >> 31) << (tail_base + offset);
         }
         *word = w;
     }
-    exact
+    bad == 0
 }
 
 /// Packs the *signs* of an arbitrary `f32` row, using the `v < 0.0` convention of the
 /// estimate binarisation step (`-0.0` packs to `+1`, unlike the IEEE sign bit).
+/// Same unrolled 8-lane structure as [`pack_row_strict`].
 fn pack_row_signs(row: &[f32], words: &mut [u64]) {
     for (chunk, word) in row.chunks(WORD_BITS).zip(words.iter_mut()) {
         let mut w = 0u64;
-        for (bit, &v) in chunk.iter().enumerate() {
-            w |= u64::from(v < 0.0) << bit;
+        let mut lanes = chunk.chunks_exact(8);
+        for (group, lane) in lanes.by_ref().enumerate() {
+            let lane: &[f32; 8] = lane.try_into().expect("chunks_exact(8) yields 8 lanes");
+            w |= neg_mask8(lane) << (group * 8);
+        }
+        let tail_base = chunk.len() - lanes.remainder().len();
+        for (offset, &v) in lanes.remainder().iter().enumerate() {
+            w |= u64::from(v < 0.0) << (tail_base + offset);
         }
         *word = w;
     }
@@ -392,6 +436,95 @@ impl BitMatrix {
         }
         for (w, o) in self.words.iter_mut().zip(&other.words) {
             *w ^= o;
+        }
+        Ok(())
+    }
+
+    /// ANDs `other` into `self` word-wise. For sign planes this is the **two-way
+    /// sign-thresholded superposition**: `sign(a + b)` with ties (`a + b == 0`)
+    /// resolving to `+1` is negative exactly when *both* operands are negative, so a
+    /// two-block scene superposition is one word-wise AND — no f32 accumulate, no
+    /// threshold pass, no re-pack.
+    ///
+    /// # Errors
+    /// Returns [`VsaError::DimensionMismatch`] when the shapes disagree.
+    pub fn and_assign(&mut self, other: &Self) -> Result<(), VsaError> {
+        if self.rows != other.rows || self.dim != other.dim {
+            return Err(VsaError::DimensionMismatch {
+                left: self.rows.max(self.dim),
+                right: other.rows.max(other.dim),
+            });
+        }
+        for (w, o) in self.words.iter_mut().zip(&other.words) {
+            *w &= o;
+        }
+        Ok(())
+    }
+
+    /// XORs `src` row `indices[i]` into row `i` of `self` — the gather-and-bind step
+    /// of a packed product encode, fused so the gathered operand is never
+    /// materialised.
+    ///
+    /// # Errors
+    /// Returns [`VsaError::DimensionMismatch`] when `indices.len() != self.rows()` or
+    /// the dimensions disagree, and [`VsaError::IndexOutOfRange`] on a bad row index.
+    pub fn xor_gather_assign(&mut self, src: &Self, indices: &[usize]) -> Result<(), VsaError> {
+        if indices.len() != self.rows || src.dim != self.dim {
+            return Err(VsaError::DimensionMismatch {
+                left: self.rows.max(self.dim),
+                right: indices.len().max(src.dim),
+            });
+        }
+        for (slot, &i) in indices.iter().enumerate() {
+            if i >= src.rows {
+                return Err(VsaError::IndexOutOfRange {
+                    index: i,
+                    len: src.rows,
+                });
+            }
+            let dst = slot * self.words_per_row;
+            for (w, o) in self.words[dst..dst + self.words_per_row]
+                .iter_mut()
+                .zip(src.row_words(i))
+            {
+                *w ^= o;
+            }
+        }
+        Ok(())
+    }
+
+    /// Flips the sign of dimension `j` in row `i` (the packed form of `v = -v` on one
+    /// element — used for interface bit-flip noise on an encoded scene plane).
+    ///
+    /// # Panics
+    /// Panics when `i >= rows()` or `j >= dim()`.
+    pub fn flip_bit(&mut self, i: usize, j: usize) {
+        assert!(i < self.rows && j < self.dim, "flip_bit out of range");
+        self.words[i * self.words_per_row + j / WORD_BITS] ^= 1u64 << (j % WORD_BITS);
+    }
+
+    /// Fills `out` with `rows` copies of row `src` of `self` (allocation-free
+    /// [`BitMatrix::broadcast_row`]).
+    ///
+    /// # Errors
+    /// Returns [`VsaError::IndexOutOfRange`] on a bad row index.
+    pub fn broadcast_row_into(
+        &self,
+        src: usize,
+        rows: usize,
+        out: &mut Self,
+    ) -> Result<(), VsaError> {
+        if src >= self.rows {
+            return Err(VsaError::IndexOutOfRange {
+                index: src,
+                len: self.rows,
+            });
+        }
+        out.ensure_shape(rows, self.dim);
+        let words = self.row_words(src);
+        for slot in 0..rows {
+            let dst = slot * out.words_per_row;
+            out.words[dst..dst + out.words_per_row].copy_from_slice(words);
         }
         Ok(())
     }
@@ -1037,6 +1170,159 @@ mod tests {
             packed.cleanup_batch_bits(&real_cb, &q_bits).unwrap(),
             packed.cleanup_batch(&real_cb, &q).unwrap()
         );
+    }
+
+    #[test]
+    fn and_assign_is_two_way_sign_threshold_superposition() {
+        // sign(a + b) with ties to +1 equals the AND of the sign planes.
+        for dim in [64usize, 70, 200] {
+            let a = random_bipolar_matrix(3, dim, 100 + dim as u64);
+            let b = random_bipolar_matrix(3, dim, 200 + dim as u64);
+            let mut dense = a.clone();
+            for (slot, v) in dense.as_mut_slice().iter_mut().zip(b.as_slice()) {
+                *slot += v;
+                *slot = if *slot < 0.0 { -1.0 } else { 1.0 };
+            }
+            let mut bits = BitMatrix::from_matrix(&a).unwrap();
+            bits.and_assign(&BitMatrix::from_matrix(&b).unwrap())
+                .unwrap();
+            assert_eq!(bits.to_matrix(), dense, "dim {dim}");
+        }
+        let mut a = BitMatrix::zeros(2, 64);
+        assert!(a.and_assign(&BitMatrix::zeros(3, 64)).is_err());
+    }
+
+    #[test]
+    fn xor_gather_assign_matches_gather_then_xor() {
+        let src = random_bipolar_matrix(6, 130, 31);
+        let src_bits = BitMatrix::from_matrix(&src).unwrap();
+        let base = random_bipolar_matrix(4, 130, 32);
+        let indices = [5usize, 0, 3, 3];
+        let mut fused = BitMatrix::from_matrix(&base).unwrap();
+        fused.xor_gather_assign(&src_bits, &indices).unwrap();
+        let mut reference = BitMatrix::from_matrix(&base).unwrap();
+        reference
+            .xor_assign(&src_bits.gather(&indices).unwrap())
+            .unwrap();
+        assert_eq!(fused, reference);
+        // Arity and range errors.
+        let mut bad = BitMatrix::from_matrix(&base).unwrap();
+        assert!(bad.xor_gather_assign(&src_bits, &[0, 1]).is_err());
+        assert!(bad.xor_gather_assign(&src_bits, &[0, 1, 2, 6]).is_err());
+    }
+
+    #[test]
+    fn flip_bit_negates_one_element() {
+        let m = random_bipolar_matrix(2, 70, 33);
+        let mut bits = BitMatrix::from_matrix(&m).unwrap();
+        bits.flip_bit(1, 64);
+        bits.flip_bit(0, 0);
+        let back = bits.to_matrix();
+        for i in 0..2 {
+            for j in 0..70 {
+                let expected = if (i, j) == (1, 64) || (i, j) == (0, 0) {
+                    -m.row(i)[j]
+                } else {
+                    m.row(i)[j]
+                };
+                assert_eq!(back.row(i)[j], expected, "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn broadcast_row_into_matches_allocating_broadcast() {
+        let m = random_bipolar_matrix(3, 100, 34);
+        let bits = BitMatrix::from_matrix(&m).unwrap();
+        let mut out = BitMatrix::default();
+        bits.broadcast_row_into(2, 5, &mut out).unwrap();
+        assert_eq!(out, bits.broadcast_row(2, 5).unwrap());
+        assert!(bits.broadcast_row_into(3, 5, &mut out).is_err());
+    }
+
+    /// Reference (pre-SIMD) packers the branchless versions must reproduce bit-exactly.
+    fn pack_row_strict_reference(row: &[f32], words: &mut [u64]) -> bool {
+        let mut exact = true;
+        for (chunk, word) in row.chunks(64).zip(words.iter_mut()) {
+            let mut w = 0u64;
+            for (bit, &v) in chunk.iter().enumerate() {
+                let b = v.to_bits();
+                exact &= (b & 0x7fff_ffff) == 0x3f80_0000;
+                w |= u64::from(b >> 31) << bit;
+            }
+            *word = w;
+        }
+        exact
+    }
+
+    fn pack_row_signs_reference(row: &[f32], words: &mut [u64]) {
+        for (chunk, word) in row.chunks(64).zip(words.iter_mut()) {
+            let mut w = 0u64;
+            for (bit, &v) in chunk.iter().enumerate() {
+                w |= u64::from(v < 0.0) << bit;
+            }
+            *word = w;
+        }
+    }
+
+    mod packer_props {
+        use super::*;
+        use proptest::prelude::*;
+        use rand::Rng;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(24))]
+
+            #[test]
+            fn prop_strict_packer_matches_reference(seed in 0u64..1000, dim_sel in 0usize..8) {
+                // Non-pow2 tails included: every tail length class mod 8 and mod 64.
+                let dim = [1usize, 7, 8, 63, 64, 65, 100, 257][dim_sel];
+                let m = random_bipolar_matrix(2, dim, seed);
+                let words = BitMatrix::words_for_dim(dim);
+                for i in 0..2 {
+                    let mut fast = vec![0u64; words];
+                    let mut slow = vec![0u64; words];
+                    let ok_fast = pack_row_strict(m.row(i), &mut fast);
+                    let ok_slow = pack_row_strict_reference(m.row(i), &mut slow);
+                    prop_assert_eq!(ok_fast, ok_slow);
+                    prop_assert_eq!(&fast, &slow);
+                    // Strict and signs agree on exactly-bipolar rows (no -0.0 present).
+                    let mut signs = vec![0u64; words];
+                    pack_row_signs(m.row(i), &mut signs);
+                    prop_assert_eq!(&fast, &signs);
+                }
+            }
+
+            #[test]
+            fn prop_signs_packer_matches_reference(seed in 0u64..1000, dim_sel in 0usize..8) {
+                let dim = [1usize, 7, 8, 63, 64, 65, 100, 257][dim_sel];
+                // Arbitrary reals with sign-convention edge cases spliced in.
+                let mut r = rng(seed);
+                let mut row: Vec<f32> = (0..dim)
+                    .map(|_| (r.gen::<f32>() - 0.5) * 4.0)
+                    .collect();
+                for (j, v) in row.iter_mut().enumerate() {
+                    match (seed as usize + j) % 7 {
+                        0 => *v = 0.0,
+                        1 => *v = -0.0,
+                        2 => *v = 1.0,
+                        3 => *v = -1.0,
+                        _ => {}
+                    }
+                }
+                let words = BitMatrix::words_for_dim(dim);
+                let mut fast = vec![0u64; words];
+                let mut slow = vec![0u64; words];
+                pack_row_signs(&row, &mut fast);
+                pack_row_signs_reference(&row, &mut slow);
+                prop_assert_eq!(&fast, &slow);
+                // Any non-bipolar element must fail the strict packer, exactly like
+                // the reference (|v| == 1.0 bit test, so -0.0 and 0.0 both fail it).
+                let strict_ok = pack_row_strict(&row, &mut fast);
+                let all_bipolar = row.iter().all(|v| (v.to_bits() & 0x7fff_ffff) == 0x3f80_0000);
+                prop_assert_eq!(strict_ok, all_bipolar);
+            }
+        }
     }
 
     #[test]

@@ -33,5 +33,5 @@
 pub mod pipeline;
 pub mod spec;
 
-pub use pipeline::{NeurosymbolicSolver, SolverConfig, SolverReport};
+pub use pipeline::{NeurosymbolicSolver, SolverConfig, SolverReport, SolverScratch};
 pub use spec::{MemoryFootprint, TaskSize, WorkloadKind, WorkloadSpec};

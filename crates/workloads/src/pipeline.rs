@@ -18,7 +18,7 @@
 //! quantization).
 
 use cogsys_datasets::{Attribute, DatasetKind, Panel, Problem, RuleKind};
-use cogsys_factorizer::{Factorizer, FactorizerConfig};
+use cogsys_factorizer::{Factorizer, FactorizerConfig, FactorizerScratch};
 use cogsys_vsa::batch::{BackendKind, HvMatrix, VsaBackend};
 use cogsys_vsa::codebook::{BindingOp, CodebookSet};
 use cogsys_vsa::packed::BitMatrix;
@@ -120,6 +120,76 @@ impl SolverReport {
         self.panels_exact += other.panels_exact;
         self.panels_total += other.panels_total;
         self.factorizer_iterations += other.factorizer_iterations;
+    }
+}
+
+/// Scratch of the batched panel-encoding stage.
+#[derive(Debug, Default)]
+struct EncodeScratch {
+    idx: Vec<usize>,
+    product: HvMatrix,
+    operand: HvMatrix,
+    tmp: HvMatrix,
+    /// Second block's sign plane on the fully packed encode route.
+    block_bits: BitMatrix,
+}
+
+/// Scratch of the factorize-and-polish stage (one attribute block over a row batch).
+#[derive(Debug, Default)]
+struct DecodeScratch {
+    factorizer: FactorizerScratch,
+    /// Decoded per-factor index tuple per row (inner vectors reused).
+    tuples: Vec<Vec<usize>>,
+    gather_idx: Vec<usize>,
+    unbound: HvMatrix,
+    tmp: HvMatrix,
+    est_dense: Vec<HvMatrix>,
+    unbound_bits: BitMatrix,
+    est_bits: BitMatrix,
+}
+
+/// Reusable scratch of the cross-problem batched solving engine
+/// ([`NeurosymbolicSolver::solve_batch_with`]): every matrix, sign plane, stream and
+/// bookkeeping vector of the encode → factorize → score pipeline lives here and is
+/// reshaped in place, so a steady-state serving loop performs no allocation beyond
+/// the factorizer's per-row result tuples.
+///
+/// The scratch carries no decision state between calls — a fresh scratch produces
+/// bitwise-identical answers, which is exactly what the plain
+/// [`NeurosymbolicSolver::solve_batch`] entry point does.
+#[derive(Debug, Default)]
+pub struct SolverScratch {
+    encode: EncodeScratch,
+    decode: DecodeScratch,
+    /// Per-query factorizer noise streams of the block currently being decoded.
+    streams: Vec<StdRng>,
+    perceived: Vec<Panel>,
+    /// Recorded interface bit-flip positions as `(global row, dimension)`.
+    flips: Vec<(u32, u32)>,
+    /// Factorizer stream seeds, drawn per problem in sequential order; problem `q`
+    /// occupies `seed_base[q] ..` with its blocks consecutive (rows inner).
+    seeds: Vec<u64>,
+    row_base: Vec<usize>,
+    seed_base: Vec<usize>,
+    encoded: HvMatrix,
+    encoded_bits: BitMatrix,
+    values: Vec<[usize; 5]>,
+    decoded: Vec<Panel>,
+    predicted: Vec<Panel>,
+    cand_panels: Vec<Panel>,
+    cand_base: Vec<usize>,
+    pred_hv: HvMatrix,
+    cand_hv: HvMatrix,
+    pred_bits: BitMatrix,
+    cand_bits: BitMatrix,
+    choices: Vec<usize>,
+}
+
+impl SolverScratch {
+    /// The candidate index chosen for each problem of the last
+    /// [`NeurosymbolicSolver::solve_batch_with`] call, in problem order.
+    pub fn choices(&self) -> &[usize] {
+        &self.choices
     }
 }
 
@@ -234,30 +304,117 @@ impl NeurosymbolicSolver {
     /// # Errors
     /// Propagates [`VsaError`] from the binding operations.
     pub fn encode_panels(&self, panels: &[Panel]) -> Result<HvMatrix, VsaError> {
+        let mut enc = EncodeScratch::default();
+        let mut out = HvMatrix::default();
+        self.encode_panels_into(panels, &mut enc, &mut out)?;
+        Ok(out)
+    }
+
+    /// Allocation-free [`NeurosymbolicSolver::encode_panels`]: per block, the factor
+    /// codevectors are gathered and bound in factor order (identical arithmetic to
+    /// [`CodebookSet::bind_indices_batch`]), the block products are superposed and
+    /// sign-thresholded, all in caller-owned buffers.
+    fn encode_panels_into(
+        &self,
+        panels: &[Panel],
+        enc: &mut EncodeScratch,
+        out: &mut HvMatrix,
+    ) -> Result<(), VsaError> {
+        let EncodeScratch {
+            idx,
+            product,
+            operand,
+            tmp,
+            ..
+        } = enc;
+        if panels.is_empty() {
+            out.ensure_shape(0, 0);
+            return Ok(());
+        }
         let backend = self.backend.as_ref();
-        let mut scene = HvMatrix::default();
+        let n = panels.len();
+        out.ensure_shape(n, self.config.vector_dim);
         for (block_index, (set, attrs)) in self.blocks.iter().enumerate() {
-            let tuples: Vec<Vec<usize>> = panels
-                .iter()
-                .map(|p| attrs.iter().map(|&i| p.values()[i]).collect())
-                .collect();
-            let products = set.bind_indices_batch(backend, &tuples)?;
+            for (f, &attr) in attrs.iter().enumerate() {
+                idx.clear();
+                idx.extend(panels.iter().map(|p| p.values()[attr]));
+                if f == 0 {
+                    set.factor(0)?.matrix().gather_into(idx, product)?;
+                } else {
+                    set.factor(f)?.matrix().gather_into(idx, operand)?;
+                    backend.bind_batch_into(product, operand, set.binding(), tmp)?;
+                    std::mem::swap(product, tmp);
+                }
+            }
             if block_index == 0 {
-                scene = products;
+                out.as_mut_slice().copy_from_slice(product.as_slice());
             } else {
-                for (slot, v) in scene.as_mut_slice().iter_mut().zip(products.as_slice()) {
+                for (slot, v) in out.as_mut_slice().iter_mut().zip(product.as_slice()) {
                     *slot += v;
                 }
             }
         }
-        for q in 0..scene.rows() {
-            let row = scene.row_mut(q);
+        for q in 0..n {
+            let row = out.row_mut(q);
             for v in row.iter_mut() {
                 *v = if *v < 0.0 { -1.0 } else { 1.0 };
             }
             fake_quantize_slice(row, self.config.precision);
         }
-        Ok(scene)
+        Ok(())
+    }
+
+    /// Returns `true` when panels can be encoded **directly into sign planes**: FP32
+    /// precision (the sign threshold is the last arithmetic step), exactly two
+    /// attribute blocks (their sign-thresholded superposition is a word-wise AND) and
+    /// every block running the packed factorizer pipeline (cached codebook sign
+    /// planes to gather from, packed consumers downstream).
+    fn packed_encode_route(&self) -> bool {
+        self.config.precision == Precision::Fp32
+            && self.blocks.len() == 2
+            && self
+                .blocks
+                .iter()
+                .all(|(set, _)| self.factorizer.packed_pipeline(set))
+    }
+
+    /// Fully packed batch encode: block products are XOR-composed straight from the
+    /// cached codebook sign planes and the two blocks are superposed with one
+    /// word-wise AND ([`BitMatrix::and_assign`]) — bitwise identical to
+    /// [`NeurosymbolicSolver::encode_panels`] followed by a strict pack, with no f32
+    /// round trip and no [`cogsys_vsa::packed`] pack call at all. This closes the
+    /// "first pack at the encode boundary" bottleneck: the encode boundary no longer
+    /// packs, it *starts* packed.
+    fn encode_panels_bits_into(
+        &self,
+        panels: &[Panel],
+        enc: &mut EncodeScratch,
+        out: &mut BitMatrix,
+    ) -> Result<(), VsaError> {
+        debug_assert!(self.packed_encode_route());
+        let EncodeScratch {
+            idx, block_bits, ..
+        } = enc;
+        let n = panels.len();
+        out.ensure_shape(n, self.config.vector_dim);
+        for (block_index, (set, attrs)) in self.blocks.iter().enumerate() {
+            let dst: &mut BitMatrix = if block_index == 0 { out } else { block_bits };
+            for (f, &attr) in attrs.iter().enumerate() {
+                idx.clear();
+                idx.extend(panels.iter().map(|p| p.values()[attr]));
+                let planes = set
+                    .factor(f)?
+                    .packed()
+                    .expect("packed encode route requires cached sign planes");
+                if f == 0 {
+                    planes.gather_into(idx, dst)?;
+                } else {
+                    dst.xor_gather_assign(planes, idx)?;
+                }
+            }
+        }
+        out.and_assign(block_bits)?;
+        Ok(())
     }
 
     /// Perceives (optionally mis-reads), encodes, adds interface noise, and factorizes a
@@ -319,13 +476,6 @@ impl NeurosymbolicSolver {
             }
         }
 
-        // Factorize each attribute block for the whole batch at once; the other
-        // block's product vector acts as bounded superposition noise.
-        let backend = self.backend.as_ref();
-        let mut values = vec![[0usize; 5]; n];
-        let mut iterations = 0usize;
-        let mut unbound = HvMatrix::default();
-        let mut scratch = HvMatrix::default();
         // End-to-end packed decode: when the factorizer runs its bit-packed engine on
         // these blocks, the encoded scenes are packed ONCE here and the whole decode —
         // resonator, polish unbinding, cleanup — stays in sign planes, with no
@@ -339,80 +489,121 @@ impl NeurosymbolicSolver {
         } else {
             None
         };
-        let mut unbound_bits = BitMatrix::default();
-        let mut est_bits = BitMatrix::default();
-        let mut gather_idx: Vec<usize> = Vec::new();
+
+        // Factorize each attribute block for the whole batch at once; the other
+        // block's product vector acts as bounded superposition noise.
+        let mut ds = DecodeScratch::default();
+        let mut values = vec![[0usize; 5]; n];
+        let mut iterations = 0usize;
         for (set, attrs) in &self.blocks {
             let mut streams: Vec<StdRng> = (0..n)
                 .map(|_| StdRng::seed_from_u64(rng.next_u64()))
                 .collect();
-            let packed_query = encoded_bits
-                .as_ref()
-                .filter(|_| self.factorizer.packed_pipeline(set));
-            let results = match packed_query {
-                Some(bits) => self
-                    .factorizer
-                    .factorize_matrix_bits(set, bits, &mut streams)?,
-                None => self
-                    .factorizer
-                    .factorize_matrix(set, &encoded, &mut streams)?,
-            };
-            iterations += results.iter().map(|r| r.iterations).sum::<usize>();
-
-            // One coordinate-descent polish sweep from the hard assignment: unbind the
-            // other factors' decoded codevectors and clean up against the remaining
-            // factor's codebook. This repairs single-attribute decode errors cheaply
-            // using the same unbind→search primitive the factorizer iterates — here as
-            // one gather + batched unbind + batched cleanup per factor. On the packed
-            // route the sweep is XOR + popcount over sign planes (identical results:
-            // bipolar Hadamard unbinding is exactly the XOR of sign planes).
-            let mut indices: Vec<Vec<usize>> = results.into_iter().map(|r| r.indices).collect();
-            for f in 0..set.num_factors() {
-                let cleaned = if let Some(bits) = packed_query {
-                    unbound_bits.copy_from(bits);
-                    for g in 0..set.num_factors() {
-                        if g == f {
-                            continue;
-                        }
-                        gather_idx.clear();
-                        gather_idx.extend(indices.iter().map(|t| t[g]));
-                        set.factor(g)?
-                            .packed()
-                            .expect("packed pipeline requires packed codebooks")
-                            .gather_into(&gather_idx, &mut est_bits)?;
-                        unbound_bits.xor_assign(&est_bits)?;
-                    }
-                    set.factor(f)?.cleanup_batch_bits(backend, &unbound_bits)?
-                } else {
-                    let estimates: Vec<HvMatrix> = (0..set.num_factors())
-                        .map(|g| {
-                            let per_query: Vec<usize> = indices.iter().map(|t| t[g]).collect();
-                            set.factor(g)?.matrix().gather(&per_query)
-                        })
-                        .collect::<Result<_, _>>()?;
-                    set.unbind_all_but_batch(
-                        backend,
-                        &encoded,
-                        &estimates,
-                        f,
-                        &mut unbound,
-                        &mut scratch,
-                    )?;
-                    set.factor(f)?.cleanup_batch(backend, &unbound)?
-                };
-                for (t, (best, _)) in indices.iter_mut().zip(cleaned) {
-                    t[f] = best;
-                }
-            }
-
-            for (q, tuple) in indices.iter().enumerate() {
-                for (&attr_index, &idx) in attrs.iter().zip(tuple) {
-                    let attr = Attribute::ALL[attr_index];
-                    values[q][attr_index] = idx.min(attr.cardinality() - 1);
-                }
-            }
+            iterations += self.decode_block_into(
+                set,
+                attrs,
+                Some(&encoded),
+                encoded_bits.as_ref(),
+                &mut streams,
+                &mut ds,
+                &mut values,
+            )?;
         }
         Ok((values.into_iter().map(Panel::new).collect(), iterations))
+    }
+
+    /// Factorizes every row of the encoded scene batch against one attribute block,
+    /// runs the one-sweep coordinate-descent polish, and writes the block's decoded
+    /// attribute values into `values` (row-indexed). Returns the total factorizer
+    /// iterations. This is the shared decode stage of the per-problem and the
+    /// cross-problem batched paths — sharing it is what makes the two
+    /// decision-identical per row by construction.
+    ///
+    /// The polish sweep repairs single-attribute decode errors cheaply with the same
+    /// unbind→search primitive the factorizer iterates — one gather + batched unbind
+    /// plus batched cleanup per factor. On the packed route the sweep is XOR +
+    /// popcount over sign planes (identical results: bipolar Hadamard unbinding is
+    /// exactly the XOR of sign planes).
+    #[allow(clippy::too_many_arguments)]
+    fn decode_block_into(
+        &self,
+        set: &CodebookSet,
+        attrs: &[usize],
+        encoded: Option<&HvMatrix>,
+        encoded_bits: Option<&BitMatrix>,
+        streams: &mut [StdRng],
+        ds: &mut DecodeScratch,
+        values: &mut [[usize; 5]],
+    ) -> Result<usize, VsaError> {
+        let DecodeScratch {
+            factorizer: fscratch,
+            tuples,
+            gather_idx,
+            unbound,
+            tmp,
+            est_dense,
+            unbound_bits,
+            est_bits,
+        } = ds;
+        let backend = self.backend.as_ref();
+        let packed_query = encoded_bits.filter(|_| self.factorizer.packed_pipeline(set));
+        let results = match packed_query {
+            Some(bits) => self
+                .factorizer
+                .factorize_matrix_bits_scratch(set, bits, streams, fscratch)?,
+            None => {
+                let queries = encoded.expect("dense decode route carries f32 queries");
+                self.factorizer
+                    .factorize_matrix_scratch(set, queries, streams, fscratch)?
+            }
+        };
+        let iterations = results.iter().map(|r| r.iterations).sum::<usize>();
+
+        tuples.resize_with(results.len(), Vec::new);
+        for (t, r) in tuples.iter_mut().zip(&results) {
+            t.clear();
+            t.extend_from_slice(&r.indices);
+        }
+
+        for f in 0..set.num_factors() {
+            let cleaned = if let Some(bits) = packed_query {
+                unbound_bits.copy_from(bits);
+                for g in 0..set.num_factors() {
+                    if g == f {
+                        continue;
+                    }
+                    gather_idx.clear();
+                    gather_idx.extend(tuples.iter().map(|t| t[g]));
+                    set.factor(g)?
+                        .packed()
+                        .expect("packed pipeline requires packed codebooks")
+                        .gather_into(gather_idx, est_bits)?;
+                    unbound_bits.xor_assign(est_bits)?;
+                }
+                set.factor(f)?.cleanup_batch_bits(backend, unbound_bits)?
+            } else {
+                let queries = encoded.expect("dense decode route carries f32 queries");
+                est_dense.resize_with(set.num_factors(), HvMatrix::default);
+                for (g, est) in est_dense.iter_mut().enumerate() {
+                    gather_idx.clear();
+                    gather_idx.extend(tuples.iter().map(|t| t[g]));
+                    set.factor(g)?.matrix().gather_into(gather_idx, est)?;
+                }
+                set.unbind_all_but_batch(backend, queries, est_dense, f, unbound, tmp)?;
+                set.factor(f)?.cleanup_batch(backend, unbound)?
+            };
+            for (t, (best, _)) in tuples.iter_mut().zip(cleaned) {
+                t[f] = best;
+            }
+        }
+
+        for (row, tuple) in tuples.iter().enumerate() {
+            for (&attr_index, &idx) in attrs.iter().zip(tuple) {
+                let attr = Attribute::ALL[attr_index];
+                values[row][attr_index] = idx.min(attr.cardinality() - 1);
+            }
+        }
+        Ok(iterations)
     }
 
     /// Abduces the rule governing one attribute from the two complete rows and executes
@@ -490,6 +681,33 @@ impl NeurosymbolicSolver {
         best.map(|(_, p)| p).unwrap_or(last_row.1)
     }
 
+    /// Abduces every attribute's rule from the decoded context panels (row-major, the
+    /// eight visible cells) and executes it on the incomplete row, producing the
+    /// predicted answer panel. Pure — shared verbatim by the per-problem and the
+    /// cross-problem batched paths.
+    fn predict_panel(dataset: DatasetKind, decoded: &[Panel]) -> Panel {
+        let mut predicted_values = [0usize; 5];
+        for attr in Attribute::ALL {
+            let rows = [
+                [
+                    decoded[0].value(attr),
+                    decoded[1].value(attr),
+                    decoded[2].value(attr),
+                ],
+                [
+                    decoded[3].value(attr),
+                    decoded[4].value(attr),
+                    decoded[5].value(attr),
+                ],
+            ];
+            let last_row = (decoded[6].value(attr), decoded[7].value(attr));
+            predicted_values[attr.index()] =
+                Self::abduce_and_execute(dataset, attr, &rows, last_row)
+                    .min(attr.cardinality() - 1);
+        }
+        Panel::new(predicted_values)
+    }
+
     /// Solves one problem end to end, returning the chosen candidate index and the
     /// per-panel factorization bookkeeping.
     ///
@@ -514,26 +732,7 @@ impl NeurosymbolicSolver {
             .count();
 
         // Abduction + execution per attribute.
-        let mut predicted_values = [0usize; 5];
-        for attr in Attribute::ALL {
-            let rows = [
-                [
-                    decoded[0].value(attr),
-                    decoded[1].value(attr),
-                    decoded[2].value(attr),
-                ],
-                [
-                    decoded[3].value(attr),
-                    decoded[4].value(attr),
-                    decoded[5].value(attr),
-                ],
-            ];
-            let last_row = (decoded[6].value(attr), decoded[7].value(attr));
-            predicted_values[attr.index()] =
-                Self::abduce_and_execute(problem.dataset, attr, &rows, last_row)
-                    .min(attr.cardinality() - 1);
-        }
-        let predicted = Panel::new(predicted_values);
+        let predicted = Self::predict_panel(problem.dataset, &decoded);
 
         // Answer selection. NVSA scores candidates per attribute (the product encodings
         // of two panels that differ in even one attribute are quasi-orthogonal, so a
@@ -559,7 +758,15 @@ impl NeurosymbolicSolver {
         Ok((best.0, report))
     }
 
-    /// Solves a batch of problems and returns the aggregate report.
+    /// Solves a batch of problems through the **cross-problem batched engine** and
+    /// returns the aggregate report.
+    ///
+    /// Equivalent to calling [`NeurosymbolicSolver::solve`] per problem with the same
+    /// `rng` — decisions, reports and rng consumption are identical (regression-
+    /// tested) — but every context panel of every problem flows through ONE encode,
+    /// ONE factorize call per attribute block and ONE batched answer-scoring pass,
+    /// so the packed kernels see `8·N`-row batches instead of one problem's panels.
+    /// See [`NeurosymbolicSolver::solve_batch_with`] for the allocation-free variant.
     ///
     /// # Errors
     /// Propagates [`VsaError`] from any individual problem.
@@ -568,12 +775,253 @@ impl NeurosymbolicSolver {
         problems: &[Problem],
         rng: &mut R,
     ) -> Result<SolverReport, VsaError> {
+        self.solve_batch_with(problems, rng, &mut SolverScratch::default())
+    }
+
+    /// [`NeurosymbolicSolver::solve_batch`] with **caller-owned scratch**: the
+    /// allocation-free steady state of a serving loop. All buffers of the
+    /// encode → factorize → score pipeline live in `scratch` and are reused across
+    /// calls; `scratch.choices()` afterwards holds the chosen candidate per problem.
+    ///
+    /// Decision identity with the sequential path is by construction:
+    ///
+    /// * every per-problem rng draw (perception noise, interface bit flips, the
+    ///   factorizer stream seeds) is made **in the sequential order** and buffered,
+    ///   so the generator state evolves exactly as if [`NeurosymbolicSolver::solve`]
+    ///   ran per problem — which also makes the result independent of how a problem
+    ///   stream is chunked into batches;
+    /// * encoding and factorization are row-independent batch kernels driven by those
+    ///   per-query streams (on the packed route the scene planes are XOR/AND-composed
+    ///   from cached codebook planes, bitwise equal to the f32 encode);
+    /// * batched answer scoring preserves decisions: candidate encodings are exactly
+    ///   bipolar, so both the popcount cosine `(d − 2h)/d` and the sequential scalar
+    ///   cosine are strictly increasing rounded functions of the same exact integer
+    ///   dot product — equal agreements break ties identically. Where the encodings
+    ///   are not bipolar (sub-FP32 precisions), the scoring falls back to the scalar
+    ///   cosine's exact numerics.
+    ///
+    /// Chunk-invariance also lets the engine pick the batch size each backend wants:
+    /// the packed route takes the whole batch (sign planes keep an `8·N`-row working
+    /// set cache-resident), while the dense f32 engines internally sub-chunk to
+    /// [`NeurosymbolicSolver::DENSE_SERVE_CHUNK`] problems — their per-iteration
+    /// working set is 32× larger and spills cache at wide batches, measurably
+    /// *losing* throughput beyond a few problems per call.
+    ///
+    /// # Errors
+    /// Propagates [`VsaError`] from the VSA stages.
+    pub fn solve_batch_with<R: Rng + ?Sized>(
+        &self,
+        problems: &[Problem],
+        rng: &mut R,
+        scratch: &mut SolverScratch,
+    ) -> Result<SolverReport, VsaError> {
+        scratch.choices.clear();
+        if problems.is_empty() {
+            return Ok(SolverReport::default());
+        }
+        if self.packed_encode_route() {
+            return self.solve_batch_chunk(problems, rng, scratch);
+        }
         let mut total = SolverReport::default();
-        for problem in problems {
-            let (_, report) = self.solve(problem, rng)?;
-            total.merge(&report);
+        for chunk in problems.chunks(Self::DENSE_SERVE_CHUNK) {
+            total.merge(&self.solve_batch_chunk(chunk, rng, scratch)?);
         }
         Ok(total)
+    }
+
+    /// Problems per internal chunk on the dense (f32) solving route.
+    ///
+    /// Four problems (32 panel rows) keep the dense engines' per-iteration working
+    /// set — query batch, per-factor estimates, unbound/projected/rebound buffers,
+    /// each `rows × dim` f32 — inside cache on the 1-core CI machine; measured
+    /// throughput degrades ~1.2–1.3× by 64-problem chunks and is flat in [1, 4].
+    /// Decision-invariant by the per-problem rng draw order.
+    pub const DENSE_SERVE_CHUNK: usize = 4;
+
+    /// One pass of the batched engine over `problems`, appending to
+    /// `scratch.choices` (see [`NeurosymbolicSolver::solve_batch_with`], which owns
+    /// the route/chunk policy).
+    fn solve_batch_chunk<R: Rng + ?Sized>(
+        &self,
+        problems: &[Problem],
+        rng: &mut R,
+        scratch: &mut SolverScratch,
+    ) -> Result<SolverReport, VsaError> {
+        let mut report = SolverReport::default();
+        let SolverScratch {
+            encode,
+            decode,
+            streams,
+            perceived,
+            flips,
+            seeds,
+            row_base,
+            seed_base,
+            encoded,
+            encoded_bits,
+            values,
+            decoded,
+            predicted,
+            cand_panels,
+            cand_base,
+            pred_hv,
+            cand_hv,
+            pred_bits,
+            cand_bits,
+            choices,
+        } = scratch;
+        let num_blocks = self.blocks.len();
+        let dim = self.config.vector_dim;
+
+        // ---- Phase 1: every per-problem rng draw, in exactly the sequential order.
+        // None of the draws depend on encoded data, so they can be buffered up front;
+        // replaying them per problem keeps the generator state bitwise identical to
+        // the per-problem path no matter how the batch is sliced.
+        perceived.clear();
+        flips.clear();
+        seeds.clear();
+        row_base.clear();
+        seed_base.clear();
+        for problem in problems {
+            row_base.push(perceived.len());
+            seed_base.push(seeds.len());
+            let base = perceived.len();
+            for panel in &problem.context {
+                perceived.push(if self.config.perception_noise > 0.0 {
+                    panel.perturbed(self.config.perception_noise, rng)
+                } else {
+                    *panel
+                });
+            }
+            let rows_q = problem.context.len();
+            if self.config.encoding_noise > 0.0 {
+                let p = self.config.encoding_noise.clamp(0.0, 1.0);
+                for r in 0..rows_q {
+                    for j in 0..dim {
+                        if rng.gen_bool(p) {
+                            flips.push(((base + r) as u32, j as u32));
+                        }
+                    }
+                }
+            }
+            for _ in 0..num_blocks {
+                for _ in 0..rows_q {
+                    seeds.push(rng.next_u64());
+                }
+            }
+        }
+        let total_rows = perceived.len();
+
+        // ---- Phase 2: one encode over every context panel of every problem. On the
+        // packed route the scene batch is born as sign planes and the interface noise
+        // is applied as bit flips; otherwise the f32 encode runs and the batch is
+        // packed once if any block decodes packed (mirroring the sequential path).
+        let packed_route = self.packed_encode_route();
+        let have_bits = if packed_route {
+            self.encode_panels_bits_into(perceived, encode, encoded_bits)?;
+            for &(r, j) in flips.iter() {
+                encoded_bits.flip_bit(r as usize, j as usize);
+            }
+            true
+        } else {
+            self.encode_panels_into(perceived, encode, encoded)?;
+            for &(r, j) in flips.iter() {
+                let v = &mut encoded.row_mut(r as usize)[j as usize];
+                *v = -*v;
+            }
+            self.blocks
+                .iter()
+                .any(|(set, _)| self.factorizer.packed_pipeline(set))
+                && encoded_bits.pack_from(encoded)
+        };
+
+        // ---- Phase 3: one factorize + polish pass per attribute block over the
+        // whole `8·N`-row batch, each row driven by the stream seeded for it in
+        // phase 1 — per-row dynamics identical to the per-problem call.
+        values.clear();
+        values.resize(total_rows, [0usize; 5]);
+        let mut iterations = 0usize;
+        for (b, (set, attrs)) in self.blocks.iter().enumerate() {
+            streams.clear();
+            for (q, problem) in problems.iter().enumerate() {
+                let rows_q = problem.context.len();
+                let sb = seed_base[q];
+                for r in 0..rows_q {
+                    streams.push(StdRng::seed_from_u64(seeds[sb + b * rows_q + r]));
+                }
+            }
+            iterations += self.decode_block_into(
+                set,
+                attrs,
+                if packed_route { None } else { Some(&*encoded) },
+                if have_bits {
+                    Some(&*encoded_bits)
+                } else {
+                    None
+                },
+                streams,
+                decode,
+                values,
+            )?;
+        }
+        report.factorizer_iterations = iterations;
+
+        // ---- Phase 4: per-problem abduction + prediction (pure symbolic work).
+        decoded.clear();
+        decoded.extend(values.iter().map(|v| Panel::new(*v)));
+        predicted.clear();
+        for (q, problem) in problems.iter().enumerate() {
+            let base = row_base[q];
+            let ctx = &decoded[base..base + problem.context.len()];
+            report.panels_total += ctx.len();
+            report.panels_exact += ctx
+                .iter()
+                .zip(&problem.context)
+                .filter(|(estimate, panel)| estimate == panel)
+                .count();
+            predicted.push(Self::predict_panel(problem.dataset, ctx));
+        }
+
+        // ---- Phase 5: batched answer selection. All predicted panels and all
+        // candidates are encoded together; on the packed route the per-candidate
+        // similarity is one popcount row dot, replacing the sequential path's
+        // per-candidate hypervector allocation + scalar cosine.
+        cand_panels.clear();
+        cand_base.clear();
+        for problem in problems {
+            cand_base.push(cand_panels.len());
+            cand_panels.extend_from_slice(&problem.candidates);
+        }
+        if packed_route {
+            self.encode_panels_bits_into(predicted, encode, pred_bits)?;
+            self.encode_panels_bits_into(cand_panels, encode, cand_bits)?;
+        } else {
+            self.encode_panels_into(predicted, encode, pred_hv)?;
+            self.encode_panels_into(cand_panels, encode, cand_hv)?;
+        }
+        for (q, problem) in problems.iter().enumerate() {
+            let base = cand_base[q];
+            let mut best = (0usize, 0usize, f32::NEG_INFINITY);
+            for (i, candidate) in problem.candidates.iter().enumerate() {
+                let agreement = Attribute::ALL.len() - predicted[q].distance(candidate);
+                // Fallback route: ops::cosine_slices is the exact numerics of the
+                // sequential path's per-candidate ops::try_cosine_similarity.
+                let sim = if packed_route {
+                    cand_bits.cosine_rows(base + i, pred_bits, q)
+                } else {
+                    ops::cosine_slices(pred_hv.row(q), cand_hv.row(base + i))
+                };
+                if agreement > best.1 || (agreement == best.1 && sim > best.2) {
+                    best = (i, agreement, sim);
+                }
+            }
+            choices.push(best.0);
+            report.problems += 1;
+            if problem.is_correct(best.0) {
+                report.correct += 1;
+            }
+        }
+        Ok(report)
     }
 }
 
@@ -582,6 +1030,7 @@ mod tests {
     use super::*;
     use cogsys_datasets::ProblemGenerator;
     use cogsys_vsa::rng;
+    use rand::RngCore;
 
     fn solver(seed: u64, config: SolverConfig) -> (NeurosymbolicSolver, rand::rngs::StdRng) {
         let mut r = rng(seed);
@@ -826,6 +1275,131 @@ mod tests {
             .filter(|(a, b)| a == b)
             .count();
         assert!(exact >= 4, "only {exact}/5 panels decoded exactly");
+    }
+
+    /// The sequential reference: a plain loop over [`NeurosymbolicSolver::solve`],
+    /// collecting per-problem choices and the merged report.
+    fn solve_sequentially(
+        s: &NeurosymbolicSolver,
+        problems: &[Problem],
+        rng: &mut rand::rngs::StdRng,
+    ) -> (Vec<usize>, SolverReport) {
+        let mut choices = Vec::new();
+        let mut total = SolverReport::default();
+        for problem in problems {
+            let (choice, report) = s.solve(problem, rng).unwrap();
+            choices.push(choice);
+            total.merge(&report);
+        }
+        (choices, total)
+    }
+
+    #[test]
+    fn batched_solve_is_decision_identical_to_sequential_path() {
+        // THE tentpole regression: the cross-problem batched engine must return the
+        // exact choices and report of the per-problem path — same decisions, same rng
+        // consumption — on every backend and dataset family.
+        use cogsys_datasets::Problem;
+        for kind in BackendKind::ALL {
+            for dataset in [DatasetKind::Raven, DatasetKind::IRaven, DatasetKind::Pgm] {
+                let config = SolverConfig {
+                    perception_noise: 0.05, // exercise the perception-noise rng draws
+                    ..SolverConfig::default()
+                }
+                .with_backend(kind);
+                let (s, mut r1) = solver(40, config);
+                let problems: Vec<Problem> =
+                    ProblemGenerator::new(dataset).generate_batch(5, &mut r1);
+                let mut r2 = r1.clone();
+
+                let mut scratch = SolverScratch::default();
+                let batched = s
+                    .solve_batch_with(&problems, &mut r1, &mut scratch)
+                    .unwrap();
+                let (seq_choices, sequential) = solve_sequentially(&s, &problems, &mut r2);
+
+                assert_eq!(batched, sequential, "{kind}/{dataset}: reports diverge");
+                assert_eq!(
+                    scratch.choices(),
+                    &seq_choices[..],
+                    "{kind}/{dataset}: choices diverge"
+                );
+                // Identical rng consumption: both generators must be in the same
+                // state afterwards.
+                assert_eq!(
+                    r1.next_u64(),
+                    r2.next_u64(),
+                    "{kind}/{dataset}: rng streams diverge"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batched_solve_is_invariant_to_chunking() {
+        // The per-problem rng draw order makes the engine chunk-invariant: solving
+        // 8 problems as one batch, as 3+5, or per problem gives identical results —
+        // the property `CogSysSystem::run_reasoning` relies on when it slices a
+        // problem stream into `batch_tasks`-sized chunks.
+        let (s, mut r1) = solver(41, SolverConfig::default());
+        let problems = ProblemGenerator::new(DatasetKind::Raven).generate_batch(8, &mut r1);
+        let mut r2 = r1.clone();
+        let mut r3 = r1.clone();
+
+        let whole = s.solve_batch(&problems, &mut r1).unwrap();
+
+        let mut scratch = SolverScratch::default();
+        let mut chunked = SolverReport::default();
+        let mut chunked_choices = Vec::new();
+        for chunk in problems.chunks(3) {
+            let report = s.solve_batch_with(chunk, &mut r2, &mut scratch).unwrap();
+            chunked_choices.extend_from_slice(scratch.choices());
+            chunked.merge(&report);
+        }
+        assert_eq!(whole, chunked);
+
+        let (seq_choices, _) = solve_sequentially(&s, &problems, &mut r3);
+        assert_eq!(chunked_choices, seq_choices);
+    }
+
+    #[test]
+    fn batched_solve_reuses_scratch_across_shapes() {
+        // One scratch must serve alternating batch shapes and datasets without state
+        // leaking between calls: each call equals a fresh-scratch run.
+        let (s, mut r) = solver(42, SolverConfig::default());
+        let raven = ProblemGenerator::new(DatasetKind::Raven).generate_batch(4, &mut r);
+        let cvr = ProblemGenerator::new(DatasetKind::Cvr).generate_batch(2, &mut r);
+        let mut shared = SolverScratch::default();
+        for problems in [&raven[..], &cvr[..], &raven[..1]] {
+            let mut r1 = r.clone();
+            let mut r2 = r.clone();
+            let reused = s.solve_batch_with(problems, &mut r1, &mut shared).unwrap();
+            let reused_choices = shared.choices().to_vec();
+            let mut fresh = SolverScratch::default();
+            let fresh_report = s.solve_batch_with(problems, &mut r2, &mut fresh).unwrap();
+            assert_eq!(reused, fresh_report);
+            assert_eq!(reused_choices, fresh.choices());
+        }
+    }
+
+    #[test]
+    fn packed_encode_route_matches_f32_encode_bitwise() {
+        // The fully packed encode (XOR-composed block planes + AND superposition)
+        // must equal the f32 encode + strict pack on every panel.
+        let (s, mut r) = solver(43, SolverConfig::default());
+        assert!(s.packed_encode_route());
+        let panels: Vec<Panel> = (0..7).map(|_| Panel::random(&mut r)).collect();
+        let dense = s.encode_panels(&panels).unwrap();
+        let expected = BitMatrix::from_matrix(&dense).expect("FP32 encodings are bipolar");
+        let mut enc = EncodeScratch::default();
+        let mut bits = BitMatrix::default();
+        s.encode_panels_bits_into(&panels, &mut enc, &mut bits)
+            .unwrap();
+        assert_eq!(bits, expected);
+        // The route steps aside at reduced precision (quantization follows the sign
+        // threshold, so the planes alone no longer describe the encoding).
+        let (s8, _) = solver(43, SolverConfig::default().with_precision(Precision::Int8));
+        assert!(!s8.packed_encode_route());
     }
 
     #[test]
