@@ -199,9 +199,10 @@ impl CogSysSystem {
     /// throughput, never answers.
     ///
     /// # Errors
-    /// Returns [`SimError`] for invalid accelerator configurations; VSA errors cannot
-    /// occur for well-formed configurations and are reported as accuracy 0 rather than
-    /// panicking.
+    /// Returns [`SimError`] for invalid accelerator configurations; solver errors
+    /// ([`cogsys_workloads::SolveError`]) cannot occur for well-formed
+    /// configurations and generated problems, and are reported as accuracy 0 rather
+    /// than panicking.
     pub fn run_reasoning(
         &self,
         dataset: DatasetKind,
@@ -217,7 +218,7 @@ impl CogSysSystem {
             .chunks(self.config.batch_tasks.max(1))
             .try_fold(SolverReport::default(), |mut total, chunk| {
                 total.merge(&solver.solve_batch_with(chunk, &mut rng, &mut scratch)?);
-                Ok::<_, cogsys_vsa::VsaError>(total)
+                Ok::<_, cogsys_workloads::SolveError>(total)
             })
             .unwrap_or_default();
 

@@ -88,6 +88,27 @@ impl Panel {
         Self { values }
     }
 
+    /// Creates a panel **without** validating attribute ranges.
+    ///
+    /// Exists for fault injection and robustness testing: the solver's
+    /// engine-boundary validation must reject out-of-range values with a typed
+    /// error, which requires being able to construct them in the first place
+    /// (see `ProblemGenerator::generate_malformed` and the `cogsys-serve` chaos
+    /// harness). Production generators and rules use [`Panel::new`].
+    pub fn new_unchecked(values: [usize; 5]) -> Self {
+        Self { values }
+    }
+
+    /// Returns `true` when every attribute value is inside its cardinality — the
+    /// invariant [`Panel::new`] enforces and [`Panel::new_unchecked`] deliberately
+    /// does not.
+    pub fn is_well_formed(&self) -> bool {
+        self.values
+            .iter()
+            .zip(ATTRIBUTE_CARDINALITIES)
+            .all(|(v, c)| *v < c)
+    }
+
     /// Samples a uniformly random panel.
     pub fn random<R: Rng + ?Sized>(rng: &mut R) -> Self {
         let mut values = [0usize; 5];

@@ -231,6 +231,38 @@ impl ProblemGenerator {
     pub fn generate_batch<R: Rng + ?Sized>(&self, count: usize, rng: &mut R) -> Vec<Problem> {
         (0..count).map(|_| self.generate(rng)).collect()
     }
+
+    /// Generates a deliberately **malformed** problem for robustness testing: a
+    /// well-formed problem with one of four spec corruptions applied — a wrong
+    /// context-panel count, an emptied candidate set, an out-of-range answer index,
+    /// or an out-of-range attribute value (via [`Panel::new_unchecked`]).
+    ///
+    /// The solving engine's boundary validation must reject every shape this
+    /// produces with a typed error instead of panicking; the `cogsys-serve` chaos
+    /// harness uses it to poison traffic traces.
+    pub fn generate_malformed<R: Rng + ?Sized>(&self, rng: &mut R) -> Problem {
+        let mut problem = self.generate(rng);
+        match rng.gen_range(0..4) {
+            0 => {
+                // Wrong panel count: drop or duplicate a context panel.
+                if rng.gen_bool(0.5) {
+                    problem.context.pop();
+                } else {
+                    problem.context.push(problem.context[0]);
+                }
+            }
+            1 => problem.candidates.clear(),
+            2 => problem.answer_index = problem.candidates.len() + rng.gen_range(0..3usize),
+            _ => {
+                let panel = rng.gen_range(0..problem.context.len());
+                let attr = Attribute::ALL[rng.gen_range(0..Attribute::ALL.len())];
+                let mut values = problem.context[panel].values();
+                values[attr.index()] = attr.cardinality() + rng.gen_range(0..7usize);
+                problem.context[panel] = Panel::new_unchecked(values);
+            }
+        }
+        problem
+    }
 }
 
 /// RAVEN-style distractors: independently perturb a random non-empty subset of the
@@ -384,6 +416,29 @@ mod tests {
         let p = ProblemGenerator::new(DatasetKind::Raven)
             .generate_with_constellation(Constellation::Grid3x3, &mut r);
         assert_eq!(p.constellation, Constellation::Grid3x3);
+    }
+
+    #[test]
+    fn malformed_problems_break_at_least_one_invariant() {
+        let generator = ProblemGenerator::new(DatasetKind::Raven);
+        let mut r = rng(13);
+        for _ in 0..100 {
+            let p = generator.generate_malformed(&mut r);
+            let well_formed = p.context.len() == 8
+                && !p.candidates.is_empty()
+                && p.answer_index < p.candidates.len()
+                && p.context.iter().all(Panel::is_well_formed)
+                && p.candidates.iter().all(Panel::is_well_formed);
+            assert!(!well_formed, "generate_malformed produced a valid problem");
+        }
+    }
+
+    #[test]
+    fn unchecked_panels_carry_out_of_range_values() {
+        let p = Panel::new_unchecked([100, 0, 0, 0, 0]);
+        assert_eq!(p.values()[0], 100);
+        assert!(!p.is_well_formed());
+        assert!(Panel::new([1, 2, 3, 4, 5]).is_well_formed());
     }
 
     #[test]

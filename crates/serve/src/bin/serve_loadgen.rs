@@ -1,0 +1,239 @@
+//! Load generator / smoke driver for the serving loop.
+//!
+//! Replays a deterministic traffic trace (steady, bursty, or an adversarial
+//! poison mix) through [`cogsys_serve::ServeLoop`] and prints per-window
+//! p50/p99 latency, throughput and shed/degraded/retried counts, then the
+//! lifetime counters.
+//!
+//! ```text
+//! serve_loadgen [--shape steady|bursty|adversarial] [--requests N]
+//!               [--dim D] [--seed S] [--chaos] [--window-micros W] [--check]
+//! ```
+//!
+//! `--chaos` additionally wraps the engine in the fault-injection harness
+//! (forced transient faults + injected latency). `--check` turns the run into
+//! a smoke gate for CI: it exits nonzero unless the run completed with every
+//! request accounted for, zero panics (trivially, by finishing), and — for the
+//! adversarial shape — nonzero shed and poison counts.
+
+#![forbid(unsafe_code)]
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
+use cogsys_serve::{
+    metrics, ChaosConfig, ChaosEngine, ServeConfig, ServeLoop, SolverEngine, TraceConfig,
+};
+use std::process::ExitCode;
+
+struct Options {
+    shape: String,
+    requests: usize,
+    dim: usize,
+    seed: u64,
+    window_micros: u64,
+    chaos: bool,
+    check: bool,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Self {
+            shape: "steady".into(),
+            requests: 192,
+            dim: 1024,
+            seed: 7,
+            window_micros: 50_000,
+            chaos: false,
+            check: false,
+        }
+    }
+}
+
+fn usage() -> String {
+    "usage: serve_loadgen [--shape steady|bursty|adversarial] [--requests N] \
+     [--dim D] [--seed S] [--window-micros W] [--chaos] [--check]"
+        .into()
+}
+
+/// Strict argument parsing: unknown flags and malformed values are errors, not
+/// silent fallbacks to defaults.
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut options = Options::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value_of = |name: &str| {
+            it.next()
+                .ok_or_else(|| format!("{name} requires a value\n{}", usage()))
+        };
+        match arg.as_str() {
+            "--shape" => {
+                let v = value_of("--shape")?;
+                match v.as_str() {
+                    "steady" | "bursty" | "adversarial" => options.shape = v.clone(),
+                    other => return Err(format!("unknown shape `{other}`\n{}", usage())),
+                }
+            }
+            "--requests" => {
+                let v = value_of("--requests")?;
+                options.requests = v
+                    .parse()
+                    .map_err(|_| format!("invalid --requests `{v}`\n{}", usage()))?;
+            }
+            "--dim" => {
+                let v = value_of("--dim")?;
+                options.dim = v
+                    .parse()
+                    .map_err(|_| format!("invalid --dim `{v}`\n{}", usage()))?;
+            }
+            "--seed" => {
+                let v = value_of("--seed")?;
+                options.seed = v
+                    .parse()
+                    .map_err(|_| format!("invalid --seed `{v}`\n{}", usage()))?;
+            }
+            "--window-micros" => {
+                let v = value_of("--window-micros")?;
+                options.window_micros = v
+                    .parse()
+                    .map_err(|_| format!("invalid --window-micros `{v}`\n{}", usage()))?;
+            }
+            "--chaos" => options.chaos = true,
+            "--check" => options.check = true,
+            "--help" | "-h" => return Err(usage()),
+            other => return Err(format!("unknown argument `{other}`\n{}", usage())),
+        }
+    }
+    if options.requests == 0 {
+        return Err(format!("--requests must be > 0\n{}", usage()));
+    }
+    Ok(options)
+}
+
+fn run(options: &Options) -> Result<bool, String> {
+    let mut trace_config = match options.shape.as_str() {
+        "steady" => TraceConfig::steady(options.requests),
+        "bursty" => TraceConfig::bursty(options.requests),
+        _ => TraceConfig::adversarial(options.requests),
+    };
+    trace_config.seed = options.seed;
+    let trace = trace_config.generate();
+
+    // Bounds sized so the built-in traces actually exercise the front end: the
+    // bursty shapes' backlog peaks (~20 requests) exceed the queue bound, and
+    // the degrade watermark sits below it.
+    let serve_config = ServeConfig {
+        solver: cogsys_workloads::SolverConfig {
+            vector_dim: options.dim,
+            ..Default::default()
+        },
+        max_queue_depth: 16,
+        max_batch: 8,
+        degrade_depth: 12,
+        recover_depth: 4,
+        retry_budget: 6,
+        ..ServeConfig::default()
+    };
+    let engine = SolverEngine::new(serve_config.solver.clone(), serve_config.codebook_seed)
+        .map_err(|e| format!("solver construction failed: {e}"))?;
+    let chaos_config = ChaosConfig {
+        seed: options.seed ^ 0xC4A0_5715,
+        forced_error_rate: if options.chaos { 0.05 } else { 0.0 },
+        extra_latency_rate: if options.chaos { 0.10 } else { 0.0 },
+        extra_latency_micros: 5_000,
+    };
+    let engine = ChaosEngine::new(engine, chaos_config);
+    let mut serve = ServeLoop::with_engine(serve_config, engine)
+        .map_err(|e| format!("serve construction failed: {e}"))?;
+
+    let started = std::time::Instant::now();
+    let responses = serve.run_trace(&trace);
+    let wall = started.elapsed();
+
+    println!(
+        "# shape={} requests={} dim={} seed={} chaos={}",
+        options.shape, options.requests, options.dim, options.seed, options.chaos
+    );
+    println!("window_ms   done  rej  degr  retr    p50_ms    p99_ms   prob/s");
+    for w in metrics::windowed(&responses, options.window_micros) {
+        println!(
+            "{:>9.1} {:>6} {:>4} {:>5} {:>5} {:>9.2} {:>9.2} {:>8.1}",
+            w.start_micros as f64 / 1e3,
+            w.completed,
+            w.rejected,
+            w.degraded,
+            w.retried,
+            w.p50_micros as f64 / 1e3,
+            w.p99_micros as f64 / 1e3,
+            w.problems_per_sec,
+        );
+    }
+    let counters = serve.counters();
+    let correct = responses
+        .iter()
+        .filter(|r| matches!(r.outcome, Ok(a) if a.correct))
+        .count();
+    println!(
+        "totals: submitted={} completed={} (correct={}) shed={} expired={} invalid={} \
+         failed={} retries={} late={} batches={} degraded_batches={} peak_queue={} max_level={}",
+        counters.submitted,
+        counters.completed,
+        correct,
+        counters.shed,
+        counters.expired,
+        counters.invalid,
+        counters.failed,
+        counters.retries,
+        counters.late,
+        counters.batches,
+        counters.degraded_batches,
+        counters.peak_queue_depth,
+        counters.max_level,
+    );
+    let chaos_stats = serve.engine().stats();
+    if options.chaos {
+        println!(
+            "chaos: calls={} forced_errors={} injected_latency_ms={:.1}",
+            chaos_stats.calls,
+            chaos_stats.forced_errors,
+            chaos_stats.injected_latency_micros as f64 / 1e3,
+        );
+    }
+    println!(
+        "virtual_time_ms={:.1} wall_ms={:.0}",
+        serve.clock_micros() as f64 / 1e3,
+        wall.as_secs_f64() * 1e3,
+    );
+
+    let mut ok = responses.len() == trace.len() && counters.accounted() == counters.submitted;
+    if options.shape == "adversarial" {
+        // The adversarial smoke must actually exercise backpressure and
+        // poison isolation; a run that sheds or rejects nothing is a bug.
+        ok &= counters.shed > 0 && counters.invalid > 0 && counters.max_level > 0;
+    }
+    Ok(ok)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let options = match parse_args(&args) {
+        Ok(options) => options,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::from(2);
+        }
+    };
+    match run(&options) {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => {
+            if options.check {
+                eprintln!("--check failed: smoke invariants not met (see totals above)");
+                ExitCode::FAILURE
+            } else {
+                ExitCode::SUCCESS
+            }
+        }
+        Err(message) => {
+            eprintln!("{message}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,675 @@
+//! # cogsys-serve — fault-tolerant serving front end
+//!
+//! Wraps the batched reasoning engine
+//! ([`cogsys_workloads::NeurosymbolicSolver::solve_batch_with`]) in a serving
+//! loop with the robustness properties a deployed accelerator front end needs:
+//!
+//! * **intake queue + dynamic batch former** — requests arrive on a virtual
+//!   clock, wait in a bounded queue, and are coalesced into cache-resident
+//!   chunks sized by the current degradation level;
+//! * **admission control & backpressure** — arrivals beyond the queue bound are
+//!   shed immediately with [`Rejection::Overloaded`] instead of growing the
+//!   tail;
+//! * **deadlines** — requests whose deadline passes in the queue are dropped at
+//!   batch formation; answers landing past the deadline are flagged;
+//! * **graceful degradation** — a four-rung ladder
+//!   ([`DegradationLevel`]: full → halved batches → reduced factorizer
+//!   iterations → coarse single-pass cleanup) engaged by queue-depth
+//!   watermarks, recorded on every response;
+//! * **fault isolation & bounded retry** — a malformed request fails alone with
+//!   a typed error while its batch-mates are retried without it; transient
+//!   faults re-run the batch under a bounded retry budget.
+//!
+//! The loop is single-core and fully deterministic: time is virtual (a
+//! discrete-event clock driven by a service-time model), every chunk's solver
+//! randomness comes from a seed fixed at formation time, and the engine
+//! validates inputs before drawing randomness — so level-0 responses are
+//! decision-identical to calling the solver directly on the same problems, and
+//! the [`ExecutedChunk`] log replays bit-for-bit.
+//!
+//! # Example
+//!
+//! ```rust
+//! use cogsys_serve::{ServeConfig, ServeLoop, TraceConfig};
+//!
+//! let mut config = ServeConfig::default();
+//! config.solver.vector_dim = 256; // keep the doctest quick
+//! let mut serve = ServeLoop::with_solver(config).expect("valid config");
+//! let trace = TraceConfig::steady(8).generate();
+//! let responses = serve.run_trace(&trace);
+//! assert_eq!(responses.len(), 8);
+//! assert_eq!(serve.counters().accounted(), 8);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
+pub mod chaos;
+pub mod engine;
+pub mod error;
+pub mod metrics;
+pub mod request;
+pub mod trace;
+
+pub use chaos::{ChaosConfig, ChaosEngine, ChaosStats};
+pub use engine::{ChunkEngine, ChunkResult, DegradationLevel, SolverEngine};
+pub use error::{Rejection, ServeError};
+pub use metrics::{Counters, WindowStats};
+pub use request::{Answer, Request, Response};
+pub use trace::{TraceConfig, TrafficShape};
+
+use cogsys::CogSysConfig;
+use cogsys_workloads::SolverConfig;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Virtual service-time model of one engine invocation.
+///
+/// The CI machine has one core, so serving is simulated on a discrete-event
+/// clock rather than measured: a batch of `n` problems at level `L` costs
+/// `micros_per_batch + n * micros_per_problem / L.service_divisor()` virtual
+/// microseconds (plus any chaos-injected latency). A failed attempt costs
+/// `micros_per_batch` of overhead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ServiceModel {
+    /// Fixed per-invocation overhead, virtual micros.
+    pub micros_per_batch: u64,
+    /// Marginal cost per problem at full service, virtual micros.
+    pub micros_per_problem: u64,
+}
+
+impl Default for ServiceModel {
+    fn default() -> Self {
+        Self {
+            micros_per_batch: 500,
+            micros_per_problem: 2_000,
+        }
+    }
+}
+
+/// Configuration of the serving loop.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServeConfig {
+    /// Solver settings (dimensionality, factorizer, noise, backend).
+    pub solver: SolverConfig,
+    /// Seed the solver's codebooks are drawn from.
+    pub codebook_seed: u64,
+    /// Base seed of the per-chunk solver randomness (mixed with a chunk
+    /// counter, so every formed batch gets an independent, reproducible seed).
+    pub chunk_seed: u64,
+    /// Admission bound: arrivals finding this many requests queued are shed.
+    pub max_queue_depth: usize,
+    /// Largest batch the former coalesces at full service.
+    pub max_batch: usize,
+    /// Retries a formed batch may consume (excisions of malformed members and
+    /// transient-fault re-runs both count) before its remainder fails.
+    pub retry_budget: usize,
+    /// Virtual service-time model.
+    pub service: ServiceModel,
+    /// Queue depth at or above which the ladder degrades one rung per batch.
+    pub degrade_depth: usize,
+    /// Queue depth at or below which the ladder recovers one rung per batch.
+    pub recover_depth: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            solver: SolverConfig::default(),
+            codebook_seed: 0xC09_5E21,
+            chunk_seed: 0x5EED,
+            max_queue_depth: 64,
+            max_batch: 16,
+            retry_budget: 4,
+            service: ServiceModel::default(),
+            degrade_depth: 48,
+            recover_depth: 16,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Derives a serving config from a full system config: the system's solver
+    /// settings, with the batch former sized to keep `batch_tasks` interleaved
+    /// tasks' worth of problems in flight per chunk.
+    pub fn for_system(system: &CogSysConfig) -> Self {
+        Self {
+            solver: system.solver.clone(),
+            max_batch: (system.batch_tasks * 4).clamp(4, 64),
+            ..Self::default()
+        }
+    }
+
+    /// Checks structural constraints.
+    pub fn validate(&self) -> Result<(), ServeError> {
+        if self.max_batch == 0 {
+            return Err(ServeError::Config {
+                message: "max_batch must be > 0".into(),
+            });
+        }
+        if self.max_queue_depth == 0 {
+            return Err(ServeError::Config {
+                message: "max_queue_depth must be > 0".into(),
+            });
+        }
+        if self.recover_depth >= self.degrade_depth {
+            return Err(ServeError::Config {
+                message: format!(
+                    "recover_depth ({}) must be below degrade_depth ({})",
+                    self.recover_depth, self.degrade_depth
+                ),
+            });
+        }
+        if self.degrade_depth > self.max_queue_depth {
+            return Err(ServeError::Config {
+                message: format!(
+                    "degrade_depth ({}) must not exceed max_queue_depth ({})",
+                    self.degrade_depth, self.max_queue_depth
+                ),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// One batch the loop actually executed — enough to replay it bit-for-bit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExecutedChunk {
+    /// Request ids in batch order.
+    pub ids: Vec<u64>,
+    /// The solver seed the chunk ran with (fixed at formation time).
+    pub seed: u64,
+    /// Degradation level it was served at.
+    pub level: DegradationLevel,
+    /// Chosen candidate per request, in batch order.
+    pub choices: Vec<usize>,
+}
+
+/// SplitMix64 finalizer: decorrelates sequential chunk counters into
+/// independent solver seeds.
+fn mix_seed(base: u64, counter: u64) -> u64 {
+    let mut z = base ^ counter.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The fault-tolerant serving loop (see the crate docs).
+pub struct ServeLoop<E> {
+    config: ServeConfig,
+    engine: E,
+    queue: VecDeque<Request>,
+    clock_micros: u64,
+    level: DegradationLevel,
+    counters: Counters,
+    executed: Vec<ExecutedChunk>,
+    chunk_counter: u64,
+}
+
+impl ServeLoop<SolverEngine> {
+    /// Builds a loop around the real solver engine.
+    pub fn with_solver(config: ServeConfig) -> Result<Self, ServeError> {
+        let engine = SolverEngine::new(config.solver.clone(), config.codebook_seed)?;
+        Self::with_engine(config, engine)
+    }
+}
+
+impl<E: ChunkEngine> ServeLoop<E> {
+    /// Builds a loop around any [`ChunkEngine`] (chaos decorators, test stubs).
+    pub fn with_engine(config: ServeConfig, engine: E) -> Result<Self, ServeError> {
+        config.validate()?;
+        Ok(Self {
+            config,
+            engine,
+            queue: VecDeque::new(),
+            clock_micros: 0,
+            level: DegradationLevel::Full,
+            counters: Counters::default(),
+            executed: Vec::new(),
+            chunk_counter: 0,
+        })
+    }
+
+    /// Lifetime counters.
+    pub fn counters(&self) -> &Counters {
+        &self.counters
+    }
+
+    /// Log of every successfully executed batch, in execution order.
+    pub fn executed(&self) -> &[ExecutedChunk] {
+        &self.executed
+    }
+
+    /// Current rung of the degradation ladder.
+    pub fn degradation_level(&self) -> DegradationLevel {
+        self.level
+    }
+
+    /// Current virtual time.
+    pub fn clock_micros(&self) -> u64 {
+        self.clock_micros
+    }
+
+    /// The engine (e.g. to read chaos stats or the underlying solver).
+    pub fn engine(&self) -> &E {
+        &self.engine
+    }
+
+    /// Serves a trace to completion. `trace` must be sorted by arrival time
+    /// (as [`TraceConfig::generate`] produces). Returns one terminal
+    /// [`Response`] per request, in resolution order.
+    pub fn run_trace(&mut self, trace: &[Request]) -> Vec<Response> {
+        let mut responses = Vec::with_capacity(trace.len());
+        let mut next = 0usize;
+        loop {
+            while next < trace.len() && trace[next].arrival_micros <= self.clock_micros {
+                self.admit(trace[next].clone(), &mut responses);
+                next += 1;
+            }
+            if self.queue.is_empty() {
+                // An empty queue means the backlog is gone: going idle clears
+                // the pressure the ladder was protecting against.
+                self.level = DegradationLevel::Full;
+                match trace.get(next) {
+                    Some(request) => {
+                        // Idle: jump the clock to the next arrival.
+                        self.clock_micros = request.arrival_micros;
+                        continue;
+                    }
+                    None => break,
+                }
+            }
+            self.form_and_execute(&mut responses);
+        }
+        responses
+    }
+
+    /// Admission control: bounded queue, immediate shed beyond the bound.
+    fn admit(&mut self, request: Request, responses: &mut Vec<Response>) {
+        self.counters.submitted += 1;
+        let depth = self.queue.len();
+        if depth >= self.config.max_queue_depth {
+            self.counters.shed += 1;
+            responses.push(Response {
+                id: request.id,
+                outcome: Err(Rejection::Overloaded {
+                    queue_depth: depth,
+                    limit: self.config.max_queue_depth,
+                }),
+                degradation: self.level,
+                arrival_micros: request.arrival_micros,
+                completed_micros: self.clock_micros,
+                retried: false,
+                missed_deadline: false,
+            });
+            return;
+        }
+        self.queue.push_back(request);
+        self.counters.peak_queue_depth = self.counters.peak_queue_depth.max(self.queue.len());
+    }
+
+    /// Moves the ladder one rung per formed batch, driven by queue depth.
+    fn update_ladder(&mut self) {
+        let depth = self.queue.len();
+        if depth >= self.config.degrade_depth {
+            self.level = self.level.degrade();
+        } else if depth <= self.config.recover_depth {
+            self.level = self.level.recover();
+        }
+        self.counters.max_level = self.counters.max_level.max(self.level.as_u8());
+    }
+
+    /// Coalesces the next batch, dropping expired requests, and executes it
+    /// with excision-and-retry under the bounded retry budget.
+    fn form_and_execute(&mut self, responses: &mut Vec<Response>) {
+        self.update_ladder();
+        let limit = (self.config.max_batch / self.level.batch_divisor()).max(1);
+        let mut batch: Vec<Request> = Vec::with_capacity(limit);
+        while batch.len() < limit {
+            let Some(request) = self.queue.pop_front() else {
+                break;
+            };
+            if request.deadline_micros < self.clock_micros {
+                self.counters.expired += 1;
+                responses.push(Response {
+                    id: request.id,
+                    outcome: Err(Rejection::DeadlineExpired {
+                        deadline_micros: request.deadline_micros,
+                        now_micros: self.clock_micros,
+                    }),
+                    degradation: self.level,
+                    arrival_micros: request.arrival_micros,
+                    completed_micros: self.clock_micros,
+                    retried: false,
+                    missed_deadline: true,
+                });
+                continue;
+            }
+            batch.push(request);
+        }
+        if batch.is_empty() {
+            return;
+        }
+
+        // The chunk's solver seed is fixed now and reused across retries: the
+        // engine validates before drawing randomness, so a retry after excising
+        // a malformed member equals solving the reduced batch outright.
+        let seed = mix_seed(self.config.chunk_seed, self.chunk_counter);
+        self.chunk_counter += 1;
+        let mut retries_left = self.config.retry_budget;
+        let mut retried = false;
+        let mut extra_micros = 0u64;
+        loop {
+            let problems: Vec<_> = batch.iter().map(|r| r.problem.clone()).collect();
+            match self.engine.solve_chunk(&problems, seed, self.level) {
+                Ok(result) => {
+                    extra_micros += result.extra_micros;
+                    let service = self.config.service.micros_per_batch
+                        + self.config.service.micros_per_problem * batch.len() as u64
+                            / self.level.service_divisor()
+                        + extra_micros;
+                    self.clock_micros += service;
+                    self.counters.batches += 1;
+                    if self.level.as_u8() > 0 {
+                        self.counters.degraded_batches += 1;
+                    }
+                    self.executed.push(ExecutedChunk {
+                        ids: batch.iter().map(|r| r.id).collect(),
+                        seed,
+                        level: self.level,
+                        choices: result.choices.clone(),
+                    });
+                    for (request, &choice) in batch.iter().zip(&result.choices) {
+                        let missed = self.clock_micros > request.deadline_micros;
+                        self.counters.completed += 1;
+                        if missed {
+                            self.counters.late += 1;
+                        }
+                        responses.push(Response {
+                            id: request.id,
+                            outcome: Ok(Answer {
+                                choice,
+                                correct: request.problem.is_correct(choice),
+                            }),
+                            degradation: self.level,
+                            arrival_micros: request.arrival_micros,
+                            completed_micros: self.clock_micros,
+                            retried,
+                            missed_deadline: missed,
+                        });
+                    }
+                    return;
+                }
+                Err(error) => {
+                    // Failed attempts still burn the per-invocation overhead.
+                    extra_micros += self.config.service.micros_per_batch;
+                    if let Some(index) = error.problem_index() {
+                        // Poison isolation: the malformed request fails alone…
+                        let victim = batch.remove(index.min(batch.len().saturating_sub(1)));
+                        self.counters.invalid += 1;
+                        responses.push(Response {
+                            id: victim.id,
+                            outcome: Err(Rejection::Invalid(error.clone())),
+                            degradation: self.level,
+                            arrival_micros: victim.arrival_micros,
+                            completed_micros: self.clock_micros,
+                            retried: false,
+                            missed_deadline: false,
+                        });
+                        if batch.is_empty() {
+                            self.clock_micros += extra_micros;
+                            return;
+                        }
+                    }
+                    // …and the remainder is retried under the bounded budget.
+                    if retries_left == 0 {
+                        self.clock_micros += extra_micros;
+                        self.counters.failed += batch.len();
+                        for request in batch.drain(..) {
+                            responses.push(Response {
+                                id: request.id,
+                                outcome: Err(Rejection::Failed(error.clone())),
+                                degradation: self.level,
+                                arrival_micros: request.arrival_micros,
+                                completed_micros: self.clock_micros,
+                                retried,
+                                missed_deadline: false,
+                            });
+                        }
+                        return;
+                    }
+                    retries_left -= 1;
+                    retried = true;
+                    self.counters.retries += 1;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+    use cogsys_datasets::Problem;
+    use cogsys_workloads::{NeurosymbolicSolver, SolveError, SolverReport};
+
+    /// Loop-logic stub: validates like the real engine, answers candidate 0,
+    /// optionally fails its first `transient_faults` calls.
+    struct StubEngine {
+        transient_faults: usize,
+        calls: usize,
+    }
+
+    impl StubEngine {
+        fn clean() -> Self {
+            Self {
+                transient_faults: 0,
+                calls: 0,
+            }
+        }
+    }
+
+    impl ChunkEngine for StubEngine {
+        fn solve_chunk(
+            &mut self,
+            problems: &[Problem],
+            _seed: u64,
+            _level: DegradationLevel,
+        ) -> Result<ChunkResult, SolveError> {
+            self.calls += 1;
+            if self.calls <= self.transient_faults {
+                return Err(SolveError::Fault {
+                    message: "stub fault".into(),
+                });
+            }
+            for (index, problem) in problems.iter().enumerate() {
+                if let Err(fault) = NeurosymbolicSolver::validate_problem(problem) {
+                    return Err(SolveError::Malformed {
+                        problem: index,
+                        fault,
+                    });
+                }
+            }
+            Ok(ChunkResult {
+                choices: vec![0; problems.len()],
+                report: SolverReport::default(),
+                extra_micros: 0,
+            })
+        }
+    }
+
+    fn quick_config() -> ServeConfig {
+        ServeConfig {
+            max_queue_depth: 8,
+            max_batch: 4,
+            degrade_depth: 6,
+            recover_depth: 2,
+            ..ServeConfig::default()
+        }
+    }
+
+    #[test]
+    fn config_validation_rejects_inverted_watermarks() {
+        let config = ServeConfig {
+            degrade_depth: 4,
+            recover_depth: 8,
+            ..ServeConfig::default()
+        };
+        assert!(matches!(config.validate(), Err(ServeError::Config { .. })));
+        assert!(ServeConfig::default().validate().is_ok());
+        assert!(ServeConfig::for_system(&CogSysConfig::default())
+            .validate()
+            .is_ok());
+    }
+
+    #[test]
+    fn overload_sheds_and_every_request_is_accounted() {
+        // All 32 requests arrive at t=1 against a queue bound of 8.
+        let trace_template = TraceConfig::steady(32).generate();
+        let trace: Vec<Request> = trace_template
+            .into_iter()
+            .map(|mut r| {
+                r.arrival_micros = 1;
+                r.deadline_micros = 1_000_000;
+                r
+            })
+            .collect();
+        let mut serve = ServeLoop::with_engine(quick_config(), StubEngine::clean()).unwrap();
+        let responses = serve.run_trace(&trace);
+        assert_eq!(responses.len(), trace.len());
+        let counters = serve.counters();
+        assert_eq!(counters.accounted(), counters.submitted);
+        assert_eq!(counters.shed, 24, "8 admitted, the rest shed");
+        assert!(responses
+            .iter()
+            .filter(|r| !r.is_answered())
+            .all(|r| matches!(r.outcome, Err(Rejection::Overloaded { .. }))));
+    }
+
+    #[test]
+    fn queue_pressure_degrades_then_recovers() {
+        let config = ServeConfig {
+            max_queue_depth: 64,
+            max_batch: 4,
+            degrade_depth: 8,
+            recover_depth: 2,
+            ..ServeConfig::default()
+        };
+        // Dense arrivals: gap well below the per-batch service time.
+        let trace: Vec<Request> = TraceConfig {
+            requests: 48,
+            interarrival_micros: 200,
+            deadline_micros: 10_000_000,
+            ..TraceConfig::default()
+        }
+        .generate();
+        let mut serve = ServeLoop::with_engine(config, StubEngine::clean()).unwrap();
+        let responses = serve.run_trace(&trace);
+        assert!(serve.counters().max_level >= 2, "ladder engaged");
+        assert!(serve.counters().degraded_batches > 0);
+        assert!(responses
+            .iter()
+            .any(|r| r.degradation.as_u8() > 0 && r.is_answered()));
+        // The queue fully drains, so the loop must have stepped back up.
+        assert_eq!(serve.degradation_level(), DegradationLevel::Full);
+    }
+
+    #[test]
+    fn expired_requests_are_dropped_at_formation() {
+        let mut trace: Vec<Request> = TraceConfig {
+            requests: 12,
+            interarrival_micros: 100,
+            ..TraceConfig::default()
+        }
+        .generate();
+        for request in &mut trace {
+            request.deadline_micros = request.arrival_micros + 1_500;
+        }
+        let mut serve = ServeLoop::with_engine(quick_config(), StubEngine::clean()).unwrap();
+        let responses = serve.run_trace(&trace);
+        let counters = serve.counters();
+        assert!(counters.expired > 0, "tight deadlines must expire in queue");
+        assert_eq!(counters.accounted(), counters.submitted);
+        assert!(responses
+            .iter()
+            .filter(|r| matches!(r.outcome, Err(Rejection::DeadlineExpired { .. })))
+            .all(|r| r.missed_deadline));
+    }
+
+    #[test]
+    fn transient_faults_retry_then_fail_within_budget() {
+        let config = ServeConfig {
+            retry_budget: 2,
+            ..quick_config()
+        };
+        // Engine fails its first 2 calls, succeeds afterwards: the first formed
+        // batch completes after two retries, later batches run clean.
+        let trace = TraceConfig::steady(3).generate();
+        let mut serve = ServeLoop::with_engine(
+            config.clone(),
+            StubEngine {
+                transient_faults: 2,
+                calls: 0,
+            },
+        )
+        .unwrap();
+        let responses = serve.run_trace(&trace);
+        assert_eq!(serve.counters().retries, 2);
+        assert!(responses.iter().all(|r| r.is_answered()));
+        assert!(responses.iter().any(|r| r.retried));
+
+        // Engine fails forever: budget exhausts, requests fail typed.
+        let mut serve = ServeLoop::with_engine(
+            config,
+            StubEngine {
+                transient_faults: usize::MAX,
+                calls: 0,
+            },
+        )
+        .unwrap();
+        let responses = serve.run_trace(&trace);
+        assert!(responses
+            .iter()
+            .all(|r| matches!(r.outcome, Err(Rejection::Failed(SolveError::Fault { .. })))));
+        assert_eq!(serve.counters().failed, 3);
+    }
+
+    #[test]
+    fn poisoned_request_fails_alone_and_batchmates_complete() {
+        let mut trace = TraceConfig::steady(4).generate();
+        // Make all four arrive together so they form one batch, and poison one.
+        for request in &mut trace {
+            request.arrival_micros = 1;
+            request.deadline_micros = 1_000_000;
+        }
+        trace[2].problem.candidates.clear();
+        let mut serve = ServeLoop::with_engine(quick_config(), StubEngine::clean()).unwrap();
+        let responses = serve.run_trace(&trace);
+        let invalid: Vec<_> = responses.iter().filter(|r| !r.is_answered()).collect();
+        assert_eq!(invalid.len(), 1);
+        assert_eq!(invalid[0].id, 2);
+        assert!(matches!(
+            invalid[0].outcome,
+            Err(Rejection::Invalid(SolveError::Malformed { .. }))
+        ));
+        let answered: Vec<_> = responses.iter().filter(|r| r.is_answered()).collect();
+        assert_eq!(answered.len(), 3);
+        assert!(
+            answered.iter().all(|r| r.retried),
+            "batch-mates were retried"
+        );
+        assert_eq!(serve.counters().invalid, 1);
+        assert_eq!(serve.counters().retries, 1);
+    }
+
+    #[test]
+    fn chunk_seeds_are_decorrelated_but_deterministic() {
+        let a = mix_seed(1, 0);
+        let b = mix_seed(1, 1);
+        assert_ne!(a, b);
+        assert_eq!(mix_seed(1, 0), a);
+        assert_ne!(mix_seed(2, 0), a);
+    }
+}

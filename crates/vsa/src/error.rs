@@ -34,6 +34,15 @@ pub enum VsaError {
         /// Human-readable description of the constraint that was violated.
         message: String,
     },
+    /// An execution route was entered without a representation it requires — e.g.
+    /// the packed encode route without cached codebook sign planes, or a packed
+    /// pipeline over codebooks that were never packed. Indicates a configuration
+    /// or wiring fault; surfaced as an error (rather than a panic) so a serving
+    /// layer can fail the offending request instead of the process.
+    Unsupported {
+        /// Description of the missing capability.
+        what: &'static str,
+    },
 }
 
 impl fmt::Display for VsaError {
@@ -48,6 +57,9 @@ impl fmt::Display for VsaError {
             }
             VsaError::InvalidParameter { name, message } => {
                 write!(f, "invalid parameter `{name}`: {message}")
+            }
+            VsaError::Unsupported { what } => {
+                write!(f, "unsupported execution route: {what}")
             }
         }
     }
@@ -72,6 +84,10 @@ mod tests {
             message: "must be > 0".into(),
         };
         assert!(e.to_string().contains("dim"));
+        let e = VsaError::Unsupported {
+            what: "packed encode route requires cached sign planes",
+        };
+        assert!(e.to_string().contains("unsupported execution route"));
     }
 
     #[test]

@@ -30,8 +30,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod error;
 pub mod pipeline;
 pub mod spec;
 
+pub use error::{ProblemFault, SolveError};
 pub use pipeline::{NeurosymbolicSolver, SolverConfig, SolverReport, SolverScratch};
 pub use spec::{MemoryFootprint, TaskSize, WorkloadKind, WorkloadSpec};

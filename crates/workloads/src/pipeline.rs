@@ -17,6 +17,7 @@
 //! Tab. VIII (end-to-end reasoning accuracy under factorization, stochasticity and
 //! quantization).
 
+use crate::error::{ProblemFault, SolveError};
 use cogsys_datasets::{Attribute, DatasetKind, Panel, Problem, RuleKind};
 use cogsys_factorizer::{Factorizer, FactorizerConfig, FactorizerScratch};
 use cogsys_vsa::batch::{BackendKind, HvMatrix, VsaBackend};
@@ -229,15 +230,51 @@ impl NeurosymbolicSolver {
     }
 
     /// Creates a solver, generating one attribute codebook per RAVEN attribute.
+    ///
+    /// # Panics
+    /// Panics on an invalid configuration. Serving layers use the non-panicking
+    /// [`NeurosymbolicSolver::try_new`] instead.
     pub fn new<R: Rng + ?Sized>(config: SolverConfig, rng: &mut R) -> Self {
+        match Self::try_new(config, rng) {
+            Ok(solver) => solver,
+            Err(e) => panic!("invalid solver configuration: {e}"),
+        }
+    }
+
+    /// Non-panicking [`NeurosymbolicSolver::new`]: validates the configuration
+    /// (dimensionality, noise probabilities, factorizer settings) and propagates
+    /// codebook-construction failures as typed errors instead of panicking.
+    ///
+    /// # Errors
+    /// Returns [`SolveError::Config`] for an invalid configuration and
+    /// [`SolveError::Vsa`] when codebook construction fails.
+    pub fn try_new<R: Rng + ?Sized>(config: SolverConfig, rng: &mut R) -> Result<Self, SolveError> {
+        if config.vector_dim == 0 {
+            return Err(SolveError::Config {
+                message: "vector_dim must be > 0".to_string(),
+            });
+        }
+        for (name, p) in [
+            ("perception_noise", config.perception_noise),
+            ("encoding_noise", config.encoding_noise),
+        ] {
+            if !(0.0..=1.0).contains(&p) {
+                return Err(SolveError::Config {
+                    message: format!("{name} must be a probability in [0, 1], got {p}"),
+                });
+            }
+        }
+        config
+            .factorizer
+            .validate()
+            .map_err(|message| SolveError::Config { message })?;
         let attribute_codebooks: Vec<_> = Attribute::ALL
             .iter()
             .map(|a| {
                 cogsys_vsa::Codebook::random(a.to_string(), a.cardinality(), config.vector_dim, rng)
             })
             .collect();
-        let codebooks = CodebookSet::new(attribute_codebooks.clone(), BindingOp::Hadamard)
-            .expect("attribute codebooks are non-empty and share a dimension");
+        let codebooks = CodebookSet::new(attribute_codebooks.clone(), BindingOp::Hadamard)?;
         let blocks = Self::BLOCKS
             .iter()
             .map(|attrs| {
@@ -245,11 +282,10 @@ impl NeurosymbolicSolver {
                     .iter()
                     .map(|&i| attribute_codebooks[i].clone())
                     .collect();
-                let set = CodebookSet::new(members, BindingOp::Hadamard)
-                    .expect("block codebooks are non-empty and share a dimension");
-                (set, attrs.to_vec())
+                let set = CodebookSet::new(members, BindingOp::Hadamard)?;
+                Ok((set, attrs.to_vec()))
             })
-            .collect();
+            .collect::<Result<Vec<_>, VsaError>>()?;
         // One shared backend instance serves both the solver's own batch kernels and
         // the factorizer (sharing the FFT-plan cache when the backend is parallel).
         let backend = config.backend.create();
@@ -264,13 +300,95 @@ impl NeurosymbolicSolver {
         }
         .with_backend(config.backend);
         let factorizer = Factorizer::with_backend(factorizer_config, Arc::clone(&backend));
-        Self {
+        Ok(Self {
             config,
             codebooks,
             blocks,
             factorizer,
             backend,
+        })
+    }
+
+    /// Returns a copy of this solver whose factorizer runs with a reduced iteration
+    /// budget, **sharing the exact same codebooks** — so its decisions differ from
+    /// the original only where the smaller budget changes factorization outcomes.
+    ///
+    /// This is the degradation knob of the `cogsys-serve` ladder: level 2 steps the
+    /// budget down, level 3 runs a coarse single pass (`max_iterations == 1`, i.e.
+    /// one resonator step plus the coordinate-descent polish sweep).
+    pub fn with_iteration_cap(&self, max_iterations: usize) -> Self {
+        let mut degraded = self.clone();
+        degraded.config.factorizer.max_iterations = max_iterations.max(1);
+        let block_threshold = Self::block_convergence_threshold(Self::BLOCKS.len())
+            .min(degraded.config.factorizer.convergence_threshold);
+        let factorizer_config = FactorizerConfig {
+            convergence_threshold: block_threshold,
+            ..degraded.config.factorizer.clone()
         }
+        .with_backend(degraded.config.backend);
+        degraded.factorizer =
+            Factorizer::with_backend(factorizer_config, Arc::clone(&degraded.backend));
+        degraded
+    }
+
+    /// Number of context panels every problem must carry (the 3×3 matrix minus the
+    /// answer cell).
+    pub const CONTEXT_PANELS: usize = 8;
+
+    /// Validates one problem against the engine's input contract: exactly
+    /// [`NeurosymbolicSolver::CONTEXT_PANELS`] context panels, a non-empty candidate
+    /// set, an in-range answer index, and every attribute value of every panel
+    /// (context first, then candidates) inside its attribute's cardinality — the
+    /// bound that keeps codebook lookups in range.
+    pub fn validate_problem(problem: &Problem) -> Result<(), ProblemFault> {
+        if problem.context.len() != Self::CONTEXT_PANELS {
+            return Err(ProblemFault::WrongPanelCount {
+                expected: Self::CONTEXT_PANELS,
+                got: problem.context.len(),
+            });
+        }
+        if problem.candidates.is_empty() {
+            return Err(ProblemFault::NoCandidates);
+        }
+        if problem.answer_index >= problem.candidates.len() {
+            return Err(ProblemFault::AnswerOutOfRange {
+                answer: problem.answer_index,
+                candidates: problem.candidates.len(),
+            });
+        }
+        for (panel, p) in problem
+            .context
+            .iter()
+            .chain(problem.candidates.iter())
+            .enumerate()
+        {
+            for attr in Attribute::ALL {
+                let value = p.value(attr);
+                if value >= attr.cardinality() {
+                    return Err(ProblemFault::ValueOutOfRange {
+                        panel,
+                        attribute: attr.index(),
+                        value,
+                        cardinality: attr.cardinality(),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Validates a batch, reporting the **first** malformed problem by its index in
+    /// `problems`. Consumes no rng draws, so rejecting a poisoned batch and
+    /// resubmitting it without the offender yields exactly the results the reduced
+    /// batch would have produced in the first place.
+    fn validate_problems(problems: &[Problem]) -> Result<(), SolveError> {
+        for (index, problem) in problems.iter().enumerate() {
+            Self::validate_problem(problem).map_err(|fault| SolveError::Malformed {
+                problem: index,
+                fault,
+            })?;
+        }
+        Ok(())
     }
 
     /// The solver's configuration.
@@ -402,10 +520,9 @@ impl NeurosymbolicSolver {
             for (f, &attr) in attrs.iter().enumerate() {
                 idx.clear();
                 idx.extend(panels.iter().map(|p| p.values()[attr]));
-                let planes = set
-                    .factor(f)?
-                    .packed()
-                    .expect("packed encode route requires cached sign planes");
+                let planes = set.factor(f)?.packed().ok_or(VsaError::Unsupported {
+                    what: "packed encode route requires cached codebook sign planes",
+                })?;
                 if f == 0 {
                     planes.gather_into(idx, dst)?;
                 } else {
@@ -552,7 +669,9 @@ impl NeurosymbolicSolver {
                 .factorizer
                 .factorize_matrix_bits_scratch(set, bits, streams, fscratch)?,
             None => {
-                let queries = encoded.expect("dense decode route carries f32 queries");
+                let queries = encoded.ok_or(VsaError::Unsupported {
+                    what: "dense decode route requires f32 queries",
+                })?;
                 self.factorizer
                     .factorize_matrix_scratch(set, queries, streams, fscratch)?
             }
@@ -576,13 +695,17 @@ impl NeurosymbolicSolver {
                     gather_idx.extend(tuples.iter().map(|t| t[g]));
                     set.factor(g)?
                         .packed()
-                        .expect("packed pipeline requires packed codebooks")
+                        .ok_or(VsaError::Unsupported {
+                            what: "packed pipeline requires packed codebooks",
+                        })?
                         .gather_into(gather_idx, est_bits)?;
                     unbound_bits.xor_assign(est_bits)?;
                 }
                 set.factor(f)?.cleanup_batch_bits(backend, unbound_bits)?
             } else {
-                let queries = encoded.expect("dense decode route carries f32 queries");
+                let queries = encoded.ok_or(VsaError::Unsupported {
+                    what: "dense decode route requires f32 queries",
+                })?;
                 est_dense.resize_with(set.num_factors(), HvMatrix::default);
                 for (g, est) in est_dense.iter_mut().enumerate() {
                     gather_idx.clear();
@@ -712,12 +835,15 @@ impl NeurosymbolicSolver {
     /// per-panel factorization bookkeeping.
     ///
     /// # Errors
-    /// Propagates [`VsaError`] from the VSA stages.
+    /// Returns [`SolveError::Malformed`] (with `problem == 0`) when the input fails
+    /// the engine-boundary validation — before any rng draw — and propagates
+    /// [`VsaError`] from the VSA stages as [`SolveError::Vsa`].
     pub fn solve<R: Rng + ?Sized>(
         &self,
         problem: &Problem,
         rng: &mut R,
-    ) -> Result<(usize, SolverReport), VsaError> {
+    ) -> Result<(usize, SolverReport), SolveError> {
+        Self::validate_problems(std::slice::from_ref(problem))?;
         let mut report = SolverReport::default();
 
         // Perception + factorization of the eight context panels, as one batch through
@@ -769,12 +895,13 @@ impl NeurosymbolicSolver {
     /// See [`NeurosymbolicSolver::solve_batch_with`] for the allocation-free variant.
     ///
     /// # Errors
-    /// Propagates [`VsaError`] from any individual problem.
+    /// Returns [`SolveError::Malformed`] naming the first invalid problem's batch
+    /// index (before any rng draw), or [`SolveError::Vsa`] from the VSA stages.
     pub fn solve_batch<R: Rng + ?Sized>(
         &self,
         problems: &[Problem],
         rng: &mut R,
-    ) -> Result<SolverReport, VsaError> {
+    ) -> Result<SolverReport, SolveError> {
         self.solve_batch_with(problems, rng, &mut SolverScratch::default())
     }
 
@@ -808,19 +935,25 @@ impl NeurosymbolicSolver {
     /// *losing* throughput beyond a few problems per call.
     ///
     /// # Errors
-    /// Propagates [`VsaError`] from the VSA stages.
+    /// Returns [`SolveError::Malformed`] naming the first invalid problem's index
+    /// in `problems`. Validation happens **before any rng draw**, so a caller that
+    /// excises the offender and resubmits the remainder (with the same generator
+    /// state or seed) gets exactly the results the reduced batch would have
+    /// produced outright — the contract the `cogsys-serve` retry path relies on.
+    /// VSA-stage failures propagate as [`SolveError::Vsa`].
     pub fn solve_batch_with<R: Rng + ?Sized>(
         &self,
         problems: &[Problem],
         rng: &mut R,
         scratch: &mut SolverScratch,
-    ) -> Result<SolverReport, VsaError> {
+    ) -> Result<SolverReport, SolveError> {
         scratch.choices.clear();
         if problems.is_empty() {
             return Ok(SolverReport::default());
         }
+        Self::validate_problems(problems)?;
         if self.packed_encode_route() {
-            return self.solve_batch_chunk(problems, rng, scratch);
+            return Ok(self.solve_batch_chunk(problems, rng, scratch)?);
         }
         let mut total = SolverReport::default();
         for chunk in problems.chunks(Self::DENSE_SERVE_CHUNK) {
@@ -1400,6 +1533,141 @@ mod tests {
         // threshold, so the planes alone no longer describe the encoding).
         let (s8, _) = solver(43, SolverConfig::default().with_precision(Precision::Int8));
         assert!(!s8.packed_encode_route());
+    }
+
+    #[test]
+    fn malformed_problems_are_rejected_with_typed_errors_before_any_rng_draw() {
+        use cogsys_datasets::ProblemGenerator;
+        use rand::RngCore;
+        let (s, mut r) = solver(50, SolverConfig::default());
+        let generator = ProblemGenerator::new(DatasetKind::Raven);
+        let mut problems = generator.generate_batch(3, &mut r);
+        problems[1].context.pop();
+
+        let mut probe = r.clone();
+        let err = s.solve_batch(&problems, &mut r).unwrap_err();
+        match err {
+            SolveError::Malformed { problem: 1, fault } => {
+                assert!(matches!(
+                    fault,
+                    ProblemFault::WrongPanelCount { got: 7, .. }
+                ))
+            }
+            other => panic!("expected Malformed {{ problem: 1 }}, got {other:?}"),
+        }
+        // Rejection happened before any rng draw: the generator state is untouched,
+        // so solving the valid remainder equals solving it outright.
+        assert_eq!(r.next_u64(), probe.next_u64());
+
+        // Every corruption kind maps to a typed fault, problem index intact.
+        let mut r2 = rng(51);
+        for _ in 0..40 {
+            let bad = generator.generate_malformed(&mut r2);
+            let err = s
+                .solve_batch(std::slice::from_ref(&bad), &mut r2)
+                .unwrap_err();
+            assert!(
+                matches!(err, SolveError::Malformed { problem: 0, .. }),
+                "unexpected error {err:?}"
+            );
+            let (_, err) = (0, s.solve(&bad, &mut r2).unwrap_err());
+            assert_eq!(err.problem_index(), Some(0));
+        }
+    }
+
+    #[test]
+    fn excising_the_poisoned_problem_reproduces_the_clean_batch() {
+        // The serve-layer retry contract: validation consumes no rng, so dropping
+        // the malformed problem and re-running with the same seed is bitwise the
+        // same as never having submitted it.
+        use cogsys_datasets::ProblemGenerator;
+        let (s, mut r) = solver(52, SolverConfig::default());
+        let clean = ProblemGenerator::new(DatasetKind::Raven).generate_batch(4, &mut r);
+        let mut poisoned = clean.clone();
+        poisoned.insert(
+            2,
+            ProblemGenerator::new(DatasetKind::Raven).generate_malformed(&mut rng(53)),
+        );
+
+        let mut scratch = SolverScratch::default();
+        let mut r1 = r.clone();
+        let err = s
+            .solve_batch_with(&poisoned, &mut r1, &mut scratch)
+            .unwrap_err();
+        let victim = err.problem_index().expect("typed poison index");
+        poisoned.remove(victim);
+        let retried = s
+            .solve_batch_with(&poisoned, &mut r1, &mut scratch)
+            .unwrap();
+        let retried_choices = scratch.choices().to_vec();
+
+        let mut r2 = r.clone();
+        let direct = s.solve_batch_with(&clean, &mut r2, &mut scratch).unwrap();
+        assert_eq!(retried, direct);
+        assert_eq!(retried_choices, scratch.choices());
+    }
+
+    #[test]
+    fn try_new_rejects_invalid_configurations() {
+        let mut r = rng(54);
+        for config in [
+            SolverConfig {
+                vector_dim: 0,
+                ..SolverConfig::default()
+            },
+            SolverConfig {
+                perception_noise: -0.1,
+                ..SolverConfig::default()
+            },
+            SolverConfig {
+                encoding_noise: f64::NAN,
+                ..SolverConfig::default()
+            },
+            SolverConfig {
+                factorizer: FactorizerConfig::default().with_max_iterations(0),
+                ..SolverConfig::default()
+            },
+        ] {
+            let err = NeurosymbolicSolver::try_new(config, &mut r).unwrap_err();
+            assert!(matches!(err, SolveError::Config { .. }), "{err:?}");
+        }
+        assert!(NeurosymbolicSolver::try_new(SolverConfig::default(), &mut r).is_ok());
+    }
+
+    #[test]
+    fn iteration_capped_solver_shares_codebooks_and_still_answers() {
+        // The degradation knob: a capped clone must produce in-range answers from
+        // the same codebooks, and at the full cap it is the identical engine.
+        use cogsys_datasets::ProblemGenerator;
+        let (s, mut r) = solver(55, SolverConfig::default());
+        let problems = ProblemGenerator::new(DatasetKind::Raven).generate_batch(2, &mut r);
+
+        let full_cap = s.with_iteration_cap(s.config().factorizer.max_iterations);
+        let mut r1 = r.clone();
+        let mut r2 = r.clone();
+        let mut scratch = SolverScratch::default();
+        let a = s
+            .solve_batch_with(&problems, &mut r1, &mut scratch)
+            .unwrap();
+        let a_choices = scratch.choices().to_vec();
+        let b = full_cap
+            .solve_batch_with(&problems, &mut r2, &mut scratch)
+            .unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a_choices, scratch.choices());
+
+        let coarse = s.with_iteration_cap(1);
+        assert_eq!(coarse.config().factorizer.max_iterations, 1);
+        let mut r3 = r.clone();
+        let report = coarse
+            .solve_batch_with(&problems, &mut r3, &mut scratch)
+            .unwrap();
+        assert_eq!(report.problems, 2);
+        // One resonator step per block per panel, plus nothing else.
+        assert!(report.factorizer_iterations <= 2 * 2 * 8);
+        for &c in scratch.choices() {
+            assert!(c < problems[0].candidates.len());
+        }
     }
 
     #[test]

@@ -18,18 +18,32 @@ use cogsys_datasets::{DatasetKind, ProblemGenerator};
 use cogsys_workloads::{NeurosymbolicSolver, SolverConfig, SolverReport, SolverScratch};
 use std::time::Instant;
 
+/// Parses a positive integer argument, or exits with a usage message — a typo
+/// must not silently fall back to the default and misreport throughput.
+fn parse_positive(value: Option<String>, name: &str, default: usize) -> usize {
+    match value {
+        None => default,
+        Some(raw) => match raw.parse() {
+            Ok(parsed) if parsed > 0 => parsed,
+            _ => {
+                eprintln!(
+                    "invalid {name} `{raw}` (expected a positive integer)\n\
+                     usage: serve_stream [-- <batch> <windows>]"
+                );
+                std::process::exit(2);
+            }
+        },
+    }
+}
+
 fn main() {
     let mut args = std::env::args().skip(1);
-    let batch: usize = args
-        .next()
-        .and_then(|a| a.parse().ok())
-        .filter(|&b| b > 0)
-        .unwrap_or(64);
-    let windows: usize = args
-        .next()
-        .and_then(|a| a.parse().ok())
-        .filter(|&w| w > 0)
-        .unwrap_or(4);
+    let batch = parse_positive(args.next(), "batch", 64);
+    let windows = parse_positive(args.next(), "windows", 4);
+    if let Some(extra) = args.next() {
+        eprintln!("unexpected argument `{extra}`\nusage: serve_stream [-- <batch> <windows>]");
+        std::process::exit(2);
+    }
 
     let mut rng = cogsys_vsa::rng(7);
     let config = SolverConfig::default();

@@ -6,6 +6,7 @@ pub use cogsys;
 pub use cogsys_datasets as datasets;
 pub use cogsys_factorizer as factorizer;
 pub use cogsys_scheduler as scheduler;
+pub use cogsys_serve as serve;
 pub use cogsys_sim as sim;
 pub use cogsys_vsa as vsa;
 pub use cogsys_workloads as workloads;

@@ -1,0 +1,108 @@
+//! Property tests: no input reachable from the serving boundary can panic the
+//! solve path. Malformed, bit-flipped and arbitrarily mangled problem specs
+//! must come back as typed [`SolveError`]s (or solve cleanly), never abort.
+
+use cogsys_datasets::{DatasetKind, Panel, ProblemGenerator};
+use cogsys_serve::chaos::flip_value_bits;
+use cogsys_workloads::{NeurosymbolicSolver, SolveError, SolverConfig, SolverScratch};
+use proptest::prelude::*;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+/// A small solver is enough: validation and routing are dimension-independent.
+fn solver(seed: u64) -> NeurosymbolicSolver {
+    let config = SolverConfig {
+        vector_dim: 128,
+        ..SolverConfig::default()
+    };
+    let mut rng = StdRng::seed_from_u64(seed);
+    NeurosymbolicSolver::try_new(config, &mut rng).expect("valid config")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// A generator-produced malformed problem hidden in a batch of clean ones
+    /// is rejected with a typed error naming exactly its position.
+    #[test]
+    fn prop_malformed_specs_fail_typed_at_their_index(seed in 0u64..1_000_000, pos in 0usize..4) {
+        let solver = solver(seed ^ 0xC0DE);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let generator = ProblemGenerator::new(DatasetKind::Raven);
+        let mut problems = generator.generate_batch(3, &mut rng);
+        problems.insert(pos.min(problems.len()), generator.generate_malformed(&mut rng));
+
+        let mut scratch = SolverScratch::default();
+        let result = solver.solve_batch_with(&problems, &mut StdRng::seed_from_u64(seed), &mut scratch);
+        match result {
+            Err(SolveError::Malformed { problem, .. }) => {
+                prop_assert_eq!(problem, pos.min(3));
+            }
+            other => return Err(TestCaseError::fail(format!(
+                "malformed batch must fail typed, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Bit flips beyond the interface spec (the chaos harness's in-band
+    /// corruption) either solve cleanly or fail typed — never panic.
+    #[test]
+    fn prop_bit_flipped_specs_never_panic(seed in 0u64..1_000_000, flips in 1usize..5) {
+        let solver = solver(seed ^ 0xF117);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut problem = ProblemGenerator::new(DatasetKind::IRaven).generate(&mut rng);
+        flip_value_bits(&mut problem, flips, &mut rng);
+
+        let mut scratch = SolverScratch::default();
+        match solver.solve_batch_with(
+            std::slice::from_ref(&problem),
+            &mut StdRng::seed_from_u64(seed),
+            &mut scratch,
+        ) {
+            Ok(_) => prop_assert!(scratch.choices()[0] < problem.candidates.len()),
+            Err(SolveError::Malformed { problem: index, .. }) => prop_assert_eq!(index, 0),
+            Err(other) => return Err(TestCaseError::fail(format!(
+                "unexpected error class: {other}"
+            ))),
+        }
+    }
+
+    /// Arbitrarily mangled specs — wrong panel counts, junk answer slots,
+    /// values far out of range — are absorbed as typed errors.
+    #[test]
+    fn prop_mangled_specs_never_panic(
+        seed in 0u64..1_000_000,
+        context_len in 0usize..12,
+        candidates_len in 0usize..10,
+        answer in 0usize..16,
+    ) {
+        let solver = solver(seed ^ 0x9A17);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut problem = ProblemGenerator::new(DatasetKind::Pgm).generate(&mut rng);
+        let junk_panel = |rng: &mut StdRng| {
+            let mut values = [0usize; 5];
+            for value in &mut values {
+                *value = rng.gen_range(0..20usize);
+            }
+            Panel::new_unchecked(values)
+        };
+        problem.context = (0..context_len).map(|_| junk_panel(&mut rng)).collect();
+        problem.candidates = (0..candidates_len).map(|_| junk_panel(&mut rng)).collect();
+        problem.answer_index = answer;
+
+        let mut scratch = SolverScratch::default();
+        match solver.solve_batch_with(
+            std::slice::from_ref(&problem),
+            &mut StdRng::seed_from_u64(seed),
+            &mut scratch,
+        ) {
+            // A fully random spec that happens to be well-formed may solve.
+            Ok(_) => prop_assert!(NeurosymbolicSolver::validate_problem(&problem).is_ok()),
+            Err(SolveError::Malformed { .. }) => {
+                prop_assert!(NeurosymbolicSolver::validate_problem(&problem).is_err());
+            }
+            Err(other) => return Err(TestCaseError::fail(format!(
+                "unexpected error class: {other}"
+            ))),
+        }
+    }
+}
