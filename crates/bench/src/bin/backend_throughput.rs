@@ -15,6 +15,12 @@
 //! bench-smoke step. Set `BENCH_GUARD=off` to record a new baseline without gating
 //! (e.g. after an intentional trade-off or a hardware change).
 //!
+//! The detected Hamming-kernel SIMD tier (generic / popcnt / avx2 / avx512) is
+//! printed first so CI logs record which dispatch path produced the numbers; with
+//! `BENCH_REQUIRE_SIMD=1` the run fails outright when dispatch fell back to the
+//! generic tier (the CI runners are known-SIMD hosts, so a generic fallback there
+//! means detection broke, not that the hardware shrank).
+//!
 //! Run with: `cargo run --release -p cogsys-bench --bin backend_throughput`
 
 use std::process::ExitCode;
@@ -26,6 +32,18 @@ fn main() -> ExitCode {
     const DIMS: [usize; 3] = [256, 1024, 4096];
     const BATCHES: [usize; 3] = [1, 32, 256];
     const SEED: u64 = 7;
+
+    let tier = cogsys_vsa::dispatch_tier();
+    println!("dispatch tier: {tier}");
+    if std::env::var("BENCH_REQUIRE_SIMD").as_deref() == Ok("1")
+        && tier == cogsys_vsa::DispatchTier::Generic
+    {
+        eprintln!(
+            "BENCH_REQUIRE_SIMD=1: dispatch fell back to the generic tier on a host \
+             expected to support at least scalar popcnt"
+        );
+        return ExitCode::FAILURE;
+    }
 
     let path = "BENCH_backends.json";
     let baseline = std::fs::read_to_string(path)

@@ -8,7 +8,7 @@
 
 use crate::system::{AblationVariant, CogSysConfig, CogSysSystem};
 use cogsys_datasets::{Constellation, DatasetKind, ProblemGenerator, RuleKind};
-use cogsys_factorizer::{AccuracyReport, FactorizationCost, FactorizerConfig};
+use cogsys_factorizer::{AccuracyReport, BoundedNoise, FactorizationCost, FactorizerConfig};
 use cogsys_sim::devices::tab2_kernel_stats;
 use cogsys_sim::{
     dataflow, AcceleratorConfig, ComputeArray, DeviceKind, DeviceModel, EnergyModel, Kernel,
@@ -112,15 +112,23 @@ impl BenchRecord {
 pub const BENCH_CODEBOOK_ROWS: usize = 64;
 
 /// Measures the hot batch kernels — circular-convolution binding, codebook cleanup of
-/// `f32` queries, and codebook cleanup of **pre-packed** `BitMatrix` queries — for
-/// every [`BackendKind`] across the requested dimensionalities and batch sizes. Each
-/// record is the best (minimum) of five timed rounds after one warm-up.
+/// `f32` queries, codebook cleanup and the full similarity GEMM of **pre-packed**
+/// `BitMatrix` queries, the fused sign projection, and the bounded-noise sign
+/// perturbation — for every [`BackendKind`] across the requested dimensionalities and
+/// batch sizes. Each record is the best (minimum) of five timed rounds after one
+/// warm-up.
 ///
 /// The cleanup measurements go through [`Codebook::cleanup_batch`] /
 /// [`Codebook::cleanup_batch_bits`], so packed-aware backends get their cached
 /// codebook sign planes — exactly the production call paths. The gap between
 /// `cleanup` and `cleanup_prepacked` on the packed backend is the per-call query
-/// packing cost that end-to-end `BitMatrix` pipelines avoid.
+/// packing cost that end-to-end `BitMatrix` pipelines avoid. `similarity_prepacked`
+/// is the popcount GEMM behind the resonator's similarity step; `project_signs` is
+/// the fused weighted-superposition → sign-threshold kernel (SoA lane-blocked on the
+/// packed backend, dense projection + packing elsewhere); `noise_signs` pits the
+/// word-level amplitude early-out (recorded as `packed`) against the element-wise
+/// rule (recorded as `reference`) on regime-mixed accumulators where two thirds of
+/// the 64-dim words provably exceed the amplitude.
 pub fn backend_throughput_records(
     dims: &[usize],
     batches: &[usize],
@@ -144,6 +152,14 @@ pub fn backend_throughput_records(
             let a = HvMatrix::from_rows(&rows).expect("rows share a dimension");
             let b = HvMatrix::from_rows(&others).expect("rows share a dimension");
             let a_bits = BitMatrix::from_matrix(&a).expect("bipolar queries pack");
+            // Projection weights: one row per query, one weight per codebook row,
+            // on the similarity scale the resonator feeds this kernel.
+            let mut weights = HvMatrix::zeros(batch, BENCH_CODEBOOK_ROWS);
+            for (q, row) in rows.iter().enumerate() {
+                for (m, slot) in weights.row_mut(q).iter_mut().enumerate() {
+                    *slot = row.values()[m % dim] * (1.0 + m as f32 / 64.0);
+                }
+            }
 
             let time = |f: &mut dyn FnMut()| {
                 // One warm-up round, then the best (minimum) of five timed rounds —
@@ -194,6 +210,93 @@ pub fn backend_throughput_records(
                     dim,
                     batch,
                     ns_per_op: prepacked * 1e9,
+                });
+                let sims_prepacked = time(&mut || {
+                    let _ = codebook
+                        .similarities_batch_bits(backend.as_ref(), &a_bits)
+                        .expect("shapes match");
+                });
+                records.push(BenchRecord {
+                    backend: backend.name().to_string(),
+                    kernel: "similarity_prepacked".to_string(),
+                    dim,
+                    batch,
+                    ns_per_op: sims_prepacked * 1e9,
+                });
+                // Fused projection → sign threshold: the packed backend runs the SoA
+                // lane-blocked kernel on its cached sign planes; the dense backends
+                // run their projection GEMM followed by sign packing, which is the
+                // pre-packed pipeline's shape for the same step.
+                let mut proj_bits = BitMatrix::default();
+                let mut proj_acc: Vec<f32> = Vec::new();
+                let mut proj_dense = HvMatrix::default();
+                let project = time(&mut || {
+                    if let (Some(packed), Some(cb_bits)) = (backend.as_packed(), codebook.packed())
+                    {
+                        packed.project_signs_packed_into(
+                            cb_bits,
+                            &weights,
+                            |_, _| {},
+                            &mut proj_acc,
+                            &mut proj_bits,
+                        );
+                    } else {
+                        backend
+                            .project_batch_into(codebook.matrix(), &weights, &mut proj_dense)
+                            .expect("shapes match");
+                        proj_bits.ensure_shape(batch, dim);
+                        for q in 0..batch {
+                            proj_bits.pack_signs_row(q, proj_dense.row(q));
+                        }
+                    }
+                });
+                records.push(BenchRecord {
+                    backend: backend.name().to_string(),
+                    kernel: "project_signs".to_string(),
+                    dim,
+                    batch,
+                    ns_per_op: project * 1e9,
+                });
+            }
+
+            // Bounded-noise sign perturbation on accumulator-shaped values whose
+            // 64-dim words alternate regimes (one third within the amplitude, two
+            // thirds provably outside), so the `packed` row exercises the word-level
+            // early-out and the `reference` row the element-wise rule it must match.
+            let noise = BoundedNoise::for_sigma(0.25).expect("positive sigma");
+            let amp = noise.amplitude();
+            let base: Vec<f32> = a
+                .as_slice()
+                .iter()
+                .enumerate()
+                .map(|(j, &sign)| {
+                    let scale = match (j / 64) % 3 {
+                        0 => amp * 0.5,
+                        1 => amp * 4.0,
+                        _ => amp * 2.0,
+                    };
+                    sign * scale
+                })
+                .collect();
+            let mut values = base.clone();
+            for (label, elementwise) in [("packed", false), ("reference", true)] {
+                let perturb = time(&mut || {
+                    values.copy_from_slice(&base);
+                    let mut r = cogsys_vsa::rng(seed ^ 0x4015E);
+                    for row in values.chunks_mut(dim) {
+                        if elementwise {
+                            noise.perturb_signs_elementwise(row, &mut r);
+                        } else {
+                            noise.perturb_signs(row, &mut r);
+                        }
+                    }
+                });
+                records.push(BenchRecord {
+                    backend: label.to_string(),
+                    kernel: "noise_signs".to_string(),
+                    dim,
+                    batch,
+                    ns_per_op: perturb * 1e9,
                 });
             }
         }

@@ -82,17 +82,27 @@ impl Default for Factorizer {
 /// cross-similarity noise floor; the exact tail shape is immaterial, and the
 /// `stochasticity_reduces_iterations_on_hard_problems` regression pins the behaviour.
 #[derive(Debug, Clone, Copy, PartialEq)]
-struct BoundedNoise {
+pub struct BoundedNoise {
     amplitude: f32,
 }
+
+/// Dimensions per early-out block in [`BoundedNoise::perturb_signs`]: matches the
+/// 64-bit word width of the packed sign planes, so one skipped block corresponds to
+/// one whole word of the downstream [`cogsys_vsa::BitMatrix`] row.
+const NOISE_CHUNK_DIMS: usize = 64;
 
 impl BoundedNoise {
     /// The noise for one sigma, or `None` when disabled (`sigma == 0`). Sigmas are
     /// validated by [`FactorizerConfig::validate`] (finite, non-negative).
-    fn for_sigma(sigma: f32) -> Option<Self> {
+    pub fn for_sigma(sigma: f32) -> Option<Self> {
         (sigma > 0.0).then(|| Self {
             amplitude: sigma * 6.0_f32.sqrt(),
         })
+    }
+
+    /// The support bound: samples lie in `[-amplitude, amplitude]`.
+    pub fn amplitude(&self) -> f32 {
+        self.amplitude
     }
 
     /// One sample: `(u1 - u2) · amplitude`, triangular on `[-amplitude, amplitude]`.
@@ -107,7 +117,7 @@ impl BoundedNoise {
 
     /// Adds one sample to every element — the similarity-step perturbation, where the
     /// scores feed a global argmax and no element can be proven irrelevant.
-    fn perturb_all(&self, values: &mut [f32], rng: &mut StdRng) {
+    pub fn perturb_all(&self, values: &mut [f32], rng: &mut StdRng) {
         for v in values {
             *v += self.sample(rng);
         }
@@ -127,7 +137,39 @@ impl BoundedNoise {
     /// engine — dense and packed, per-query and batched — runs this same code on
     /// bitwise-identical accumulators, so their skip patterns and therefore their
     /// decisions stay identical at every precision.
-    fn perturb_signs(&self, values: &mut [f32], rng: &mut StdRng) {
+    ///
+    /// On top of the per-element skip sits a **word-level early-out**: the slice is
+    /// walked in [`NOISE_CHUNK_DIMS`]-wide blocks (one packed sign-plane word), and
+    /// a block whose minimum `|v|` exceeds the amplitude is skipped without testing
+    /// its elements individually. The block test is a branchless min-reduction the
+    /// compiler vectorizes, so proving 64 skips costs a handful of SIMD ops instead
+    /// of 64 predicted branches. This is bitwise-equal to the element-wise rule
+    /// (exposed as [`BoundedNoise::perturb_signs_elementwise`] for tests and
+    /// benchmarks): a skipped block's elements all satisfy `|v| > amplitude` and
+    /// would each have drawn nothing, so values and rng stream positions agree —
+    /// NaN included, since `NaN.abs() <= a` is false element-wise and the
+    /// `min` reduction ignores NaN operands (the block then skips exactly when all
+    /// non-NaN magnitudes exceed the amplitude, or unconditionally when every
+    /// element is NaN — in both cases zero draws either way).
+    pub fn perturb_signs(&self, values: &mut [f32], rng: &mut StdRng) {
+        let a = self.amplitude;
+        for chunk in values.chunks_mut(NOISE_CHUNK_DIMS) {
+            let min_mag = chunk.iter().fold(f32::INFINITY, |m, v| m.min(v.abs()));
+            if min_mag > a {
+                continue;
+            }
+            for v in chunk {
+                if v.abs() <= a {
+                    *v += self.sample(rng);
+                }
+            }
+        }
+    }
+
+    /// The element-wise reference rule behind [`BoundedNoise::perturb_signs`],
+    /// without the word-level early-out. Kept public so proptests and the
+    /// `noise_signs` benchmark can pin the early-out path bitwise against it.
+    pub fn perturb_signs_elementwise(&self, values: &mut [f32], rng: &mut StdRng) {
         let a = self.amplitude;
         for v in values {
             if v.abs() <= a {
@@ -1256,6 +1298,53 @@ mod tests {
             let query = set.bind_indices(&[i0, i1]).unwrap();
             let result = Factorizer::default().factorize(&set, &query, &mut r).unwrap();
             prop_assert_eq!(result.indices, vec![i0, i1]);
+        }
+
+        /// The word-level early-out in `perturb_signs` is bitwise-equal to the
+        /// element-wise reference rule — identical output values AND identical rng
+        /// stream position afterwards — on accumulators engineered so some whole
+        /// 64-dim blocks provably exceed the amplitude (skipped), some sit entirely
+        /// below it (fully sampled), and some mix regimes, across non-multiple-of-64
+        /// lengths and sign-flip/NaN edge cases.
+        #[test]
+        fn prop_early_out_noise_matches_elementwise(
+            seed in 0u64..200,
+            len_sel in 0usize..5,
+            sigma_centi in 1u32..80,
+        ) {
+            let len = [1usize, 63, 64, 130, 321][len_sel];
+            let sigma = sigma_centi as f32 / 100.0;
+            let noise = BoundedNoise::for_sigma(sigma).unwrap();
+            let a = noise.amplitude();
+            let mut r = cogsys_vsa::rng(seed);
+            let mut values: Vec<f32> = (0..len)
+                .map(|j| {
+                    // Three regimes, chosen per 64-block so whole blocks land above
+                    // the amplitude: block 0 small, block 1 large, rest mixed.
+                    let scale = match (j / 64 + seed as usize) % 3 {
+                        0 => a * 0.5,
+                        1 => a * 4.0,
+                        _ => a * 2.0,
+                    };
+                    (r.gen::<f32>() - 0.5) * 2.0 * scale
+                })
+                .collect();
+            if len > 2 {
+                values[0] = a; // boundary: |v| == amplitude still draws
+                values[1] = f32::NAN; // NaN never draws on either path
+                values[2] = -0.0;
+            }
+            let mut fast = values.clone();
+            let mut slow = values;
+            let mut rng_fast = StdRng::seed_from_u64(seed ^ 0xE0);
+            let mut rng_slow = StdRng::seed_from_u64(seed ^ 0xE0);
+            noise.perturb_signs(&mut fast, &mut rng_fast);
+            noise.perturb_signs_elementwise(&mut slow, &mut rng_slow);
+            let fast_bits: Vec<u32> = fast.iter().map(|v| v.to_bits()).collect();
+            let slow_bits: Vec<u32> = slow.iter().map(|v| v.to_bits()).collect();
+            prop_assert_eq!(fast_bits, slow_bits);
+            // Same number of draws consumed: the streams stay in lockstep.
+            prop_assert_eq!(rng_fast.gen::<u64>(), rng_slow.gen::<u64>());
         }
     }
 }

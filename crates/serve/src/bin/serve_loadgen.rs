@@ -117,6 +117,32 @@ fn run(options: &Options) -> Result<bool, String> {
     trace_config.seed = options.seed;
     let trace = trace_config.generate();
 
+    // Virtual service times come from the committed kernel sweep when present, so
+    // latency distributions track measured solver costs; otherwise the constant
+    // placeholder model.
+    let measured_service = std::fs::read_to_string("BENCH_backends.json")
+        .ok()
+        .and_then(|text| cogsys_serve::ServiceModel::from_bench_json(&text));
+    let service = match measured_service {
+        Some(model) => {
+            println!(
+                "# service model: measured (BENCH_backends.json): \
+                 {} us/batch + {} us/problem",
+                model.micros_per_batch, model.micros_per_problem
+            );
+            model
+        }
+        None => {
+            let model = cogsys_serve::ServiceModel::default();
+            println!(
+                "# service model: default placeholder (no readable BENCH_backends.json): \
+                 {} us/batch + {} us/problem",
+                model.micros_per_batch, model.micros_per_problem
+            );
+            model
+        }
+    };
+
     // Bounds sized so the built-in traces actually exercise the front end: the
     // bursty shapes' backlog peaks (~20 requests) exceed the queue bound, and
     // the degrade watermark sits below it.
@@ -130,6 +156,7 @@ fn run(options: &Options) -> Result<bool, String> {
         degrade_depth: 12,
         recover_depth: 4,
         retry_budget: 6,
+        service,
         ..ServeConfig::default()
     };
     let engine = SolverEngine::new(serve_config.solver.clone(), serve_config.codebook_seed)

@@ -88,6 +88,60 @@ impl Default for ServiceModel {
     }
 }
 
+impl ServiceModel {
+    /// Fits the model from measured packed `solve_batch` cells of a
+    /// `BENCH_backends.json` sweep, so virtual latencies track real kernel costs
+    /// instead of the constant placeholder in [`ServiceModel::default`].
+    ///
+    /// The sweep times the whole batch at two (or more) problem counts; a two-point
+    /// fit through the smallest and largest count splits that into marginal
+    /// per-problem cost and fixed per-invocation overhead — exactly the two
+    /// parameters of this model. Both are clamped to ≥ 1 µs (a noisy sweep can
+    /// produce a negative intercept). Returns `None` when the records contain no
+    /// usable packed `solve_batch` cell.
+    pub fn from_bench_records(records: &[cogsys::experiments::BenchRecord]) -> Option<Self> {
+        let mut cells: Vec<(u64, f64)> = records
+            .iter()
+            .filter(|r| {
+                r.backend == "packed"
+                    && r.kernel == "solve_batch"
+                    && r.batch > 0
+                    && r.ns_per_op.is_finite()
+                    && r.ns_per_op > 0.0
+            })
+            .map(|r| (r.batch as u64, r.ns_per_op))
+            .collect();
+        cells.sort_by_key(|cell| cell.0);
+        let (b_lo, t_lo) = *cells.first()?;
+        let (b_hi, t_hi) = *cells.last()?;
+        if b_hi == b_lo {
+            // One problem count: attribute the whole cost to the marginal term.
+            return Some(Self {
+                micros_per_batch: 1,
+                micros_per_problem: to_micros(t_lo / b_lo as f64),
+            });
+        }
+        let per_problem_ns = (t_hi - t_lo) / (b_hi - b_lo) as f64;
+        let per_batch_ns = t_lo - per_problem_ns * b_lo as f64;
+        Some(Self {
+            micros_per_batch: to_micros(per_batch_ns),
+            micros_per_problem: to_micros(per_problem_ns),
+        })
+    }
+
+    /// [`ServiceModel::from_bench_records`] over a raw `BENCH_backends.json`
+    /// payload.
+    pub fn from_bench_json(text: &str) -> Option<Self> {
+        Self::from_bench_records(&cogsys::experiments::parse_backend_throughput_json(text))
+    }
+}
+
+/// Nanoseconds → whole virtual microseconds, clamped to ≥ 1 so the discrete-event
+/// clock always advances.
+fn to_micros(ns: f64) -> u64 {
+    (ns / 1e3).round().max(1.0) as u64
+}
+
 /// Configuration of the serving loop.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ServeConfig {
@@ -671,5 +725,51 @@ mod tests {
         assert_ne!(a, b);
         assert_eq!(mix_seed(1, 0), a);
         assert_ne!(mix_seed(2, 0), a);
+    }
+
+    #[test]
+    fn service_model_fits_measured_solve_batch_cells() {
+        use cogsys::experiments::BenchRecord;
+        let cell = |backend: &str, kernel: &str, batch: usize, ns: f64| BenchRecord {
+            backend: backend.into(),
+            kernel: kernel.into(),
+            dim: 2048,
+            batch,
+            ns_per_op: ns,
+        };
+        // Exact linear data: 1 ms overhead + 2 ms per problem.
+        let records = vec![
+            cell("packed", "solve_batch", 8, 1e6 + 8.0 * 2e6),
+            cell("packed", "solve_batch", 64, 1e6 + 64.0 * 2e6),
+            // Distractors the fit must ignore.
+            cell("reference", "solve_batch", 8, 9e9),
+            cell("packed", "solve_sequential", 8, 9e9),
+        ];
+        let model = ServiceModel::from_bench_records(&records).unwrap();
+        assert_eq!(model.micros_per_batch, 1_000);
+        assert_eq!(model.micros_per_problem, 2_000);
+
+        // One usable cell: everything becomes marginal cost, overhead floors at 1.
+        let single =
+            ServiceModel::from_bench_records(&[cell("packed", "solve_batch", 8, 16e6)]).unwrap();
+        assert_eq!(single.micros_per_batch, 1);
+        assert_eq!(single.micros_per_problem, 2_000);
+
+        // No usable cells at all.
+        assert!(ServiceModel::from_bench_records(&[]).is_none());
+        assert!(
+            ServiceModel::from_bench_records(&[cell("packed", "solve_batch", 8, f64::NAN)])
+                .is_none()
+        );
+
+        // A noisy negative intercept clamps to the 1 µs floor instead of panicking
+        // or stalling the virtual clock.
+        let noisy = ServiceModel::from_bench_records(&[
+            cell("packed", "solve_batch", 8, 15e6),
+            cell("packed", "solve_batch", 64, 127e6),
+        ])
+        .unwrap();
+        assert_eq!(noisy.micros_per_problem, 2_000);
+        assert_eq!(noisy.micros_per_batch, 1);
     }
 }

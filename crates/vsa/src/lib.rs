@@ -68,10 +68,12 @@
 //! callers that already hold sign planes pass [`BitMatrix`] queries end to end
 //! (`cleanup_batch_bits`, `similarities_batch_bits`) without re-packing per call.
 
-// Unsafe is denied crate-wide; the single exception is the runtime-dispatched
-// `popcnt` Hamming kernel in `packed` (`#[target_feature]` functions cannot be called
-// or coerced without `unsafe` even when the feature was verified via cpuid), which
-// carries a scoped `#[allow(unsafe_code)]` and a safety argument.
+// Unsafe is denied crate-wide; the single exception is the runtime-dispatched SIMD
+// Hamming kernel module `packed::simd` (scalar `popcnt`, Harley–Seal AVX2, and
+// AVX-512 `vpopcntq` tiers — `#[target_feature]` functions cannot be called or
+// coerced without `unsafe` even when the feature was verified via cpuid, and the
+// vector load/store intrinsics take raw pointers), which carries a scoped
+// `#![allow(unsafe_code)]` and per-call safety arguments.
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
@@ -88,7 +90,7 @@ pub use batch::{BackendKind, HvMatrix, ParallelBackend, ReferenceBackend, VsaBac
 pub use codebook::{Codebook, CodebookSet, ProductCodebook};
 pub use error::VsaError;
 pub use hypervector::{Hypervector, VsaKind};
-pub use packed::{BitMatrix, PackedBackend};
+pub use packed::{dispatch_tier, BitMatrix, DispatchTier, PackedBackend};
 pub use quant::{Precision, QuantizedVector};
 
 use rand::rngs::StdRng;

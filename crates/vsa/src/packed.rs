@@ -36,6 +36,14 @@ const WORD_BITS: usize = 64;
 /// block instead of once per query.
 const CODEBOOK_BLOCK_ROWS: usize = 128;
 
+/// Query rows accumulated together per codebook-word pass in the SoA projection
+/// kernel ([`PackedBackend::project_signs_packed_into`]).
+///
+/// Eight lanes turn the projection from "load every sign-plane word once per query"
+/// into "once per 8 queries", while the per-word working tile (64 dims × 8 lanes ×
+/// 4 B = 2 KiB) stays L1-resident across the whole codebook-row sweep.
+const PROJ_LANE_ROWS: usize = 8;
+
 /// A dense, row-major batch of **sign planes**: the bit-packed mirror of [`HvMatrix`]
 /// for bipolar data.
 ///
@@ -150,62 +158,301 @@ fn hamming_generic(a: &[u64], b: &[u64]) -> u32 {
     a.iter().zip(b).map(|(x, y)| (x ^ y).count_ones()).sum()
 }
 
-/// Hamming distance compiled with the `popcnt` target feature enabled.
+/// Function-pointer type of the Hamming kernels behind [`hamming_fn`].
+type HammingFn = fn(&[u64], &[u64]) -> u32;
+
+/// SIMD width the Hamming kernels resolved to on this CPU (see [`dispatch_tier`]).
 ///
-/// The workspace builds for baseline x86-64, where `u64::count_ones()` lowers to a
-/// ~12-operation bit-twiddling sequence; with the feature enabled it is a single
-/// `popcnt` instruction. Four independent accumulators break the serial add chain so
-/// the XOR+popcount stream runs at popcount-unit throughput instead of add latency.
-///
-/// Declared as a safe `#[target_feature]` function (stable since Rust 1.86); callers
-/// outside a `popcnt` context still need `unsafe` and must have verified support via
-/// cpuid first (see [`hamming_fn`]).
-#[cfg(target_arch = "x86_64")]
-#[target_feature(enable = "popcnt")]
-fn hamming_popcnt(a: &[u64], b: &[u64]) -> u32 {
-    let chunks_a = a.chunks_exact(4);
-    let chunks_b = b.chunks_exact(4);
-    let tail: u32 = chunks_a
-        .remainder()
-        .iter()
-        .zip(chunks_b.remainder())
-        .map(|(x, y)| (x ^ y).count_ones())
-        .sum();
-    let mut acc = [0u32; 4];
-    for (xa, xb) in chunks_a.zip(chunks_b) {
-        acc[0] += (xa[0] ^ xb[0]).count_ones();
-        acc[1] += (xa[1] ^ xb[1]).count_ones();
-        acc[2] += (xa[2] ^ xb[2]).count_ones();
-        acc[3] += (xa[3] ^ xb[3]).count_ones();
-    }
-    (acc[0] + acc[1]) + (acc[2] + acc[3]) + tail
+/// The tiers are ordered: each is at least as wide as the previous, and runtime
+/// dispatch picks the widest tier the running CPU supports. The `COGSYS_SIMD`
+/// environment variable (`generic` / `popcnt` / `avx2` / `avx512`, read once at the
+/// first kernel call) *caps* the tier — useful for measuring one rung against the
+/// next on the same host, never for enabling an unsupported one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum DispatchTier {
+    /// Portable `u64::count_ones()` — a ~12-operation bit hack on baseline x86-64.
+    Generic,
+    /// Scalar `popcnt` instruction, four independent accumulators.
+    Popcnt,
+    /// Harley–Seal carry-save adder tree over 256-bit AVX2 lanes (nibble-LUT
+    /// `vpshufb` popcount), with a plain lookup loop below one 64-word block.
+    Avx2,
+    /// AVX-512 `vpopcntq` (VPOPCNTDQ): hardware popcount of eight words per lane.
+    Avx512,
 }
 
-/// Safe wrapper over [`hamming_popcnt`]: only ever reachable through [`hamming_fn`],
-/// which gates it on runtime `popcnt` detection. This is the crate's single
-/// `unsafe_code` exception (see the crate-level lint note) — a `#[target_feature]`
-/// function cannot be called or coerced without `unsafe` even after cpuid
-/// verification.
-#[cfg(target_arch = "x86_64")]
-#[allow(unsafe_code)]
-fn hamming_popcnt_checked(a: &[u64], b: &[u64]) -> u32 {
-    // SAFETY: hamming_fn() returns this function only when the popcnt feature was
-    // detected on the running CPU.
-    unsafe { hamming_popcnt(a, b) }
-}
-
-/// Resolves the fastest available Hamming kernel for this CPU, once per kernel call
-/// (std caches the cpuid probe). The hot loops fetch the function pointer outside
-/// their row loops, so dispatch never sits on the per-row path.
-#[inline]
-fn hamming_fn() -> fn(&[u64], &[u64]) -> u32 {
-    #[cfg(target_arch = "x86_64")]
-    {
-        if std::arch::is_x86_feature_detected!("popcnt") {
-            return hamming_popcnt_checked;
+impl DispatchTier {
+    /// Lower-case tier label used in bench output and CI logs.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            DispatchTier::Generic => "generic",
+            DispatchTier::Popcnt => "popcnt",
+            DispatchTier::Avx2 => "avx2",
+            DispatchTier::Avx512 => "avx512",
         }
     }
-    hamming_generic
+}
+
+impl std::fmt::Display for DispatchTier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Runtime-dispatched SIMD Hamming kernels.
+///
+/// This module is the crate's **single scoped `unsafe_code` exception** (see the
+/// crate-level lint note): `#[target_feature]` functions cannot be called or coerced
+/// without `unsafe` even after cpuid verification, and the AVX loads go through raw
+/// pointers. Every function here is only reachable through [`detect`], which gates
+/// each tier on `is_x86_feature_detected!`.
+#[cfg(target_arch = "x86_64")]
+mod simd {
+    #![allow(unsafe_code)]
+
+    use std::arch::x86_64::*;
+
+    /// Hamming distance compiled with the `popcnt` target feature enabled.
+    ///
+    /// The workspace builds for baseline x86-64, where `u64::count_ones()` lowers to
+    /// a ~12-operation bit-twiddling sequence; with the feature enabled it is a
+    /// single `popcnt` instruction. Four independent accumulators break the serial
+    /// add chain so the XOR+popcount stream runs at popcount-unit throughput instead
+    /// of add latency.
+    #[target_feature(enable = "popcnt")]
+    fn hamming_popcnt(a: &[u64], b: &[u64]) -> u32 {
+        let chunks_a = a.chunks_exact(4);
+        let chunks_b = b.chunks_exact(4);
+        let tail: u32 = chunks_a
+            .remainder()
+            .iter()
+            .zip(chunks_b.remainder())
+            .map(|(x, y)| (x ^ y).count_ones())
+            .sum();
+        let mut acc = [0u32; 4];
+        for (xa, xb) in chunks_a.zip(chunks_b) {
+            acc[0] += (xa[0] ^ xb[0]).count_ones();
+            acc[1] += (xa[1] ^ xb[1]).count_ones();
+            acc[2] += (xa[2] ^ xb[2]).count_ones();
+            acc[3] += (xa[3] ^ xb[3]).count_ones();
+        }
+        (acc[0] + acc[1]) + (acc[2] + acc[3]) + tail
+    }
+
+    /// Per-64-bit-lane popcount of a 256-bit vector: nibble-LUT `vpshufb` counts
+    /// summed per lane by `vpsadbw` (Muła's AVX2 popcount building block).
+    #[target_feature(enable = "avx2")]
+    fn popcount256(v: __m256i) -> __m256i {
+        #[rustfmt::skip]
+        let lookup = _mm256_setr_epi8(
+            0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4,
+            0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4,
+        );
+        let low_mask = _mm256_set1_epi8(0x0f);
+        let lo = _mm256_and_si256(v, low_mask);
+        let hi = _mm256_and_si256(_mm256_srli_epi16(v, 4), low_mask);
+        let cnt = _mm256_add_epi8(
+            _mm256_shuffle_epi8(lookup, lo),
+            _mm256_shuffle_epi8(lookup, hi),
+        );
+        _mm256_sad_epu8(cnt, _mm256_setzero_si256())
+    }
+
+    /// Loads four words from each operand at `i` and XORs them.
+    #[target_feature(enable = "avx2")]
+    fn load_xor(a: &[u64], b: &[u64], i: usize) -> __m256i {
+        debug_assert!(i + 4 <= a.len() && i + 4 <= b.len());
+        // SAFETY: callers keep i + 4 <= len on both operands; loadu has no
+        // alignment requirement.
+        unsafe {
+            let va = _mm256_loadu_si256(a.as_ptr().add(i).cast());
+            let vb = _mm256_loadu_si256(b.as_ptr().add(i).cast());
+            _mm256_xor_si256(va, vb)
+        }
+    }
+
+    /// Carry-save adder: returns `(carry, sum)` of three one-bit-per-position
+    /// addends — the Harley–Seal compression step.
+    #[target_feature(enable = "avx2")]
+    fn csa(a: __m256i, b: __m256i, c: __m256i) -> (__m256i, __m256i) {
+        let u = _mm256_xor_si256(a, b);
+        (
+            _mm256_or_si256(_mm256_and_si256(a, b), _mm256_and_si256(u, c)),
+            _mm256_xor_si256(u, c),
+        )
+    }
+
+    /// AVX2 Hamming distance: Harley–Seal carry-save adder tree over blocks of 16
+    /// 256-bit vectors (64 words), then a plain lookup-popcount loop for the
+    /// remainder. The CSA tree popcounts one vector of `sixteens` per block instead
+    /// of sixteen, trading cheap bitwise ops for 15 of the 16 `vpshufb` reductions —
+    /// the Muła/Kurz/Lemire result that pays off exactly at the d ≥ 4096 row widths
+    /// of the GEMM/cleanup kernels. Rows shorter than one block skip the tree (and
+    /// its fold-out overhead) entirely, keeping small-d dispatch profitable too.
+    #[target_feature(enable = "avx2")]
+    fn hamming_avx2(a: &[u64], b: &[u64]) -> u32 {
+        let mut total = _mm256_setzero_si256();
+        let mut i = 0;
+        if a.len() >= 64 {
+            let mut ones = _mm256_setzero_si256();
+            let mut twos = _mm256_setzero_si256();
+            let mut fours = _mm256_setzero_si256();
+            let mut eights = _mm256_setzero_si256();
+            while i + 64 <= a.len() {
+                let (twos_a, o1) = csa(ones, load_xor(a, b, i), load_xor(a, b, i + 4));
+                let (twos_b, o2) = csa(o1, load_xor(a, b, i + 8), load_xor(a, b, i + 12));
+                let (fours_a, t1) = csa(twos, twos_a, twos_b);
+                let (twos_a, o3) = csa(o2, load_xor(a, b, i + 16), load_xor(a, b, i + 20));
+                let (twos_b, o4) = csa(o3, load_xor(a, b, i + 24), load_xor(a, b, i + 28));
+                let (fours_b, t2) = csa(t1, twos_a, twos_b);
+                let (eights_a, f1) = csa(fours, fours_a, fours_b);
+                let (twos_a, o5) = csa(o4, load_xor(a, b, i + 32), load_xor(a, b, i + 36));
+                let (twos_b, o6) = csa(o5, load_xor(a, b, i + 40), load_xor(a, b, i + 44));
+                let (fours_a, t3) = csa(t2, twos_a, twos_b);
+                let (twos_a, o7) = csa(o6, load_xor(a, b, i + 48), load_xor(a, b, i + 52));
+                let (twos_b, o8) = csa(o7, load_xor(a, b, i + 56), load_xor(a, b, i + 60));
+                let (fours_b, t4) = csa(t3, twos_a, twos_b);
+                let (eights_b, f2) = csa(f1, fours_a, fours_b);
+                let (sixteens, e) = csa(eights, eights_a, eights_b);
+                ones = o8;
+                twos = t4;
+                fours = f2;
+                eights = e;
+                total = _mm256_add_epi64(total, popcount256(sixteens));
+                i += 64;
+            }
+            // Fold the carry levels back in: each level's population counts with
+            // weight 16/8/4/2/1.
+            total = _mm256_slli_epi64(total, 4);
+            total = _mm256_add_epi64(total, _mm256_slli_epi64(popcount256(eights), 3));
+            total = _mm256_add_epi64(total, _mm256_slli_epi64(popcount256(fours), 2));
+            total = _mm256_add_epi64(total, _mm256_slli_epi64(popcount256(twos), 1));
+            total = _mm256_add_epi64(total, popcount256(ones));
+        }
+        let n4 = a.len() & !3;
+        while i < n4 {
+            total = _mm256_add_epi64(total, popcount256(load_xor(a, b, i)));
+            i += 4;
+        }
+        let mut lanes = [0u64; 4];
+        // SAFETY: `lanes` is exactly 32 bytes; storeu has no alignment requirement.
+        unsafe { _mm256_storeu_si256(lanes.as_mut_ptr().cast(), total) };
+        let tail: u32 = a[n4..]
+            .iter()
+            .zip(&b[n4..])
+            .map(|(x, y)| (x ^ y).count_ones())
+            .sum();
+        (lanes.iter().sum::<u64>() as u32) + tail
+    }
+
+    /// AVX-512 Hamming distance: `vpopcntq` counts eight words per instruction into
+    /// 64-bit lane accumulators; no adder tree is needed because the popcount itself
+    /// is one hardware op.
+    #[target_feature(enable = "avx512f,avx512vpopcntdq")]
+    fn hamming_avx512(a: &[u64], b: &[u64]) -> u32 {
+        let mut acc = _mm512_setzero_si512();
+        let n = a.len() & !7;
+        let mut i = 0;
+        while i < n {
+            // SAFETY: i + 8 <= len on both operands; loadu has no alignment
+            // requirement.
+            let v = unsafe {
+                let va = _mm512_loadu_si512(a.as_ptr().add(i).cast());
+                let vb = _mm512_loadu_si512(b.as_ptr().add(i).cast());
+                _mm512_xor_si512(va, vb)
+            };
+            acc = _mm512_add_epi64(acc, _mm512_popcnt_epi64(v));
+            i += 8;
+        }
+        let tail: u32 = a[n..]
+            .iter()
+            .zip(&b[n..])
+            .map(|(x, y)| (x ^ y).count_ones())
+            .sum();
+        _mm512_reduce_add_epi64(acc) as u32 + tail
+    }
+
+    /// Safe wrapper over [`hamming_popcnt`]; only reachable after cpuid detection.
+    pub(super) fn hamming_popcnt_checked(a: &[u64], b: &[u64]) -> u32 {
+        // SAFETY: detect() returns this function only when the popcnt feature was
+        // detected on the running CPU.
+        unsafe { hamming_popcnt(a, b) }
+    }
+
+    /// Safe wrapper over [`hamming_avx2`]; only reachable after cpuid detection.
+    pub(super) fn hamming_avx2_checked(a: &[u64], b: &[u64]) -> u32 {
+        // SAFETY: detect() returns this function only when the avx2 feature was
+        // detected on the running CPU.
+        unsafe { hamming_avx2(a, b) }
+    }
+
+    /// Safe wrapper over [`hamming_avx512`]; only reachable after cpuid detection.
+    pub(super) fn hamming_avx512_checked(a: &[u64], b: &[u64]) -> u32 {
+        // SAFETY: detect() returns this function only when the avx512f and
+        // avx512vpopcntdq features were detected on the running CPU.
+        unsafe { hamming_avx512(a, b) }
+    }
+}
+
+/// Probes the CPU once and picks the widest supported Hamming tier, capped by the
+/// `COGSYS_SIMD` environment variable when set to a known tier name.
+fn detect() -> (DispatchTier, HammingFn) {
+    let cap = std::env::var("COGSYS_SIMD")
+        .ok()
+        .and_then(|v| match v.as_str() {
+            "generic" => Some(DispatchTier::Generic),
+            "popcnt" => Some(DispatchTier::Popcnt),
+            "avx2" => Some(DispatchTier::Avx2),
+            "avx512" => Some(DispatchTier::Avx512),
+            _ => None,
+        })
+        .unwrap_or(DispatchTier::Avx512);
+    #[cfg(target_arch = "x86_64")]
+    {
+        use std::arch::is_x86_feature_detected;
+        if cap >= DispatchTier::Avx512
+            && is_x86_feature_detected!("avx512f")
+            && is_x86_feature_detected!("avx512vpopcntdq")
+        {
+            return (DispatchTier::Avx512, simd::hamming_avx512_checked);
+        }
+        if cap >= DispatchTier::Avx2 && is_x86_feature_detected!("avx2") {
+            return (DispatchTier::Avx2, simd::hamming_avx2_checked);
+        }
+        if cap >= DispatchTier::Popcnt && is_x86_feature_detected!("popcnt") {
+            return (DispatchTier::Popcnt, simd::hamming_popcnt_checked);
+        }
+    }
+    let _ = cap;
+    (DispatchTier::Generic, hamming_generic)
+}
+
+/// The resolved `(tier, kernel)` pair, cached process-wide: after the first call,
+/// dispatch is one atomic load — cheap enough that even the single-pair
+/// [`BitMatrix::dot_rows`] / [`BitMatrix::cosine_rows`] paths pay no cpuid or env
+/// probe per call. The batch kernels still hoist the function pointer outside their
+/// row loops so nothing at all sits on the per-row path.
+static DISPATCH: std::sync::OnceLock<(DispatchTier, HammingFn)> = std::sync::OnceLock::new();
+
+#[inline]
+fn dispatch() -> (DispatchTier, HammingFn) {
+    *DISPATCH.get_or_init(detect)
+}
+
+/// The SIMD tier the Hamming kernels run at on this CPU (resolved once, cached).
+///
+/// Surfaced by the `backend_throughput` bench binary so CI logs record which rung
+/// produced the numbers.
+pub fn dispatch_tier() -> DispatchTier {
+    dispatch().0
+}
+
+/// Resolves the fastest available Hamming kernel for this CPU (cached; see
+/// [`DISPATCH`]). The hot loops fetch the function pointer outside their row loops,
+/// so dispatch never sits on the per-row path.
+#[inline]
+fn hamming_fn() -> HammingFn {
+    dispatch().1
 }
 
 /// Hamming distance via the best kernel for this CPU (single-shot entry point; the
@@ -702,11 +949,19 @@ impl PackedBackend {
     ///
     /// Numerics: adding `w` for a clear bit and `-w` for a set bit is **bitwise
     /// identical** to the dense `acc[j] += w * (±1.0)` accumulation (multiplying by
-    /// `±1.0` only copies/flips the sign), and rows are accumulated in codebook order,
+    /// `±1.0` only copies/flips the sign), and every accumulator slot receives its
+    /// addends in ascending codebook-row order regardless of the lane blocking below,
     /// so the result equals the dense `project_batch_into` + threshold exactly.
     ///
-    /// `acc` is caller-owned scratch (resized to `codebook.dim()`), so steady-state
-    /// calls allocate nothing.
+    /// Layout: queries are processed [`PROJ_LANE_ROWS`] at a time in an SoA sweep —
+    /// the *word index* is the outer loop and the codebook row the inner one, so each
+    /// sign-plane word is loaded once per 8 queries (instead of once per query) and
+    /// the 64-dim × 8-lane accumulator tile stays L1-resident across the whole
+    /// codebook-row sweep. `perturb(q, acc_row)` and the sign packing still run per
+    /// query in ascending `q` order, so noise-stream consumption is unchanged.
+    ///
+    /// `acc` is caller-owned scratch (resized to at most
+    /// `PROJ_LANE_ROWS · codebook.dim()`), so steady-state calls allocate nothing.
     pub fn project_signs_packed_into<F>(
         &self,
         codebook: &BitMatrix,
@@ -724,29 +979,54 @@ impl PackedBackend {
         );
         let dim = codebook.dim();
         out.ensure_shape(weights.rows(), dim);
-        acc.clear();
-        acc.resize(dim, 0.0);
-        for q in 0..weights.rows() {
-            acc.fill(0.0);
-            for (m, &w) in weights.row(q).iter().enumerate() {
-                let w_bits = w.to_bits();
-                for (chunk, &word) in acc.chunks_mut(WORD_BITS).zip(codebook.row_words(m)) {
+        let wpr = codebook.words_per_row();
+        for block_start in (0..weights.rows()).step_by(PROJ_LANE_ROWS) {
+            let block_len = (weights.rows() - block_start).min(PROJ_LANE_ROWS);
+            let mut lanes: [&[f32]; PROJ_LANE_ROWS] = [&[]; PROJ_LANE_ROWS];
+            for (lane, row) in lanes.iter_mut().enumerate().take(block_len) {
+                *row = weights.row(block_start + lane);
+            }
+            acc.clear();
+            acc.resize(block_len * dim, 0.0);
+            for wi in 0..if codebook.rows() > 0 { wpr } else { 0 } {
+                let base = wi * WORD_BITS;
+                let width = (dim - base).min(WORD_BITS);
+                // The per-word tile: 64 dims × 8 lanes of f32, accumulated across
+                // every codebook row while both the tile and the strided column of
+                // codebook words stay cache-hot.
+                let mut tile = [[0.0f32; WORD_BITS]; PROJ_LANE_ROWS];
+                let column = codebook.words[wi..].iter().step_by(wpr);
+                for (m, &word) in column.take(codebook.rows()).enumerate() {
                     if word == 0 {
-                        // All-positive word: += w for the whole chunk, branch-free.
-                        for slot in chunk.iter_mut() {
-                            *slot += w;
+                        // All-positive word: += w for every lane, branch-free.
+                        for (row, lane) in tile.iter_mut().zip(&lanes[..block_len]) {
+                            let w = lane[m];
+                            for slot in row.iter_mut() {
+                                *slot += w;
+                            }
                         }
                     } else {
                         // Flip the IEEE sign bit per packed bit: +w or -w exactly.
-                        for (bit, slot) in chunk.iter_mut().enumerate() {
-                            let sign = ((word >> bit) as u32 & 1) << 31;
-                            *slot += f32::from_bits(w_bits ^ sign);
+                        for (row, lane) in tile.iter_mut().zip(&lanes[..block_len]) {
+                            let w_bits = lane[m].to_bits();
+                            for (bit, slot) in row.iter_mut().enumerate() {
+                                let sign = ((word >> bit) as u32 & 1) << 31;
+                                *slot += f32::from_bits(w_bits ^ sign);
+                            }
                         }
                     }
                 }
+                for (lane, row) in tile.iter().enumerate().take(block_len) {
+                    let dst = lane * dim + base;
+                    acc[dst..dst + width].copy_from_slice(&row[..width]);
+                }
             }
-            perturb(q, acc);
-            out.pack_signs_row(q, acc);
+            for lane in 0..block_len {
+                let q = block_start + lane;
+                let acc_row = &mut acc[lane * dim..(lane + 1) * dim];
+                perturb(q, acc_row);
+                out.pack_signs_row(q, acc_row);
+            }
         }
     }
 
@@ -1321,6 +1601,140 @@ mod tests {
                 let strict_ok = pack_row_strict(&row, &mut fast);
                 let all_bipolar = row.iter().all(|v| (v.to_bits() & 0x7fff_ffff) == 0x3f80_0000);
                 prop_assert_eq!(strict_ok, all_bipolar);
+            }
+        }
+    }
+
+    mod simd_props {
+        use super::*;
+        use proptest::prelude::*;
+        use rand::Rng;
+
+        /// A named Hamming kernel: one detected SIMD tier.
+        type TierKernel = (&'static str, HammingFn);
+
+        /// Every SIMD tier available on the running CPU, by name; the generic kernel
+        /// is the reference the rest are pinned against.
+        fn available_tier_kernels() -> Vec<TierKernel> {
+            let mut kernels: Vec<TierKernel> = Vec::new();
+            #[cfg(target_arch = "x86_64")]
+            {
+                use std::arch::is_x86_feature_detected;
+                if is_x86_feature_detected!("popcnt") {
+                    kernels.push(("popcnt", simd::hamming_popcnt_checked));
+                }
+                if is_x86_feature_detected!("avx2") {
+                    kernels.push(("avx2", simd::hamming_avx2_checked));
+                }
+                if is_x86_feature_detected!("avx512f")
+                    && is_x86_feature_detected!("avx512vpopcntdq")
+                {
+                    kernels.push(("avx512", simd::hamming_avx512_checked));
+                }
+            }
+            kernels
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(16))]
+
+            /// Every detected tier returns exactly `hamming_generic` on packed rows
+            /// across pow2 and non-pow2 dims — including dims that exercise the
+            /// Harley–Seal 64-word block path (4096), block+remainder (4224), and
+            /// multi-block+scalar-tail shapes (8200) — with the zero-padded tail
+            /// words the packers guarantee.
+            #[test]
+            fn prop_hamming_tiers_match_generic(seed in 0u64..1000, dim_sel in 0usize..8) {
+                let dim = [1usize, 65, 100, 257, 1000, 4096, 4224, 8200][dim_sel];
+                let m = random_bipolar_matrix(2, dim, seed);
+                let bits = BitMatrix::from_matrix(&m).unwrap();
+                let a = bits.row_words(0);
+                let b = bits.row_words(1);
+                let expected_ab = hamming_generic(a, b);
+                let expected_aa = hamming_generic(a, a);
+                for (name, kernel) in available_tier_kernels() {
+                    prop_assert_eq!((name, kernel(a, b)), (name, expected_ab));
+                    prop_assert_eq!((name, kernel(a, a)), (name, expected_aa));
+                }
+            }
+
+            /// The SoA lane-blocked projection is bitwise-equal to the pre-blocking
+            /// AoS walk — accumulators handed to `perturb` and the packed output —
+            /// with and without a mutating perturbation, on query batches that
+            /// cross the 8-row lane-block boundary.
+            #[test]
+            fn prop_project_signs_soa_matches_aos_reference(
+                seed in 0u64..1000,
+                dim_sel in 0usize..4,
+                cb_rows in 1usize..12,
+                queries in 1usize..20,
+                noisy_sel in 0usize..2,
+            ) {
+                let noisy = noisy_sel == 1;
+                let dim = [64usize, 70, 128, 200][dim_sel];
+                let codebook = BitMatrix::from_matrix(&random_bipolar_matrix(cb_rows, dim, seed)).unwrap();
+                let mut r = rng(seed ^ 0x50A);
+                let mut weights = HvMatrix::zeros(queries, cb_rows);
+                for q in 0..queries {
+                    for w in weights.row_mut(q) {
+                        *w = (r.gen::<f32>() - 0.5) * 3.0;
+                    }
+                }
+                // The perturbation must be identical across both runs and, when
+                // noisy, actually change the accumulators (so the test covers the
+                // perturb → pack interaction, not just pure projection).
+                let perturb_values: Vec<f32> = (0..queries * dim)
+                    .map(|_| (r.gen::<f32>() - 0.5) * 0.5)
+                    .collect();
+                let backend = PackedBackend::new();
+                let mut acc = Vec::new();
+                let mut soa_out = BitMatrix::default();
+                let mut soa_seen: Vec<Vec<u32>> = Vec::new();
+                backend.project_signs_packed_into(
+                    &codebook,
+                    &weights,
+                    |q, row| {
+                        if noisy {
+                            for (slot, z) in row.iter_mut().zip(&perturb_values[q * dim..]) {
+                                *slot += z;
+                            }
+                        }
+                        soa_seen.push(row.iter().map(|v| v.to_bits()).collect());
+                    },
+                    &mut acc,
+                    &mut soa_out,
+                );
+
+                // AoS reference: the pre-SoA kernel shape — one query at a time,
+                // codebook row outer, word chunk inner.
+                let mut ref_out = BitMatrix::default();
+                ref_out.ensure_shape(queries, dim);
+                let mut ref_seen: Vec<Vec<u32>> = Vec::new();
+                let mut ref_acc = vec![0.0f32; dim];
+                for q in 0..queries {
+                    ref_acc.fill(0.0);
+                    for (m, &w) in weights.row(q).iter().enumerate() {
+                        let w_bits = w.to_bits();
+                        for (chunk, &word) in ref_acc.chunks_mut(WORD_BITS).zip(codebook.row_words(m)) {
+                            for (bit, slot) in chunk.iter_mut().enumerate() {
+                                let sign = ((word >> bit) as u32 & 1) << 31;
+                                *slot += f32::from_bits(w_bits ^ sign);
+                            }
+                        }
+                    }
+                    if noisy {
+                        for (slot, z) in ref_acc.iter_mut().zip(&perturb_values[q * dim..]) {
+                            *slot += z;
+                        }
+                    }
+                    ref_seen.push(ref_acc.iter().map(|v| v.to_bits()).collect());
+                    ref_out.pack_signs_row(q, &ref_acc);
+                }
+
+                prop_assert_eq!(soa_seen, ref_seen);
+                for q in 0..queries {
+                    prop_assert_eq!(soa_out.row_words(q), ref_out.row_words(q));
+                }
             }
         }
     }
