@@ -4,10 +4,13 @@
 //! and pre-packed `BitMatrix` queries) for every [`cogsys_vsa::BackendKind`] across
 //! `d ∈ {256, 1024, 4096}` × `batch ∈ {1, 32, 256}`, plus the **end-to-end solver
 //! kernels** — `solve_batch` (the cross-problem batched serving engine with reused
-//! scratch) vs `solve_sequential` (per-problem loop) at 8- and 64-problem batches —
-//! prints the speedup table, and writes the raw `(backend, kernel, dim, batch) →
-//! ns/op` records to `BENCH_backends.json` in the current directory — the file the
-//! CI bench-smoke step publishes so the perf trajectory is tracked across PRs.
+//! scratch) vs `solve_sequential` (per-problem loop) at 8- and 64-problem batches,
+//! plus the **large-codebook cleanup** cells — `cleanup_indexed` at 10^4 and 10^5
+//! rows (10^6 with `BENCH_LARGE=1`), pitting the pruned exact `CleanupIndex` scan
+//! (`packed`) against the flat linear packed scan (`reference`) — prints the
+//! speedup table, and writes the raw `(backend, kernel, dim, batch) → ns/op`
+//! records to `BENCH_backends.json` in the current directory — the file the CI
+//! bench-smoke step publishes so the perf trajectory is tracked across PRs.
 //!
 //! **Regression guard:** before overwriting, the committed `BENCH_backends.json` is
 //! read as the baseline; if any packed-backend kernel slowed down by more than 1.3×,
@@ -61,6 +64,18 @@ fn main() -> ExitCode {
         SEED,
     ));
 
+    // Large-codebook exact cleanup: the pruned CleanupIndex scan vs the flat linear
+    // packed scan at 10^4 and 10^5 rows (10^6 only behind BENCH_LARGE=1 — the build
+    // plus scan takes a while on a shared core).
+    let mut cleanup_rows = vec![10_000usize, 100_000];
+    if std::env::var("BENCH_LARGE").as_deref() == Ok("1") {
+        cleanup_rows.push(1_000_000);
+    }
+    records.extend(cogsys::experiments::cleanup_index_records(
+        &cleanup_rows,
+        SEED,
+    ));
+
     let json = cogsys::experiments::backend_throughput_json(SEED, &records);
     std::fs::write(path, &json).expect("BENCH_backends.json is writable");
     println!("wrote {} records to {path}", records.len());
@@ -93,6 +108,26 @@ fn main() -> ExitCode {
             prepacked / 1e6,
             per_call / prepacked.max(1.0)
         );
+    }
+
+    // Pruned exact cleanup index vs the linear packed scan on large codebooks.
+    for &rows in &cleanup_rows {
+        let idx_cell = |backend: &str| {
+            records
+                .iter()
+                .find(|r| r.backend == backend && r.kernel == "cleanup_indexed" && r.batch == rows)
+                .map(|r| r.ns_per_op)
+        };
+        if let (Some(indexed), Some(linear)) = (idx_cell("packed"), idx_cell("reference")) {
+            let queries = cogsys::experiments::CLEANUP_INDEX_BENCH_QUERIES as f64;
+            println!(
+                "cleanup_indexed d=1024 rows={rows}: linear {:.3} ms/query, \
+                 indexed {:.3} ms/query ({:.1}x)",
+                linear / queries / 1e6,
+                indexed / queries / 1e6,
+                linear / indexed.max(1.0)
+            );
+        }
     }
 
     // End-to-end solver throughput: the cross-problem batched engine vs the

@@ -67,6 +67,81 @@ impl fmt::Display for Attribute {
 /// (position, number, type, size, color).
 pub const ATTRIBUTE_CARDINALITIES: [usize; 5] = [9, 9, 5, 6, 10];
 
+/// Configurable per-attribute vocabulary sizes.
+///
+/// The RAVEN cardinalities ([`ATTRIBUTE_CARDINALITIES`]) cap attribute codebooks at
+/// 10 rows; production-scale item memories need 10^4+-row vocabularies to exercise
+/// the sub-linear cleanup index end to end. An `AttributeVocab` scales every
+/// attribute's value range **upward** (each cardinality stays at least the RAVEN
+/// base, so every RAVEN-range panel remains well-formed under any vocab) and is
+/// threaded through the generators (`Panel::random_with`, `RuleSet::random_with`,
+/// `ProblemGenerator::with_vocab`) and the solver's codebook sizing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct AttributeVocab {
+    cards: [usize; 5],
+}
+
+impl Default for AttributeVocab {
+    fn default() -> Self {
+        Self::raven()
+    }
+}
+
+impl AttributeVocab {
+    /// The standard RAVEN vocabulary ([`ATTRIBUTE_CARDINALITIES`]).
+    pub fn raven() -> Self {
+        Self {
+            cards: ATTRIBUTE_CARDINALITIES,
+        }
+    }
+
+    /// A vocabulary with explicit per-attribute cardinalities.
+    ///
+    /// # Panics
+    /// Panics when any cardinality is below its RAVEN base — vocabularies only
+    /// extend the value ranges, so RAVEN-range panels stay well-formed everywhere.
+    pub fn new(cards: [usize; 5]) -> Self {
+        for (c, base) in cards.iter().zip(ATTRIBUTE_CARDINALITIES) {
+            assert!(
+                *c >= base,
+                "vocab cardinality {c} below the RAVEN base {base}"
+            );
+        }
+        Self { cards }
+    }
+
+    /// A vocabulary where every attribute has `card` values (clamped up to each
+    /// attribute's RAVEN base) — the one-knob way to scale codebooks to 10^4+ rows.
+    pub fn uniform(card: usize) -> Self {
+        let mut cards = ATTRIBUTE_CARDINALITIES;
+        for c in &mut cards {
+            *c = card.max(*c);
+        }
+        Self { cards }
+    }
+
+    /// Number of discrete values `attribute` can take under this vocabulary.
+    pub fn cardinality(&self, attribute: Attribute) -> usize {
+        self.cards[attribute.index()]
+    }
+
+    /// All five cardinalities in [`Attribute::ALL`] order.
+    pub fn cardinalities(&self) -> [usize; 5] {
+        self.cards
+    }
+
+    /// Returns `true` when this is exactly the RAVEN vocabulary.
+    pub fn is_raven(&self) -> bool {
+        self.cards == ATTRIBUTE_CARDINALITIES
+    }
+
+    /// The largest per-attribute cardinality (the codebook row count that dominates
+    /// cleanup cost).
+    pub fn max_cardinality(&self) -> usize {
+        self.cards.iter().copied().max().unwrap_or(0)
+    }
+}
+
 /// One panel of a reasoning problem, described purely by its attribute values.
 ///
 /// `values[i]` is the value of `Attribute::ALL[i]`, in `0..cardinality`.
@@ -103,16 +178,26 @@ impl Panel {
     /// invariant [`Panel::new`] enforces and [`Panel::new_unchecked`] deliberately
     /// does not.
     pub fn is_well_formed(&self) -> bool {
+        self.is_well_formed_with(AttributeVocab::raven())
+    }
+
+    /// [`Panel::is_well_formed`] against a configurable vocabulary.
+    pub fn is_well_formed_with(&self, vocab: AttributeVocab) -> bool {
         self.values
             .iter()
-            .zip(ATTRIBUTE_CARDINALITIES)
+            .zip(vocab.cardinalities())
             .all(|(v, c)| *v < c)
     }
 
     /// Samples a uniformly random panel.
     pub fn random<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        Self::random_with(AttributeVocab::raven(), rng)
+    }
+
+    /// [`Panel::random`] over a configurable vocabulary.
+    pub fn random_with<R: Rng + ?Sized>(vocab: AttributeVocab, rng: &mut R) -> Self {
         let mut values = [0usize; 5];
-        for (v, c) in values.iter_mut().zip(ATTRIBUTE_CARDINALITIES) {
+        for (v, c) in values.iter_mut().zip(vocab.cardinalities()) {
             *v = rng.gen_range(0..c);
         }
         Self { values }
@@ -125,8 +210,18 @@ impl Panel {
 
     /// Returns a copy with one attribute replaced (wrapped into range).
     pub fn with_value(&self, attribute: Attribute, value: usize) -> Self {
+        self.with_value_with(AttributeVocab::raven(), attribute, value)
+    }
+
+    /// [`Panel::with_value`] wrapping into a configurable vocabulary's range.
+    pub fn with_value_with(
+        &self,
+        vocab: AttributeVocab,
+        attribute: Attribute,
+        value: usize,
+    ) -> Self {
         let mut values = self.values;
-        values[attribute.index()] = value % attribute.cardinality();
+        values[attribute.index()] = value % vocab.cardinality(attribute);
         Self { values }
     }
 
@@ -147,8 +242,21 @@ impl Panel {
     /// Applies perception noise: each attribute is independently replaced by a random
     /// value with probability `p`, emulating neural-frontend errors.
     pub fn perturbed<R: Rng + ?Sized>(&self, p: f64, rng: &mut R) -> Self {
+        self.perturbed_with(AttributeVocab::raven(), p, rng)
+    }
+
+    /// [`Panel::perturbed`] drawing replacement values from a configurable
+    /// vocabulary. The draw pattern (one `gen_bool` per attribute, one `gen_range`
+    /// per flip) is identical to [`Panel::perturbed`], so with the RAVEN vocab the
+    /// rng stream and results match exactly.
+    pub fn perturbed_with<R: Rng + ?Sized>(
+        &self,
+        vocab: AttributeVocab,
+        p: f64,
+        rng: &mut R,
+    ) -> Self {
         let mut values = self.values;
-        for (i, c) in ATTRIBUTE_CARDINALITIES.iter().enumerate() {
+        for (i, c) in vocab.cardinalities().iter().enumerate() {
             if rng.gen_bool(p.clamp(0.0, 1.0)) {
                 values[i] = rng.gen_range(0..*c);
             }

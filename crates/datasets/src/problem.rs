@@ -1,6 +1,6 @@
 //! Full reasoning problems (3×3 matrix + candidate answers) and their generators.
 
-use crate::panel::{Attribute, Panel};
+use crate::panel::{Attribute, AttributeVocab, Panel};
 use crate::rules::{RuleKind, RuleSet};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -155,12 +155,20 @@ impl Problem {
     /// Checks the generator's own consistency: every complete row satisfies every rule,
     /// and the labelled answer completes the bottom row.
     pub fn verify_answer(&self) -> bool {
+        self.verify_answer_with(AttributeVocab::raven())
+    }
+
+    /// [`Problem::verify_answer`] under a configurable attribute vocabulary. Problems
+    /// produced by [`ProblemGenerator::with_vocab`] must be checked with the same
+    /// vocabulary they were generated with (rule arithmetic is modulo the vocab's
+    /// cardinalities).
+    pub fn verify_answer_with(&self, vocab: AttributeVocab) -> bool {
         let row0 = [self.context[0], self.context[1], self.context[2]];
         let row1 = [self.context[3], self.context[4], self.context[5]];
         let row2 = [self.context[6], self.context[7], self.answer()];
-        self.rules.row_satisfied(&row0)
-            && self.rules.row_satisfied(&row1)
-            && self.rules.row_satisfied(&row2)
+        self.rules.row_satisfied_with(vocab, &row0)
+            && self.rules.row_satisfied_with(vocab, &row1)
+            && self.rules.row_satisfied_with(vocab, &row2)
     }
 
     /// Returns `true` if `candidate` (an index) is the unique rule-consistent completion.
@@ -173,17 +181,34 @@ impl Problem {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ProblemGenerator {
     dataset: DatasetKind,
+    #[serde(default)]
+    vocab: AttributeVocab,
 }
 
 impl ProblemGenerator {
-    /// Creates a generator for the given benchmark.
+    /// Creates a generator for the given benchmark with the standard RAVEN vocabulary.
     pub fn new(dataset: DatasetKind) -> Self {
-        Self { dataset }
+        Self {
+            dataset,
+            vocab: AttributeVocab::raven(),
+        }
+    }
+
+    /// Creates a generator whose panel values range over an enlarged attribute
+    /// vocabulary — the knob that scales codebook rows into the 10^4+ regime where
+    /// the solver's pruned cleanup index engages.
+    pub fn with_vocab(dataset: DatasetKind, vocab: AttributeVocab) -> Self {
+        Self { dataset, vocab }
     }
 
     /// The benchmark this generator produces.
     pub fn dataset(&self) -> DatasetKind {
         self.dataset
+    }
+
+    /// The attribute vocabulary panel values are drawn from.
+    pub fn vocab(&self) -> AttributeVocab {
+        self.vocab
     }
 
     /// Generates one problem with a random constellation.
@@ -198,10 +223,10 @@ impl ProblemGenerator {
         constellation: Constellation,
         rng: &mut R,
     ) -> Problem {
-        let rules = RuleSet::random(self.dataset.rule_pool(), rng);
-        let row0 = rules.generate_row(rng);
-        let row1 = rules.generate_row(rng);
-        let row2 = rules.generate_row(rng);
+        let rules = RuleSet::random_with(self.dataset.rule_pool(), self.vocab, rng);
+        let row0 = rules.generate_row_with(self.vocab, rng);
+        let row1 = rules.generate_row_with(self.vocab, rng);
+        let row2 = rules.generate_row_with(self.vocab, rng);
         let answer = row2[2];
 
         let context = vec![
@@ -210,8 +235,8 @@ impl ProblemGenerator {
 
         let num_candidates = self.dataset.num_candidates();
         let distractors = match self.dataset {
-            DatasetKind::IRaven => iraven_distractors(answer, num_candidates - 1, rng),
-            _ => raven_distractors(answer, num_candidates - 1, rng),
+            DatasetKind::IRaven => iraven_distractors(answer, self.vocab, num_candidates - 1, rng),
+            _ => raven_distractors(answer, self.vocab, num_candidates - 1, rng),
         };
         let answer_index = rng.gen_range(0..num_candidates);
         let mut candidates = distractors;
@@ -257,7 +282,7 @@ impl ProblemGenerator {
                 let panel = rng.gen_range(0..problem.context.len());
                 let attr = Attribute::ALL[rng.gen_range(0..Attribute::ALL.len())];
                 let mut values = problem.context[panel].values();
-                values[attr.index()] = attr.cardinality() + rng.gen_range(0..7usize);
+                values[attr.index()] = self.vocab.cardinality(attr) + rng.gen_range(0..7usize);
                 problem.context[panel] = Panel::new_unchecked(values);
             }
         }
@@ -267,16 +292,21 @@ impl ProblemGenerator {
 
 /// RAVEN-style distractors: independently perturb a random non-empty subset of the
 /// answer's attributes. (This is the scheme whose statistical bias I-RAVEN later fixed.)
-fn raven_distractors<R: Rng + ?Sized>(answer: Panel, count: usize, rng: &mut R) -> Vec<Panel> {
+fn raven_distractors<R: Rng + ?Sized>(
+    answer: Panel,
+    vocab: AttributeVocab,
+    count: usize,
+    rng: &mut R,
+) -> Vec<Panel> {
     let mut out = Vec::with_capacity(count);
     while out.len() < count {
         let mut candidate = answer;
         let changes = 1 + rng.gen_range(0..3);
         for _ in 0..changes {
             let attr = Attribute::ALL[rng.gen_range(0..Attribute::ALL.len())];
-            let card = attr.cardinality();
+            let card = vocab.cardinality(attr);
             let new = (candidate.value(attr) + 1 + rng.gen_range(0..card - 1)) % card;
-            candidate = candidate.with_value(attr, new);
+            candidate = candidate.with_value_with(vocab, attr, new);
         }
         if candidate != answer && !out.contains(&candidate) {
             out.push(candidate);
@@ -289,7 +319,12 @@ fn raven_distractors<R: Rng + ?Sized>(answer: Panel, count: usize, rng: &mut R) 
 /// every non-empty subset of single-attribute modifications, so each attribute value is
 /// balanced across the answer set and the answer cannot be guessed from candidate
 /// statistics alone.
-fn iraven_distractors<R: Rng + ?Sized>(answer: Panel, count: usize, rng: &mut R) -> Vec<Panel> {
+fn iraven_distractors<R: Rng + ?Sized>(
+    answer: Panel,
+    vocab: AttributeVocab,
+    count: usize,
+    rng: &mut R,
+) -> Vec<Panel> {
     // Choose three distinct attributes and an alternative value for each.
     let mut attrs = Attribute::ALL.to_vec();
     for i in (1..attrs.len()).rev() {
@@ -299,7 +334,7 @@ fn iraven_distractors<R: Rng + ?Sized>(answer: Panel, count: usize, rng: &mut R)
         .into_iter()
         .take(3)
         .map(|a| {
-            let card = a.cardinality();
+            let card = vocab.cardinality(a);
             let alt = (answer.value(a) + 1 + rng.gen_range(0..card - 1)) % card;
             (a, alt)
         })
@@ -313,14 +348,14 @@ fn iraven_distractors<R: Rng + ?Sized>(answer: Panel, count: usize, rng: &mut R)
         let mut candidate = answer;
         for (bit, (attr, alt)) in chosen.iter().enumerate() {
             if mask & (1 << bit) != 0 {
-                candidate = candidate.with_value(*attr, *alt);
+                candidate = candidate.with_value_with(vocab, *attr, *alt);
             }
         }
         out.push(candidate);
     }
     // Top up (only needed when count > 7, which no benchmark uses) with perturbations.
     while out.len() < count {
-        out.extend(raven_distractors(answer, count - out.len(), rng));
+        out.extend(raven_distractors(answer, vocab, count - out.len(), rng));
     }
     out.truncate(count);
     out
@@ -439,6 +474,72 @@ mod tests {
         assert_eq!(p.values()[0], 100);
         assert!(!p.is_well_formed());
         assert!(Panel::new([1, 2, 3, 4, 5]).is_well_formed());
+    }
+
+    #[test]
+    fn raven_vocab_generator_matches_default_generator() {
+        // The vocab-threaded paths reproduce the exact rng draw pattern of the
+        // original code, so a generator built with the RAVEN vocab is
+        // indistinguishable from the default one under the same seed.
+        let default_gen = ProblemGenerator::new(DatasetKind::IRaven);
+        let vocab_gen = ProblemGenerator::with_vocab(DatasetKind::IRaven, AttributeVocab::raven());
+        assert!(vocab_gen.vocab().is_raven());
+        for seed in 0..10u64 {
+            let a = default_gen.generate(&mut rng(seed));
+            let b = vocab_gen.generate(&mut rng(seed));
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn enlarged_vocab_problems_verify_and_use_large_values() {
+        let vocab = AttributeVocab::uniform(600);
+        assert_eq!(vocab.max_cardinality(), 600);
+        for dataset in DatasetKind::ALL {
+            let generator = ProblemGenerator::with_vocab(dataset, vocab);
+            let mut r = rng(21);
+            let mut saw_large_value = false;
+            for _ in 0..25 {
+                let p = generator.generate(&mut r);
+                assert_eq!(p.context.len(), 8);
+                assert_eq!(p.candidates.len(), dataset.num_candidates());
+                assert!(
+                    p.verify_answer_with(vocab),
+                    "{dataset}: vocab answer fails its own rules"
+                );
+                saw_large_value |= p
+                    .context
+                    .iter()
+                    .chain(p.candidates.iter())
+                    .any(|panel| panel.values().iter().any(|v| *v >= 10));
+                for panel in p.context.iter().chain(p.candidates.iter()) {
+                    assert!(panel.is_well_formed_with(vocab));
+                }
+            }
+            assert!(
+                saw_large_value,
+                "{dataset}: enlarged vocab never produced values beyond the RAVEN range"
+            );
+        }
+    }
+
+    #[test]
+    fn enlarged_vocab_answer_is_unique_consistent_candidate() {
+        let vocab = AttributeVocab::uniform(512);
+        let generator = ProblemGenerator::with_vocab(DatasetKind::IRaven, vocab);
+        let mut r = rng(31);
+        for _ in 0..30 {
+            let p = generator.generate(&mut r);
+            let (c0, c1) = p.last_row_context();
+            let consistent: Vec<usize> = p
+                .candidates
+                .iter()
+                .enumerate()
+                .filter(|(_, cand)| p.rules.row_satisfied_with(vocab, &[c0, c1, **cand]))
+                .map(|(i, _)| i)
+                .collect();
+            assert_eq!(consistent, vec![p.answer_index]);
+        }
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Row-governing rules (RAVEN / PGM rule types).
 
-use crate::panel::{Attribute, Panel};
+use crate::panel::{Attribute, AttributeVocab, Panel};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -77,9 +77,22 @@ pub struct Rule {
 impl Rule {
     /// Samples a random rule of the given kind for an attribute.
     pub fn random<R: Rng + ?Sized>(attribute: Attribute, kind: RuleKind, rng: &mut R) -> Self {
+        Self::random_with(attribute, kind, AttributeVocab::raven(), rng)
+    }
+
+    /// [`Rule::random`] drawing family parameters from a configurable vocabulary
+    /// (the Distribute-Three triple seed ranges over the vocab's cardinality).
+    /// The draw pattern matches [`Rule::random`], so with the RAVEN vocab the rng
+    /// stream and resulting rule are identical.
+    pub fn random_with<R: Rng + ?Sized>(
+        attribute: Attribute,
+        kind: RuleKind,
+        vocab: AttributeVocab,
+        rng: &mut R,
+    ) -> Self {
         let parameter = match kind {
             RuleKind::Progression => 1 + rng.gen_range(0..2usize), // step 1 or 2
-            RuleKind::DistributeThree => rng.gen_range(0..attribute.cardinality()),
+            RuleKind::DistributeThree => rng.gen_range(0..vocab.cardinality(attribute)),
             _ => 0,
         };
         Self {
@@ -92,7 +105,18 @@ impl Rule {
     /// The value triple `(v0, v1, v2)` this rule produces for one row, given the first
     /// two values (which the generator may choose freely for most rules).
     pub fn complete_row(&self, v0: usize, v1: usize) -> (usize, usize, usize) {
-        let card = self.attribute.cardinality();
+        self.complete_row_with(AttributeVocab::raven(), v0, v1)
+    }
+
+    /// [`Rule::complete_row`] with values taken modulo a configurable vocabulary's
+    /// cardinality for this rule's attribute.
+    pub fn complete_row_with(
+        &self,
+        vocab: AttributeVocab,
+        v0: usize,
+        v1: usize,
+    ) -> (usize, usize, usize) {
+        let card = vocab.cardinality(self.attribute);
         match self.kind {
             RuleKind::Constant => (v0, v0, v0),
             RuleKind::Progression => {
@@ -122,7 +146,13 @@ impl Rule {
     /// `v0`/`v1` as the actual observed panel values — it is what a reasoner uses to
     /// execute an abduced rule.
     pub fn third_value(&self, v0: usize, v1: usize) -> usize {
-        let card = self.attribute.cardinality();
+        self.third_value_with(AttributeVocab::raven(), v0, v1)
+    }
+
+    /// [`Rule::third_value`] with arithmetic taken modulo a configurable
+    /// vocabulary's cardinality for this rule's attribute.
+    pub fn third_value_with(&self, vocab: AttributeVocab, v0: usize, v1: usize) -> usize {
+        let card = vocab.cardinality(self.attribute);
         match self.kind {
             RuleKind::Constant => v0,
             RuleKind::Progression => (v0 + 2 * self.parameter.max(1)) % card,
@@ -143,7 +173,13 @@ impl Rule {
 
     /// Whether a value triple satisfies this rule.
     pub fn satisfied(&self, v0: usize, v1: usize, v2: usize) -> bool {
-        let card = self.attribute.cardinality();
+        self.satisfied_with(AttributeVocab::raven(), v0, v1, v2)
+    }
+
+    /// [`Rule::satisfied`] with arithmetic taken modulo a configurable
+    /// vocabulary's cardinality for this rule's attribute.
+    pub fn satisfied_with(&self, vocab: AttributeVocab, v0: usize, v1: usize, v2: usize) -> bool {
+        let card = vocab.cardinality(self.attribute);
         match self.kind {
             RuleKind::Constant => v0 == v1 && v1 == v2,
             RuleKind::Progression => {
@@ -181,11 +217,20 @@ pub struct RuleSet {
 impl RuleSet {
     /// Samples one random rule per attribute from the given rule-kind pool.
     pub fn random<R: Rng + ?Sized>(pool: &[RuleKind], rng: &mut R) -> Self {
+        Self::random_with(pool, AttributeVocab::raven(), rng)
+    }
+
+    /// [`RuleSet::random`] drawing rule parameters from a configurable vocabulary.
+    pub fn random_with<R: Rng + ?Sized>(
+        pool: &[RuleKind],
+        vocab: AttributeVocab,
+        rng: &mut R,
+    ) -> Self {
         let rules = Attribute::ALL
             .iter()
             .map(|&attr| {
                 let kind = pool[rng.gen_range(0..pool.len())];
-                Rule::random(attr, kind, rng)
+                Rule::random_with(attr, kind, vocab, rng)
             })
             .collect();
         Self { rules }
@@ -203,34 +248,62 @@ impl RuleSet {
 
     /// Generates one complete row of three panels consistent with every rule.
     pub fn generate_row<R: Rng + ?Sized>(&self, rng: &mut R) -> [Panel; 3] {
+        self.generate_row_with(AttributeVocab::raven(), rng)
+    }
+
+    /// [`RuleSet::generate_row`] drawing free panel values from a configurable
+    /// vocabulary. The per-rule draw pattern (two `gen_range` calls) matches
+    /// [`RuleSet::generate_row`], so with the RAVEN vocab the rng stream and
+    /// generated row are identical.
+    pub fn generate_row_with<R: Rng + ?Sized>(
+        &self,
+        vocab: AttributeVocab,
+        rng: &mut R,
+    ) -> [Panel; 3] {
         let mut row = [[0usize; 5]; 3];
         for rule in &self.rules {
-            let card = rule.attribute.cardinality();
+            let card = vocab.cardinality(rule.attribute);
             let v0 = rng.gen_range(0..card);
             let v1 = rng.gen_range(0..card);
-            let (a, b, c) = rule.complete_row(v0, v1);
+            let (a, b, c) = rule.complete_row_with(vocab, v0, v1);
             row[0][rule.attribute.index()] = a;
             row[1][rule.attribute.index()] = b;
             row[2][rule.attribute.index()] = c;
         }
-        [Panel::new(row[0]), Panel::new(row[1]), Panel::new(row[2])]
+        // Values from an enlarged vocab exceed `Panel::new`'s RAVEN bounds check.
+        [
+            Panel::new_unchecked(row[0]),
+            Panel::new_unchecked(row[1]),
+            Panel::new_unchecked(row[2]),
+        ]
     }
 
     /// Completes a row's third panel given its first two panels.
     pub fn complete(&self, first: &Panel, second: &Panel) -> Panel {
+        self.complete_with(AttributeVocab::raven(), first, second)
+    }
+
+    /// [`RuleSet::complete`] with rule arithmetic over a configurable vocabulary.
+    pub fn complete_with(&self, vocab: AttributeVocab, first: &Panel, second: &Panel) -> Panel {
         let mut values = [0usize; 5];
         for rule in &self.rules {
             let v0 = first.value(rule.attribute);
             let v1 = second.value(rule.attribute);
-            values[rule.attribute.index()] = rule.third_value(v0, v1);
+            values[rule.attribute.index()] = rule.third_value_with(vocab, v0, v1);
         }
-        Panel::new(values)
+        Panel::new_unchecked(values)
     }
 
     /// Whether a full row satisfies every rule.
     pub fn row_satisfied(&self, row: &[Panel; 3]) -> bool {
+        self.row_satisfied_with(AttributeVocab::raven(), row)
+    }
+
+    /// [`RuleSet::row_satisfied`] with rule arithmetic over a configurable vocabulary.
+    pub fn row_satisfied_with(&self, vocab: AttributeVocab, row: &[Panel; 3]) -> bool {
         self.rules.iter().all(|rule| {
-            rule.satisfied(
+            rule.satisfied_with(
+                vocab,
                 row[0].value(rule.attribute),
                 row[1].value(rule.attribute),
                 row[2].value(rule.attribute),

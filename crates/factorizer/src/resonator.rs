@@ -10,7 +10,7 @@
 use crate::config::FactorizerConfig;
 use cogsys_vsa::batch::{HvMatrix, VsaBackend};
 use cogsys_vsa::codebook::{BindingOp, CodebookSet};
-use cogsys_vsa::packed::BitMatrix;
+use cogsys_vsa::packed::{BitMatrix, CleanupScratch};
 use cogsys_vsa::quant::fake_quantize_slice;
 use cogsys_vsa::{ops, Hypervector, Precision, VsaError};
 use rand::rngs::StdRng;
@@ -327,12 +327,23 @@ pub struct FactorizerScratch {
     init_bits: BitMatrix,
     proj_acc: Vec<f32>,
     gather_tmp_bits: BitMatrix,
+    // Cleanup (decode polish): candidate ordering / partial-distance buffers of the
+    // indexed cleanup plus the per-factor result rows, reused across decode calls.
+    cleanup: CleanupScratch,
+    cleanup_results: Vec<(usize, f32)>,
 }
 
 impl FactorizerScratch {
     /// Packs `query_q` into `query_bits`, reporting whether it was exactly bipolar.
     fn pack_query(&mut self) -> bool {
         self.query_bits.pack_from(&self.query_q)
+    }
+
+    /// The cleanup scratch and result buffer, borrowed together for the
+    /// scratch-reusing cleanup entry points
+    /// ([`cogsys_vsa::Codebook::cleanup_batch_bits_into`]).
+    pub fn cleanup_buffers(&mut self) -> (&mut CleanupScratch, &mut Vec<(usize, f32)>) {
+        (&mut self.cleanup, &mut self.cleanup_results)
     }
 }
 

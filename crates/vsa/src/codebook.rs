@@ -10,7 +10,7 @@ use crate::batch::{HvMatrix, ReferenceBackend, VsaBackend};
 use crate::error::VsaError;
 use crate::hypervector::Hypervector;
 use crate::ops;
-use crate::packed::BitMatrix;
+use crate::packed::{BitMatrix, CleanupIndex, CleanupScratch, CLEANUP_INDEX_MIN_ROWS};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -49,6 +49,19 @@ pub struct Codebook {
     /// codevector is exactly bipolar (`None` otherwise). The packed similarity and
     /// cleanup fast paths read this instead of re-packing per call.
     packed: Option<BitMatrix>,
+    /// Pruned exact top-1 Hamming index over `packed`, built at construction for
+    /// codebooks of at least [`CLEANUP_INDEX_MIN_ROWS`] rows — the sub-linear
+    /// cleanup path for production-scale item memories. `None` for small codebooks
+    /// (the linear scan is faster there) and for non-bipolar codebooks.
+    index: Option<CleanupIndex>,
+}
+
+/// Builds the cleanup index when the packed planes exist and are large enough for
+/// the indexed scan to beat the linear one.
+fn build_cleanup_index(packed: Option<&BitMatrix>) -> Option<CleanupIndex> {
+    packed
+        .filter(|p| p.rows() >= CLEANUP_INDEX_MIN_ROWS)
+        .map(CleanupIndex::build)
 }
 
 impl Codebook {
@@ -63,11 +76,13 @@ impl Codebook {
         }
         let matrix = HvMatrix::from_rows(&vectors)?;
         let packed = BitMatrix::from_matrix(&matrix);
+        let index = build_cleanup_index(packed.as_ref());
         Ok(Self {
             name: name.into(),
             vectors,
             matrix,
             packed,
+            index,
         })
     }
 
@@ -83,11 +98,13 @@ impl Codebook {
             .collect();
         let matrix = HvMatrix::from_rows(&vectors).expect("generated rows share a dimension");
         let packed = BitMatrix::from_matrix(&matrix);
+        let index = build_cleanup_index(packed.as_ref());
         Self {
             name: name.into(),
             vectors,
             matrix,
             packed,
+            index,
         }
     }
 
@@ -143,6 +160,19 @@ impl Codebook {
     /// re-packing the codebook on every similarity/cleanup call.
     pub fn packed(&self) -> Option<&BitMatrix> {
         self.packed.as_ref()
+    }
+
+    /// The cleanup index over the packed sign planes, built at construction for
+    /// bipolar codebooks of at least [`CLEANUP_INDEX_MIN_ROWS`] rows.
+    pub fn cleanup_index(&self) -> Option<&CleanupIndex> {
+        self.index.as_ref()
+    }
+
+    /// Removes (and returns) the cleanup index, forcing every subsequent cleanup
+    /// through the linear packed scan — the measurement / decision-identity knob the
+    /// index-vs-linear tests and benches use.
+    pub fn clear_cleanup_index(&mut self) -> Option<CleanupIndex> {
+        self.index.take()
     }
 
     /// Similarity of `query` against every codevector (one GEMV on the accelerator).
@@ -225,6 +255,9 @@ impl Codebook {
         if let (Some(packed_backend), Some(packed_cb)) = (backend.as_packed(), &self.packed) {
             if queries.dim() == self.dim() {
                 if let Some(packed_q) = BitMatrix::from_matrix(queries) {
+                    if let Some(index) = &self.index {
+                        return Ok(packed_backend.cleanup_batch_indexed(index, &packed_q));
+                    }
                     return Ok(packed_backend.cleanup_batch_packed(packed_cb, &packed_q));
                 }
             }
@@ -248,10 +281,44 @@ impl Codebook {
     ) -> Result<Vec<(usize, f32)>, VsaError> {
         if let (Some(packed_backend), Some(packed_cb)) = (backend.as_packed(), &self.packed) {
             if queries.dim() == self.dim() {
+                if let Some(index) = &self.index {
+                    return Ok(packed_backend.cleanup_batch_indexed(index, queries));
+                }
                 return Ok(packed_backend.cleanup_batch_packed(packed_cb, queries));
             }
         }
         backend.cleanup_batch_bits(&self.matrix, queries)
+    }
+
+    /// Scratch-reusing form of [`Codebook::cleanup_batch_bits`]: results land in
+    /// `out` and all intermediate state in `scratch`, so the steady-state serving
+    /// path ([`crate::PackedBackend`] factorizer/solver polish) allocates nothing.
+    /// Routes through the cleanup index when one is present, else the linear packed
+    /// scan, else the backend's dense fallback.
+    ///
+    /// # Errors
+    /// Returns [`VsaError::DimensionMismatch`] if the query dimension differs.
+    pub fn cleanup_batch_bits_into(
+        &self,
+        backend: &dyn VsaBackend,
+        queries: &BitMatrix,
+        scratch: &mut CleanupScratch,
+        out: &mut Vec<(usize, f32)>,
+    ) -> Result<(), VsaError> {
+        if let (Some(packed_backend), Some(packed_cb)) = (backend.as_packed(), &self.packed) {
+            if queries.dim() == self.dim() {
+                if let Some(index) = &self.index {
+                    packed_backend.cleanup_batch_indexed_into(index, queries, scratch, out);
+                } else {
+                    packed_backend.cleanup_batch_packed_into(packed_cb, queries, scratch, out);
+                }
+                return Ok(());
+            }
+        }
+        let results = backend.cleanup_batch_bits(&self.matrix, queries)?;
+        out.clear();
+        out.extend(results);
+        Ok(())
     }
 
     /// Similarities of a batch of **bit-packed** queries (the packed analogue of
@@ -370,6 +437,15 @@ impl CodebookSet {
     /// entirely in the bit-packed representation.
     pub fn all_packed(&self) -> bool {
         self.codebooks.iter().all(|cb| cb.packed().is_some())
+    }
+
+    /// Removes the cleanup index from every factor codebook (see
+    /// [`Codebook::clear_cleanup_index`]), forcing subsequent cleanups through the
+    /// linear packed scan — the indexed-vs-linear comparison knob.
+    pub fn clear_cleanup_indexes(&mut self) {
+        for cb in &mut self.codebooks {
+            cb.clear_cleanup_index();
+        }
     }
 
     /// Returns the codebook of factor `f`.
@@ -666,6 +742,53 @@ mod tests {
             cb.vector(4),
             Err(VsaError::IndexOutOfRange { index: 4, len: 4 })
         ));
+    }
+
+    #[test]
+    fn cleanup_index_built_only_for_large_codebooks() {
+        let mut r = rng(29);
+        let small = Codebook::random("small", CLEANUP_INDEX_MIN_ROWS - 1, 256, &mut r);
+        assert!(small.cleanup_index().is_none());
+        let large = Codebook::random("large", CLEANUP_INDEX_MIN_ROWS, 256, &mut r);
+        assert!(large.cleanup_index().is_some());
+        assert_eq!(large.cleanup_index().unwrap().rows(), CLEANUP_INDEX_MIN_ROWS);
+    }
+
+    #[test]
+    fn indexed_cleanup_routing_matches_linear_scan() {
+        use crate::packed::PackedBackend;
+        let mut r = rng(30);
+        let mut cb = Codebook::random("large", 600, 512, &mut r);
+        assert!(cb.cleanup_index().is_some());
+        // Perturbed codevectors as queries: the production cleanup regime.
+        let queries: Vec<Hypervector> = (0..5)
+            .map(|i| ops::flip_noise(cb.vector(i * 100).unwrap(), 0.02, &mut r))
+            .collect();
+        let dense = HvMatrix::from_rows(&queries).unwrap();
+        let bits = BitMatrix::from_matrix(&dense).unwrap();
+        let backend = PackedBackend::new();
+
+        let indexed = cb.cleanup_batch(&backend, &dense).unwrap();
+        let indexed_bits = cb.cleanup_batch_bits(&backend, &bits).unwrap();
+        let mut scratch = CleanupScratch::default();
+        let mut indexed_into = Vec::new();
+        cb.cleanup_batch_bits_into(&backend, &bits, &mut scratch, &mut indexed_into)
+            .unwrap();
+
+        assert!(cb.clear_cleanup_index().is_some());
+        assert!(cb.cleanup_index().is_none());
+        let linear = cb.cleanup_batch(&backend, &dense).unwrap();
+        let mut linear_into = Vec::new();
+        cb.cleanup_batch_bits_into(&backend, &bits, &mut scratch, &mut linear_into)
+            .unwrap();
+
+        assert_eq!(indexed, linear);
+        assert_eq!(indexed_bits, linear);
+        assert_eq!(indexed_into, linear);
+        assert_eq!(linear_into, linear);
+        for (q, (idx, _)) in linear.iter().enumerate() {
+            assert_eq!(*idx, q * 100, "query {q} should recover its source row");
+        }
     }
 
     #[test]

@@ -90,7 +90,10 @@ pub use batch::{BackendKind, HvMatrix, ParallelBackend, ReferenceBackend, VsaBac
 pub use codebook::{Codebook, CodebookSet, ProductCodebook};
 pub use error::VsaError;
 pub use hypervector::{Hypervector, VsaKind};
-pub use packed::{dispatch_tier, BitMatrix, DispatchTier, PackedBackend};
+pub use packed::{
+    dispatch_tier, BitMatrix, CleanupIndex, CleanupScratch, DispatchTier, PackedBackend,
+    CLEANUP_INDEX_MIN_ROWS,
+};
 pub use quant::{Precision, QuantizedVector};
 
 use rand::rngs::StdRng;

@@ -18,7 +18,7 @@
 //! quantization).
 
 use crate::error::{ProblemFault, SolveError};
-use cogsys_datasets::{Attribute, DatasetKind, Panel, Problem, RuleKind};
+use cogsys_datasets::{Attribute, AttributeVocab, DatasetKind, Panel, Problem, RuleKind};
 use cogsys_factorizer::{Factorizer, FactorizerConfig, FactorizerScratch};
 use cogsys_vsa::batch::{BackendKind, HvMatrix, VsaBackend};
 use cogsys_vsa::codebook::{BindingOp, CodebookSet};
@@ -46,6 +46,12 @@ pub struct SolverConfig {
     pub precision: Precision,
     /// Batched execution backend used for encoding, factorization and answer scoring.
     pub backend: BackendKind,
+    /// Attribute vocabulary the solver's codebooks cover. Defaults to the RAVEN
+    /// cardinalities; enlarged vocabularies (e.g. [`AttributeVocab::uniform`] with
+    /// 10^4+ values) scale the per-attribute codebooks into the regime where the
+    /// packed backend's pruned cleanup index takes over answer decoding.
+    #[serde(default)]
+    pub vocab: AttributeVocab,
 }
 
 impl Default for SolverConfig {
@@ -60,6 +66,7 @@ impl Default for SolverConfig {
             encoding_noise: 0.005,
             precision: Precision::Fp32,
             backend: BackendKind::default(),
+            vocab: AttributeVocab::raven(),
         }
     }
 }
@@ -271,7 +278,12 @@ impl NeurosymbolicSolver {
         let attribute_codebooks: Vec<_> = Attribute::ALL
             .iter()
             .map(|a| {
-                cogsys_vsa::Codebook::random(a.to_string(), a.cardinality(), config.vector_dim, rng)
+                cogsys_vsa::Codebook::random(
+                    a.to_string(),
+                    config.vocab.cardinality(*a),
+                    config.vector_dim,
+                    rng,
+                )
             })
             .collect();
         let codebooks = CodebookSet::new(attribute_codebooks.clone(), BindingOp::Hadamard)?;
@@ -341,6 +353,16 @@ impl NeurosymbolicSolver {
     /// (context first, then candidates) inside its attribute's cardinality — the
     /// bound that keeps codebook lookups in range.
     pub fn validate_problem(problem: &Problem) -> Result<(), ProblemFault> {
+        Self::validate_problem_with(AttributeVocab::raven(), problem)
+    }
+
+    /// [`NeurosymbolicSolver::validate_problem`] against a configurable attribute
+    /// vocabulary — the bound a vocab-enlarged solver ([`SolverConfig::vocab`])
+    /// checks its inputs against.
+    pub fn validate_problem_with(
+        vocab: AttributeVocab,
+        problem: &Problem,
+    ) -> Result<(), ProblemFault> {
         if problem.context.len() != Self::CONTEXT_PANELS {
             return Err(ProblemFault::WrongPanelCount {
                 expected: Self::CONTEXT_PANELS,
@@ -364,12 +386,12 @@ impl NeurosymbolicSolver {
         {
             for attr in Attribute::ALL {
                 let value = p.value(attr);
-                if value >= attr.cardinality() {
+                if value >= vocab.cardinality(attr) {
                     return Err(ProblemFault::ValueOutOfRange {
                         panel,
                         attribute: attr.index(),
                         value,
-                        cardinality: attr.cardinality(),
+                        cardinality: vocab.cardinality(attr),
                     });
                 }
             }
@@ -381,11 +403,13 @@ impl NeurosymbolicSolver {
     /// `problems`. Consumes no rng draws, so rejecting a poisoned batch and
     /// resubmitting it without the offender yields exactly the results the reduced
     /// batch would have produced in the first place.
-    fn validate_problems(problems: &[Problem]) -> Result<(), SolveError> {
+    fn validate_problems(&self, problems: &[Problem]) -> Result<(), SolveError> {
         for (index, problem) in problems.iter().enumerate() {
-            Self::validate_problem(problem).map_err(|fault| SolveError::Malformed {
-                problem: index,
-                fault,
+            Self::validate_problem_with(self.config.vocab, problem).map_err(|fault| {
+                SolveError::Malformed {
+                    problem: index,
+                    fault,
+                }
             })?;
         }
         Ok(())
@@ -404,6 +428,16 @@ impl NeurosymbolicSolver {
     /// The batched execution backend this solver runs on.
     pub fn backend(&self) -> &Arc<dyn VsaBackend> {
         &self.backend
+    }
+
+    /// Drops every cached cleanup index so packed cleanups fall back to the linear
+    /// scan. The index is exact, so decisions are unchanged — this knob exists for
+    /// A/B perf comparison and decision-identity regression tests.
+    pub fn disable_cleanup_index(&mut self) {
+        self.codebooks.clear_cleanup_indexes();
+        for (set, _) in &mut self.blocks {
+            set.clear_cleanup_indexes();
+        }
     }
 
     /// Encodes a panel as a scene hypervector (the neural frontend's output): the
@@ -573,7 +607,7 @@ impl NeurosymbolicSolver {
             .iter()
             .map(|p| {
                 if self.config.perception_noise > 0.0 {
-                    p.perturbed(self.config.perception_noise, rng)
+                    p.perturbed_with(self.config.vocab, self.config.perception_noise, rng)
                 } else {
                     *p
                 }
@@ -626,7 +660,12 @@ impl NeurosymbolicSolver {
                 &mut values,
             )?;
         }
-        Ok((values.into_iter().map(Panel::new).collect(), iterations))
+        // Decoded values range over the configured vocab, which may exceed
+        // `Panel::new`'s RAVEN bounds; the clamp above keeps them in-vocab.
+        Ok((
+            values.into_iter().map(Panel::new_unchecked).collect(),
+            iterations,
+        ))
     }
 
     /// Factorizes every row of the encoded scene batch against one attribute block,
@@ -685,7 +724,7 @@ impl NeurosymbolicSolver {
         }
 
         for f in 0..set.num_factors() {
-            let cleaned = if let Some(bits) = packed_query {
+            if let Some(bits) = packed_query {
                 unbound_bits.copy_from(bits);
                 for g in 0..set.num_factors() {
                     if g == f {
@@ -701,7 +740,14 @@ impl NeurosymbolicSolver {
                         .gather_into(gather_idx, est_bits)?;
                     unbound_bits.xor_assign(est_bits)?;
                 }
-                set.factor(f)?.cleanup_batch_bits(backend, unbound_bits)?
+                // Allocation-free cleanup through the factorizer scratch; on
+                // index-carrying codebooks this is the pruned sub-linear scan.
+                let (cscratch, cleaned) = fscratch.cleanup_buffers();
+                set.factor(f)?
+                    .cleanup_batch_bits_into(backend, unbound_bits, cscratch, cleaned)?;
+                for (t, &(best, _)) in tuples.iter_mut().zip(cleaned.iter()) {
+                    t[f] = best;
+                }
             } else {
                 let queries = encoded.ok_or(VsaError::Unsupported {
                     what: "dense decode route requires f32 queries",
@@ -713,17 +759,18 @@ impl NeurosymbolicSolver {
                     set.factor(g)?.matrix().gather_into(gather_idx, est)?;
                 }
                 set.unbind_all_but_batch(backend, queries, est_dense, f, unbound, tmp)?;
-                set.factor(f)?.cleanup_batch(backend, unbound)?
-            };
-            for (t, (best, _)) in tuples.iter_mut().zip(cleaned) {
-                t[f] = best;
+                let cleaned = set.factor(f)?.cleanup_batch(backend, unbound)?;
+                for (t, (best, _)) in tuples.iter_mut().zip(cleaned) {
+                    t[f] = best;
+                }
             }
         }
 
+        let vocab = self.config.vocab;
         for (row, tuple) in tuples.iter().enumerate() {
             for (&attr_index, &idx) in attrs.iter().zip(tuple) {
                 let attr = Attribute::ALL[attr_index];
-                values[row][attr_index] = idx.min(attr.cardinality() - 1);
+                values[row][attr_index] = idx.min(vocab.cardinality(attr) - 1);
             }
         }
         Ok(iterations)
@@ -733,11 +780,12 @@ impl NeurosymbolicSolver {
     /// it on the incomplete row, returning the predicted attribute value.
     fn abduce_and_execute(
         dataset: DatasetKind,
+        vocab: AttributeVocab,
         attribute: Attribute,
         rows: &[[usize; 3]; 2],
         last_row: (usize, usize),
     ) -> usize {
-        let card = attribute.cardinality();
+        let card = vocab.cardinality(attribute);
         let pool: &[RuleKind] = dataset.rule_pool();
 
         // Score every candidate rule by how many of the two complete rows it explains,
@@ -808,7 +856,7 @@ impl NeurosymbolicSolver {
     /// eight visible cells) and executes it on the incomplete row, producing the
     /// predicted answer panel. Pure — shared verbatim by the per-problem and the
     /// cross-problem batched paths.
-    fn predict_panel(dataset: DatasetKind, decoded: &[Panel]) -> Panel {
+    fn predict_panel(dataset: DatasetKind, vocab: AttributeVocab, decoded: &[Panel]) -> Panel {
         let mut predicted_values = [0usize; 5];
         for attr in Attribute::ALL {
             let rows = [
@@ -825,10 +873,10 @@ impl NeurosymbolicSolver {
             ];
             let last_row = (decoded[6].value(attr), decoded[7].value(attr));
             predicted_values[attr.index()] =
-                Self::abduce_and_execute(dataset, attr, &rows, last_row)
-                    .min(attr.cardinality() - 1);
+                Self::abduce_and_execute(dataset, vocab, attr, &rows, last_row)
+                    .min(vocab.cardinality(attr) - 1);
         }
-        Panel::new(predicted_values)
+        Panel::new_unchecked(predicted_values)
     }
 
     /// Solves one problem end to end, returning the chosen candidate index and the
@@ -843,7 +891,7 @@ impl NeurosymbolicSolver {
         problem: &Problem,
         rng: &mut R,
     ) -> Result<(usize, SolverReport), SolveError> {
-        Self::validate_problems(std::slice::from_ref(problem))?;
+        self.validate_problems(std::slice::from_ref(problem))?;
         let mut report = SolverReport::default();
 
         // Perception + factorization of the eight context panels, as one batch through
@@ -858,7 +906,7 @@ impl NeurosymbolicSolver {
             .count();
 
         // Abduction + execution per attribute.
-        let predicted = Self::predict_panel(problem.dataset, &decoded);
+        let predicted = Self::predict_panel(problem.dataset, self.config.vocab, &decoded);
 
         // Answer selection. NVSA scores candidates per attribute (the product encodings
         // of two panels that differ in even one attribute are quasi-orthogonal, so a
@@ -951,7 +999,7 @@ impl NeurosymbolicSolver {
         if problems.is_empty() {
             return Ok(SolverReport::default());
         }
-        Self::validate_problems(problems)?;
+        self.validate_problems(problems)?;
         if self.packed_encode_route() {
             return Ok(self.solve_batch_chunk(problems, rng, scratch)?);
         }
@@ -1021,7 +1069,7 @@ impl NeurosymbolicSolver {
             let base = perceived.len();
             for panel in &problem.context {
                 perceived.push(if self.config.perception_noise > 0.0 {
-                    panel.perturbed(self.config.perception_noise, rng)
+                    panel.perturbed_with(self.config.vocab, self.config.perception_noise, rng)
                 } else {
                     *panel
                 });
@@ -1101,7 +1149,7 @@ impl NeurosymbolicSolver {
 
         // ---- Phase 4: per-problem abduction + prediction (pure symbolic work).
         decoded.clear();
-        decoded.extend(values.iter().map(|v| Panel::new(*v)));
+        decoded.extend(values.iter().map(|v| Panel::new_unchecked(*v)));
         predicted.clear();
         for (q, problem) in problems.iter().enumerate() {
             let base = row_base[q];
@@ -1112,7 +1160,7 @@ impl NeurosymbolicSolver {
                 .zip(&problem.context)
                 .filter(|(estimate, panel)| estimate == panel)
                 .count();
-            predicted.push(Self::predict_panel(problem.dataset, ctx));
+            predicted.push(Self::predict_panel(problem.dataset, self.config.vocab, ctx));
         }
 
         // ---- Phase 5: batched answer selection. All predicted panels and all
@@ -1668,6 +1716,68 @@ mod tests {
         for &c in scratch.choices() {
             assert!(c < problems[0].candidates.len());
         }
+    }
+
+    #[test]
+    fn large_vocab_solver_indexed_cleanup_is_decision_identical() {
+        // A 600-value vocabulary pushes every attribute codebook past
+        // CLEANUP_INDEX_MIN_ROWS, so the whole decode path (resonator cleanups +
+        // polish sweep + answer scoring) runs through the pruned cleanup index.
+        // The index is exact: disabling it must change nothing — same choices,
+        // same report, same rng consumption.
+        let vocab = AttributeVocab::uniform(600);
+        let config = SolverConfig {
+            vector_dim: 512,
+            perception_noise: 0.05, // exercise the vocab-wide perturbation draws
+            factorizer: FactorizerConfig::default().with_max_iterations(8),
+            vocab,
+            ..SolverConfig::default()
+        };
+        let (indexed, mut r) = solver(60, config);
+        assert!(
+            indexed
+                .codebooks()
+                .factor(0)
+                .unwrap()
+                .cleanup_index()
+                .is_some(),
+            "600-row codebooks must carry a cleanup index"
+        );
+        let mut linear = indexed.clone();
+        linear.disable_cleanup_index();
+        assert!(linear
+            .codebooks()
+            .factor(0)
+            .unwrap()
+            .cleanup_index()
+            .is_none());
+
+        let problems =
+            ProblemGenerator::with_vocab(DatasetKind::Raven, vocab).generate_batch(3, &mut r);
+        for p in &problems {
+            assert!(p.verify_answer_with(vocab));
+        }
+        // A RAVEN-vocab solver must reject these out-of-range values outright.
+        let (raven, mut r0) = solver(61, SolverConfig::default());
+        assert!(matches!(
+            raven.solve_batch(&problems, &mut r0),
+            Err(SolveError::Malformed { .. })
+        ));
+
+        let mut r1 = r.clone();
+        let mut r2 = r.clone();
+        let mut scratch1 = SolverScratch::default();
+        let mut scratch2 = SolverScratch::default();
+        let report_indexed = indexed
+            .solve_batch_with(&problems, &mut r1, &mut scratch1)
+            .unwrap();
+        let report_linear = linear
+            .solve_batch_with(&problems, &mut r2, &mut scratch2)
+            .unwrap();
+        assert_eq!(report_indexed, report_linear);
+        assert_eq!(scratch1.choices(), scratch2.choices());
+        assert_eq!(r1.next_u64(), r2.next_u64(), "rng streams diverge");
+        assert_eq!(report_indexed.problems, 3);
     }
 
     #[test]
