@@ -22,7 +22,14 @@
 //! printed first so CI logs record which dispatch path produced the numbers; with
 //! `BENCH_REQUIRE_SIMD=1` the run fails outright when dispatch fell back to the
 //! generic tier (the CI runners are known-SIMD hosts, so a generic fallback there
-//! means detection broke, not that the hardware shrank).
+//! means detection broke, not that the hardware shrank). Analogously,
+//! `BENCH_REQUIRE_PLAN_SPEC=1` fails the run unless the packed solver's compiled
+//! plan at d=1024 resolves the `W=16` const-generic word-count specialization —
+//! the smoke gate for the plan compiler's specialization table.
+//!
+//! `--explain` prints the compiled solve plans (stage IR, chosen specialization,
+//! route, chunk width) for the solver shapes the sweep measures, plus the
+//! plan-cache hit/miss counters, before the timing runs.
 //!
 //! Run with: `cargo run --release -p cogsys-bench --bin backend_throughput`
 
@@ -36,6 +43,17 @@ fn main() -> ExitCode {
     const BATCHES: [usize; 3] = [1, 32, 256];
     const SEED: u64 = 7;
 
+    let mut explain = false;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--explain" => explain = true,
+            other => {
+                eprintln!("unknown argument `{other}`\nusage: backend_throughput [--explain]");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
     let tier = cogsys_vsa::dispatch_tier();
     println!("dispatch tier: {tier}");
     if std::env::var("BENCH_REQUIRE_SIMD").as_deref() == Ok("1")
@@ -46,6 +64,48 @@ fn main() -> ExitCode {
              expected to support at least scalar popcnt"
         );
         return ExitCode::FAILURE;
+    }
+
+    // Plan-specialization smoke gate and the `--explain` dump share one packed
+    // solver per dimensionality of interest.
+    {
+        use cogsys_workloads::{NeurosymbolicSolver, SolverConfig};
+        let packed_solver = |dim: usize| {
+            let mut rng = cogsys_vsa::rng(SEED);
+            NeurosymbolicSolver::new(
+                SolverConfig {
+                    vector_dim: dim,
+                    ..SolverConfig::default()
+                }
+                .with_backend(cogsys_vsa::batch::BackendKind::Packed),
+                &mut rng,
+            )
+        };
+        let solver_1024 = packed_solver(1024);
+        let spec_1024 = solver_1024
+            .plan_for_batch(cogsys::experiments::SOLVER_BENCH_PROBLEMS[0])
+            .spec;
+        println!("plan spec at d=1024: {}", spec_1024.as_str());
+        if std::env::var("BENCH_REQUIRE_PLAN_SPEC").as_deref() == Ok("1")
+            && spec_1024.as_str() != "W=16"
+        {
+            eprintln!(
+                "BENCH_REQUIRE_PLAN_SPEC=1: packed plan at d=1024 resolved `{}` \
+                 instead of the W=16 specialization",
+                spec_1024.as_str()
+            );
+            return ExitCode::FAILURE;
+        }
+        if explain {
+            let production = packed_solver(SolverConfig::default().vector_dim);
+            for solver in [&solver_1024, &production] {
+                for &batch in &cogsys::experiments::SOLVER_BENCH_PROBLEMS {
+                    print!("{}", solver.plan_for_batch(batch).describe());
+                }
+                let stats = solver.plan_cache_stats();
+                println!("plan_cache: hits={} misses={}", stats.hits, stats.misses);
+            }
+        }
     }
 
     let path = "BENCH_backends.json";
@@ -152,6 +212,55 @@ fn main() -> ExitCode {
             64.0 / (sequential / 1e9),
             sequential / batched.max(1.0),
         );
+    }
+
+    // The compile/execute split's acceptance numbers: planned executor vs the
+    // unplanned entry point (must be measurably no slower), the specialized vs
+    // forced-generic executor A/B, and the amortized plan-compilation cost.
+    if let (Some(unplanned), Some(planned)) = (
+        solver_cell("packed", "solve_batch"),
+        solver_cell("packed", "solve_batch_planned"),
+    ) {
+        println!(
+            "planned executor 64-problem batch (packed): unplanned {:.1} ms, \
+             planned {:.1} ms ({:.2}x)",
+            unplanned / 1e6,
+            planned / 1e6,
+            unplanned / planned.max(1.0),
+        );
+    }
+    if let (Some(generic), Some(specialized)) = (
+        solver_cell("packed", "solve_batch_planned_generic"),
+        solver_cell("packed", "solve_batch_planned"),
+    ) {
+        println!(
+            "word-count specialization 64-problem batch (packed): generic {:.1} ms, \
+             specialized {:.1} ms ({:.2}x)",
+            generic / 1e6,
+            specialized / 1e6,
+            generic / specialized.max(1.0),
+        );
+    }
+    if let Some(compile) = solver_cell("packed", "plan_compile") {
+        println!(
+            "plan_compile (packed, 64-problem key): {:.1} us per cold cache miss",
+            compile / 1e3
+        );
+    }
+
+    // Scheduler/simulator consumption of the real plan stages: the adSCH
+    // schedule over the lowered stage IR must be structurally valid and every
+    // measured stage anchor present; share ratios are informational (the op
+    // graph lowers one pass per stage, the measured decode contains the full
+    // resonator loop).
+    let (plan_table, plan_mismatches) = cogsys::experiments::plan_schedule_report(&records);
+    println!("{plan_table}");
+    if !plan_mismatches.is_empty() {
+        eprintln!("plan schedule validation FAILED:");
+        for m in &plan_mismatches {
+            eprintln!("  {m}");
+        }
+        return ExitCode::FAILURE;
     }
 
     if std::env::var("BENCH_GUARD").as_deref() == Ok("off") {

@@ -324,8 +324,22 @@ pub const SOLVER_BENCH_PROBLEMS: [usize; 2] = [8, 64];
 /// `ns_per_op` is the best wall clock for solving the *whole* batch (one warm-up,
 /// best of three), mirroring the per-batched-call convention of
 /// [`backend_throughput_records`].
+///
+/// Beyond the two legacy end-to-end kernels the sweep also measures the plan
+/// layer introduced by the compile/execute split:
+///
+/// * `plan_compile` — one [`NeurosymbolicSolver::compile_plan`] call (the cost a
+///   cold plan-cache miss adds to the first chunk of a new shape);
+/// * `solve_batch_planned` — the planned executor on the cached specialized plan
+///   (compile amortized away, the steady-state serving cost);
+/// * `solve_batch_planned_generic` (packed only) — the same executor forced onto
+///   the runtime-word-count generic kernels, the A/B twin that isolates what the
+///   const-generic `W=16/32/64` monomorphization buys;
+/// * `plan_stage_{encode,decode,score}` (packed only) — the per-stage wall clock
+///   of the best planned round, the cells `cogsys-serve`'s per-stage
+///   `ServiceModel` fit and the adSCH stage-cost validation consume.
 pub fn solver_throughput_records(problem_counts: &[usize], seed: u64) -> Vec<BenchRecord> {
-    use cogsys_workloads::SolverScratch;
+    use cogsys_workloads::{SolverScratch, StageNanos};
     use std::time::Instant;
 
     let mut records = Vec::new();
@@ -377,6 +391,96 @@ pub fn solver_throughput_records(problem_counts: &[usize], seed: u64) -> Vec<Ben
                 batch: count,
                 ns_per_op: sequential * 1e9,
             });
+
+            // Plan compilation cost: microsecond-scale, so each timed round runs a
+            // small inner loop and reports the per-call cost.
+            const COMPILES_PER_ROUND: usize = 16;
+            let compile = time(&mut || {
+                for _ in 0..COMPILES_PER_ROUND {
+                    std::hint::black_box(solver.compile_plan(count, true));
+                }
+            });
+            records.push(BenchRecord {
+                backend: backend.to_string(),
+                kernel: "plan_compile".to_string(),
+                dim,
+                batch: count,
+                ns_per_op: compile * 1e9 / COMPILES_PER_ROUND as f64,
+            });
+
+            // Steady-state planned execution: the plan is compiled once outside the
+            // timed region (a cache hit in serving terms).
+            let plan = solver.plan_for_batch(count);
+            let planned = time(&mut || {
+                let mut r = cogsys_vsa::rng(seed ^ 0x5eed);
+                let _ = solver
+                    .solve_batch_with_plan(&plan, &problems, &mut r, &mut scratch)
+                    .expect("well-formed problems solve");
+            });
+            records.push(BenchRecord {
+                backend: backend.to_string(),
+                kernel: "solve_batch_planned".to_string(),
+                dim,
+                batch: count,
+                ns_per_op: planned * 1e9,
+            });
+
+            if backend == BackendKind::Packed {
+                // Specialized-vs-generic A/B: same plan, word-count specialization
+                // forced off, so the delta is pure monomorphization dividend.
+                let generic_plan = solver.compile_plan(count, false);
+                let generic = time(&mut || {
+                    let mut r = cogsys_vsa::rng(seed ^ 0x5eed);
+                    let _ = solver
+                        .solve_batch_with_plan(&generic_plan, &problems, &mut r, &mut scratch)
+                        .expect("well-formed problems solve");
+                });
+                records.push(BenchRecord {
+                    backend: backend.to_string(),
+                    kernel: "solve_batch_planned_generic".to_string(),
+                    dim,
+                    batch: count,
+                    ns_per_op: generic * 1e9,
+                });
+
+                // Per-stage wall clock of the best timed round (by total), the
+                // cells the serving front end's per-stage service fit consumes.
+                let mut run_timed = || {
+                    let mut timings = StageNanos::default();
+                    let mut r = cogsys_vsa::rng(seed ^ 0x5eed);
+                    let _ = solver
+                        .solve_batch_with_plan_timed(
+                            &plan,
+                            &problems,
+                            &mut r,
+                            &mut scratch,
+                            &mut timings,
+                        )
+                        .expect("well-formed problems solve");
+                    timings
+                };
+                run_timed();
+                let mut best = run_timed();
+                for _ in 0..2 {
+                    let round = run_timed();
+                    if round.total() < best.total() {
+                        best = round;
+                    }
+                }
+                for (stage, ns) in [
+                    ("plan_stage_encode", best.encode),
+                    ("plan_stage_decode", best.decode),
+                    ("plan_stage_score", best.score),
+                ] {
+                    records.push(BenchRecord {
+                        backend: backend.to_string(),
+                        kernel: stage.to_string(),
+                        dim,
+                        batch: count,
+                        ns_per_op: ns as f64,
+                    });
+                }
+            }
         }
     }
     records
@@ -653,6 +757,125 @@ pub fn backend_throughput_table(records: &[BenchRecord]) -> ExperimentTable {
 /// cached FFT plans for `parallel`, XOR/popcount sign planes for `packed`).
 pub fn backend_throughput(dims: &[usize], batches: &[usize], seed: u64) -> ExperimentTable {
     backend_throughput_table(&backend_throughput_records(dims, batches, seed))
+}
+
+/// Maps a [`cogsys_workloads::PlanStage`] name onto the macro stage group the
+/// solver's stage timer and the sweep's `plan_stage_*` cells report.
+fn plan_stage_group(name: &str) -> &'static str {
+    match name {
+        "encode" => "encode",
+        "resonate" | "polish" => "decode",
+        _ => "score",
+    }
+}
+
+/// Schedules the compiled solve plan's stage IR with adSCH and compares the
+/// scheduled cost estimates against the measured `plan_stage_*` cells of a
+/// backend-throughput sweep — the scheduler/simulator pair's first *live*
+/// target (the static [`WorkloadSpec`] graphs are synthetic shapes; this graph
+/// is lowered from the plan the serving engine actually executes).
+///
+/// For each [`SOLVER_BENCH_PROBLEMS`] batch size the packed solver's plan is
+/// compiled, lowered via `SolvePlan::op_graph` onto the `cogsys-sim` kernel
+/// vocabulary, and scheduled on the 16-cell CogSys array. Per-stage scheduled
+/// cycles are folded into the encode/decode/score macro groups and tabulated
+/// next to the measured stage wall clocks.
+///
+/// Returned mismatches (empty = valid) cover the *structural* contract: the
+/// graph must schedule without violations, every macro stage must receive
+/// cycles, and — when the records contain the packed `plan_stage_*` anchor
+/// cells for that shape — all three anchors must be present. Share *ratios*
+/// are reported, not asserted: the op graph lowers one pass per stage, while
+/// the measured decode cell contains the resonator's full iterative loop, so a
+/// large measured-decode excess is expected and visible in the table.
+pub fn plan_schedule_report(records: &[BenchRecord]) -> (ExperimentTable, Vec<String>) {
+    use cogsys_scheduler::{AdSchScheduler, Scheduler};
+
+    let mut table = ExperimentTable::new(
+        "Plan stages scheduled by adSCH vs measured stage wall clock",
+        &[
+            "sched cycles",
+            "sched share %",
+            "measured ms",
+            "meas share %",
+        ],
+    );
+    let mut mismatches = Vec::new();
+    let mut rng = cogsys_vsa::rng(0xAD5C);
+    let solver = NeurosymbolicSolver::new(
+        SolverConfig::default().with_backend(BackendKind::Packed),
+        &mut rng,
+    );
+    let dim = solver.config().vector_dim;
+    let array = match ComputeArray::new(AcceleratorConfig::cogsys()) {
+        Ok(array) => array,
+        Err(e) => {
+            mismatches.push(format!("compute array construction failed: {e}"));
+            return (table, mismatches);
+        }
+    };
+    for &batch in &SOLVER_BENCH_PROBLEMS {
+        let plan = solver.plan_for_batch(batch);
+        let graph = plan.op_graph(0);
+        let schedule = match AdSchScheduler::new(Default::default()).schedule(&array, &graph) {
+            Ok(schedule) => schedule,
+            Err(e) => {
+                mismatches.push(format!(
+                    "batch={batch}: plan stages failed to schedule: {e}"
+                ));
+                continue;
+            }
+        };
+        if let Some(violation) = schedule.find_violation(&graph) {
+            mismatches.push(format!("batch={batch}: invalid schedule: {violation}"));
+        }
+        // Fold per-op durations into the three macro groups (ops are in stage
+        // order: op id == stage index in the plan's linear chain).
+        let mut cycles = [("encode", 0u64), ("decode", 0), ("score", 0)];
+        for entry in &schedule.entries {
+            let Some(stage) = plan.stages.get(entry.op) else {
+                continue;
+            };
+            let group = plan_stage_group(stage.name());
+            if let Some(slot) = cycles.iter_mut().find(|(g, _)| *g == group) {
+                slot.1 += entry.duration();
+            }
+        }
+        let total_cycles: u64 = cycles.iter().map(|(_, c)| *c).sum();
+        let measured: Vec<Option<f64>> = cycles
+            .iter()
+            .map(|(group, _)| {
+                let kernel = format!("plan_stage_{group}");
+                records
+                    .iter()
+                    .find(|r| r.matches("packed", &kernel, dim, batch))
+                    .map(|r| r.ns_per_op)
+            })
+            .collect();
+        let measured_total: f64 = measured.iter().flatten().sum();
+        for ((group, c), ns) in cycles.iter().zip(&measured) {
+            if *c == 0 {
+                mismatches.push(format!(
+                    "batch={batch}: {group} stage received zero scheduled cycles"
+                ));
+            }
+            table.push(
+                format!("batch={batch} {group}"),
+                vec![
+                    *c as f64,
+                    100.0 * *c as f64 / total_cycles.max(1) as f64,
+                    ns.map_or(f64::NAN, |ns| ns / 1e6),
+                    ns.map_or(f64::NAN, |ns| 100.0 * ns / measured_total.max(1.0)),
+                ],
+            );
+        }
+        if measured.iter().any(Option::is_none) && measured.iter().any(Option::is_some) {
+            mismatches.push(format!(
+                "batch={batch}: incomplete packed plan_stage_* anchor cells at d={dim}"
+            ));
+        }
+    }
+    (table, mismatches)
 }
 
 /// Fig. 4: end-to-end runtime breakdown, per-device latency, task-size scaling and
@@ -1492,6 +1715,48 @@ mod tests {
 
         // Missing cells (kernel added or retired) are ignored entirely.
         assert!(packed_bench_regressions(&baseline, &[], 1.3).is_empty());
+    }
+
+    #[test]
+    fn plan_schedule_report_schedules_real_stages_and_anchors_measured_cells() {
+        let dim = SolverConfig::default().vector_dim;
+        let cell = |kernel: &str, batch: usize, ns: f64| BenchRecord {
+            backend: "packed".into(),
+            kernel: kernel.into(),
+            dim,
+            batch,
+            ns_per_op: ns,
+        };
+        let mut records = Vec::new();
+        for &batch in &SOLVER_BENCH_PROBLEMS {
+            records.push(cell("plan_stage_encode", batch, 1e6));
+            records.push(cell("plan_stage_decode", batch, 8e6));
+            records.push(cell("plan_stage_score", batch, 1e6));
+        }
+        let (table, mismatches) = plan_schedule_report(&records);
+        assert!(mismatches.is_empty(), "{mismatches:?}");
+        assert_eq!(table.rows.len(), 3 * SOLVER_BENCH_PROBLEMS.len());
+        for (label, values) in &table.rows {
+            assert!(values[0] > 0.0, "{label}: no scheduled cycles");
+            assert!(values[2].is_finite(), "{label}: anchor cell not resolved");
+        }
+        let decode_share = table.value("batch=8 decode", "meas share %").unwrap();
+        assert!(
+            (decode_share - 80.0).abs() < 1.0,
+            "decode share {decode_share}"
+        );
+
+        // A sweep that recorded only some anchor cells is flagged, not papered over.
+        let partial: Vec<BenchRecord> = records
+            .iter()
+            .filter(|r| r.kernel != "plan_stage_score")
+            .cloned()
+            .collect();
+        let (_, flagged) = plan_schedule_report(&partial);
+        assert!(
+            flagged.iter().any(|m| m.contains("incomplete")),
+            "{flagged:?}"
+        );
     }
 
     #[test]

@@ -10,7 +10,7 @@
 use crate::config::FactorizerConfig;
 use cogsys_vsa::batch::{HvMatrix, VsaBackend};
 use cogsys_vsa::codebook::{BindingOp, CodebookSet};
-use cogsys_vsa::packed::{BitMatrix, CleanupScratch};
+use cogsys_vsa::packed::{BitMatrix, CleanupScratch, WordSpec};
 use cogsys_vsa::quant::fake_quantize_slice;
 use cogsys_vsa::{ops, Hypervector, Precision, VsaError};
 use rand::rngs::StdRng;
@@ -174,6 +174,46 @@ impl BoundedNoise {
         for v in values {
             if v.abs() <= a {
                 *v += self.sample(rng);
+            }
+        }
+    }
+
+    /// [`BoundedNoise::perturb_signs`] with a [`WordSpec`] monomorphization hint:
+    /// when the slice is exactly `W` full 64-dim blocks the walk runs with a
+    /// compile-time trip count and fixed-size block arrays (so the min-|v|
+    /// reduction vectorizes without tail handling). Same blocks, same element
+    /// order, same skip rule — bitwise identical values and stream consumption.
+    pub fn perturb_signs_spec(&self, spec: WordSpec, values: &mut [f32], rng: &mut StdRng) {
+        match spec {
+            WordSpec::W16 if values.len() == 16 * NOISE_CHUNK_DIMS => {
+                self.perturb_signs_w::<16>(values, rng)
+            }
+            WordSpec::W32 if values.len() == 32 * NOISE_CHUNK_DIMS => {
+                self.perturb_signs_w::<32>(values, rng)
+            }
+            WordSpec::W64 if values.len() == 64 * NOISE_CHUNK_DIMS => {
+                self.perturb_signs_w::<64>(values, rng)
+            }
+            _ => self.perturb_signs(values, rng),
+        }
+    }
+
+    /// Monomorphized [`BoundedNoise::perturb_signs`] body over exactly `W` full
+    /// blocks.
+    fn perturb_signs_w<const W: usize>(&self, values: &mut [f32], rng: &mut StdRng) {
+        debug_assert_eq!(values.len(), W * NOISE_CHUNK_DIMS);
+        let a = self.amplitude;
+        for chunk in values.chunks_exact_mut(NOISE_CHUNK_DIMS).take(W) {
+            let chunk: &mut [f32; NOISE_CHUNK_DIMS] =
+                chunk.try_into().expect("chunks_exact yields full blocks");
+            let min_mag = chunk.iter().fold(f32::INFINITY, |m, v| m.min(v.abs()));
+            if min_mag > a {
+                continue;
+            }
+            for v in chunk {
+                if v.abs() <= a {
+                    *v += self.sample(rng);
+                }
             }
         }
     }
@@ -500,7 +540,7 @@ impl Factorizer {
         // which the packed pipeline skips, and the fast path must stay
         // decision-identical to the dense engine.
         if self.packed_pipeline(set) && scratch.pack_query() {
-            return self.factorize_matrix_packed(set, streams, scratch);
+            return self.factorize_matrix_packed(set, streams, scratch, WordSpec::for_dim(dim));
         }
 
         self.factorize_matrix_dense(set, streams, scratch)
@@ -554,6 +594,32 @@ impl Factorizer {
         streams: &mut [StdRng],
         scratch: &mut FactorizerScratch,
     ) -> Result<Vec<FactorizationResult>, VsaError> {
+        self.factorize_matrix_bits_scratch_spec(
+            set,
+            queries,
+            streams,
+            scratch,
+            WordSpec::for_dim(set.dim()),
+        )
+    }
+
+    /// [`Factorizer::factorize_matrix_bits_scratch`] with the kernel
+    /// specialization pre-resolved by the caller (a compiled solve plan). Passing
+    /// [`WordSpec::Generic`] forces the runtime-length kernels; any other spec is
+    /// only honoured where it matches the operands, so results are identical for
+    /// every spec value — only the codegen of the inner loops differs.
+    ///
+    /// # Errors
+    /// Returns [`VsaError::DimensionMismatch`] when `queries.dim()` differs from the
+    /// codebook dimension or `streams.len() != queries.rows()`.
+    pub fn factorize_matrix_bits_scratch_spec(
+        &self,
+        set: &CodebookSet,
+        queries: &BitMatrix,
+        streams: &mut [StdRng],
+        scratch: &mut FactorizerScratch,
+        spec: WordSpec,
+    ) -> Result<Vec<FactorizationResult>, VsaError> {
         let n = queries.rows();
         if queries.dim() != set.dim() && n > 0 {
             return Err(VsaError::DimensionMismatch {
@@ -572,7 +638,7 @@ impl Factorizer {
         }
         if self.packed_pipeline(set) {
             scratch.query_bits.copy_from(queries);
-            return self.factorize_matrix_packed(set, streams, scratch);
+            return self.factorize_matrix_packed(set, streams, scratch, spec);
         }
         // Unpacked fallback (non-Hadamard binding, reduced precision, dense backend):
         // ±1 values survive quantization at every precision, so the dense engine sees
@@ -759,6 +825,7 @@ impl Factorizer {
         set: &CodebookSet,
         streams: &mut [StdRng],
         scratch: &mut FactorizerScratch,
+        spec: WordSpec,
     ) -> Result<Vec<FactorizationResult>, VsaError> {
         let FactorizerScratch {
             states,
@@ -828,8 +895,9 @@ impl Factorizer {
                     }
                 }
 
-                // Step 2 (popcount): similarity search against the factor codebook.
-                packed.similarity_matrix_packed_into(cb_bits, unbound_bits, sims);
+                // Step 2 (popcount): similarity search against the factor codebook,
+                // through the plan's word-count monomorphization when one applies.
+                packed.similarity_matrix_packed_spec_into(spec, cb_bits, unbound_bits, sims);
                 for slot in 0..rows {
                     let q = order[slot];
                     if let Some(noise) = &states[q].sim_noise {
@@ -844,13 +912,14 @@ impl Factorizer {
                 // straight back into the estimate plane. Accumulation order matches
                 // the dense `project_batch_into` bitwise, so decisions are identical
                 // to the dense engine on the same noise streams.
-                packed.project_signs_packed_into(
+                packed.project_signs_packed_spec_into(
+                    spec,
                     cb_bits,
                     sims,
                     |slot, acc| {
                         let q = order[slot];
                         if let Some(noise) = &states[q].proj_noise {
-                            noise.perturb_signs(acc, &mut streams[q]);
+                            noise.perturb_signs_spec(spec, acc, &mut streams[q]);
                         }
                     },
                     proj_acc,

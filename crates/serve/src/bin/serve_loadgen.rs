@@ -8,13 +8,16 @@
 //! ```text
 //! serve_loadgen [--shape steady|bursty|adversarial] [--requests N]
 //!               [--dim D] [--seed S] [--chaos] [--window-micros W] [--check]
+//!               [--explain]
 //! ```
 //!
 //! `--chaos` additionally wraps the engine in the fault-injection harness
 //! (forced transient faults + injected latency). `--check` turns the run into
 //! a smoke gate for CI: it exits nonzero unless the run completed with every
 //! request accounted for, zero panics (trivially, by finishing), and — for the
-//! adversarial shape — nonzero shed and poison counts.
+//! adversarial shape — nonzero shed and poison counts. `--explain` prints the
+//! compiled solve plan for a full-size batch before the run and the plan-cache
+//! hit/miss counters after it.
 
 #![forbid(unsafe_code)]
 #![deny(clippy::unwrap_used, clippy::expect_used)]
@@ -32,6 +35,7 @@ struct Options {
     window_micros: u64,
     chaos: bool,
     check: bool,
+    explain: bool,
 }
 
 impl Default for Options {
@@ -44,13 +48,14 @@ impl Default for Options {
             window_micros: 50_000,
             chaos: false,
             check: false,
+            explain: false,
         }
     }
 }
 
 fn usage() -> String {
     "usage: serve_loadgen [--shape steady|bursty|adversarial] [--requests N] \
-     [--dim D] [--seed S] [--window-micros W] [--chaos] [--check]"
+     [--dim D] [--seed S] [--window-micros W] [--chaos] [--check] [--explain]"
         .into()
 }
 
@@ -98,6 +103,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             }
             "--chaos" => options.chaos = true,
             "--check" => options.check = true,
+            "--explain" => options.explain = true,
             "--help" | "-h" => return Err(usage()),
             other => return Err(format!("unknown argument `{other}`\n{}", usage())),
         }
@@ -130,6 +136,14 @@ fn run(options: &Options) -> Result<bool, String> {
                  {} us/batch + {} us/problem",
                 model.micros_per_batch, model.micros_per_problem
             );
+            if let Some(stages) = &model.stages {
+                for (name, fit) in ["encode", "decode", "score"].iter().zip(stages) {
+                    println!(
+                        "#   stage {name}: {} us/batch + {} us/problem",
+                        fit.micros_per_batch, fit.micros_per_problem
+                    );
+                }
+            }
             model
         }
         None => {
@@ -161,6 +175,9 @@ fn run(options: &Options) -> Result<bool, String> {
     };
     let engine = SolverEngine::new(serve_config.solver.clone(), serve_config.codebook_seed)
         .map_err(|e| format!("solver construction failed: {e}"))?;
+    if options.explain {
+        print!("{}", engine.describe_plan(serve_config.max_batch));
+    }
     let chaos_config = ChaosConfig {
         seed: options.seed ^ 0xC4A0_5715,
         forced_error_rate: if options.chaos { 0.05 } else { 0.0 },
@@ -215,6 +232,13 @@ fn run(options: &Options) -> Result<bool, String> {
         counters.peak_queue_depth,
         counters.max_level,
     );
+    if options.explain {
+        let plan_stats = serve.engine().inner().plan_stats();
+        println!(
+            "plan_cache: hits={} misses={}",
+            plan_stats.hits, plan_stats.misses
+        );
+    }
     let chaos_stats = serve.engine().stats();
     if options.chaos {
         println!(

@@ -14,7 +14,7 @@
 
 use cogsys_datasets::Problem;
 use cogsys_workloads::{
-    NeurosymbolicSolver, SolveError, SolverConfig, SolverReport, SolverScratch,
+    NeurosymbolicSolver, PlanCacheStats, SolveError, SolverConfig, SolverReport, SolverScratch,
 };
 use rand::{rngs::StdRng, SeedableRng};
 
@@ -154,6 +154,28 @@ impl SolverEngine {
     pub fn solver(&self) -> &NeurosymbolicSolver {
         &self.solvers[0]
     }
+
+    /// Plan-cache hit/miss counters summed over all three rungs' solvers.
+    ///
+    /// The batch former compiles a [`cogsys_workloads::SolvePlan`] per
+    /// `(backend, dim, blocks, batch, codebook_rows)` key at chunk formation;
+    /// steady traffic re-forms the same batch shapes, so after warm-up hits
+    /// should dominate misses.
+    pub fn plan_stats(&self) -> PlanCacheStats {
+        let mut total = PlanCacheStats::default();
+        for solver in &self.solvers {
+            let stats = solver.plan_cache_stats();
+            total.hits += stats.hits;
+            total.misses += stats.misses;
+        }
+        total
+    }
+
+    /// Human-readable description of the full-service plan compiled for a
+    /// `batch`-problem chunk (for `--explain` style diagnostics).
+    pub fn describe_plan(&self, batch: usize) -> String {
+        self.solvers[0].plan_for_batch(batch).describe()
+    }
 }
 
 impl ChunkEngine for SolverEngine {
@@ -169,7 +191,11 @@ impl ChunkEngine for SolverEngine {
             DegradationLevel::ReducedIterations => &self.solvers[1],
             DegradationLevel::CoarseCleanup => &self.solvers[2],
         };
-        let report = solver.solve_batch_with(problems, &mut rng, &mut self.scratch)?;
+        // Plans are compiled at chunk formation and reused across chunks of the
+        // same shape: steady traffic pays plan compilation once per batch size
+        // per rung, then executes cache hits.
+        let plan = solver.plan_for_batch(problems.len());
+        let report = solver.solve_batch_with_plan(&plan, problems, &mut rng, &mut self.scratch)?;
         Ok(ChunkResult {
             choices: self.scratch.choices().to_vec(),
             report,
@@ -244,6 +270,36 @@ mod tests {
             .unwrap();
         assert_eq!(served.choices, scratch.choices());
         assert_eq!(served.report, report);
+    }
+
+    #[test]
+    fn chunks_of_one_shape_compile_one_plan_then_hit_the_cache() {
+        let mut engine = SolverEngine::new(small_config(), 11).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let problems = ProblemGenerator::new(DatasetKind::Raven).generate_batch(4, &mut rng);
+        assert_eq!(engine.plan_stats(), PlanCacheStats::default());
+        for seed in 0..4 {
+            engine
+                .solve_chunk(&problems, seed, DegradationLevel::Full)
+                .unwrap();
+        }
+        let stats = engine.plan_stats();
+        assert_eq!(stats.misses, 1, "one compile for the repeated shape");
+        assert_eq!(stats.hits, 3, "subsequent chunks reuse the cached plan");
+
+        // A degraded rung runs its own solver, hence its own compile.
+        engine
+            .solve_chunk(&problems, 9, DegradationLevel::ReducedIterations)
+            .unwrap();
+        assert_eq!(engine.plan_stats().misses, 2);
+
+        let description = engine.describe_plan(problems.len());
+        for stage in ["encode", "resonate", "polish", "predict", "score"] {
+            assert!(
+                description.contains(stage),
+                "describe_plan missing `{stage}`: {description}"
+            );
+        }
     }
 
     #[test]

@@ -64,19 +64,38 @@ use cogsys_workloads::SolverConfig;
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
+/// One fitted plan stage: fixed per-invocation overhead plus marginal cost per
+/// problem, in virtual microseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StageFit {
+    /// Fixed per-invocation overhead of this stage, virtual micros.
+    pub micros_per_batch: u64,
+    /// Marginal cost per problem of this stage, virtual micros.
+    pub micros_per_problem: u64,
+}
+
 /// Virtual service-time model of one engine invocation.
 ///
 /// The CI machine has one core, so serving is simulated on a discrete-event
-/// clock rather than measured: a batch of `n` problems at level `L` costs
-/// `micros_per_batch + n * micros_per_problem / L.service_divisor()` virtual
-/// microseconds (plus any chaos-injected latency). A failed attempt costs
-/// `micros_per_batch` of overhead.
+/// clock rather than measured. Without per-stage fits, a batch of `n` problems
+/// at level `L` costs `micros_per_batch + n * micros_per_problem /
+/// L.service_divisor()` virtual microseconds (plus any chaos-injected
+/// latency). When the bench sweep provides `plan_stage_{encode,decode,score}`
+/// cells, [`ServiceModel::stages`] holds one [`StageFit`] per compiled plan
+/// stage and the degradation divisor applies only to the decode stage — the
+/// reduced-iteration rungs of the ladder shrink factorizer work, not encoding
+/// or scoring. A failed attempt costs `micros_per_batch` of overhead either
+/// way.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ServiceModel {
     /// Fixed per-invocation overhead, virtual micros.
     pub micros_per_batch: u64,
     /// Marginal cost per problem at full service, virtual micros.
     pub micros_per_problem: u64,
+    /// Per-stage fits (encode, decode, score) when the bench sweep exposed
+    /// plan-stage cells; `None` falls back to the whole-chunk model above.
+    #[serde(default)]
+    pub stages: Option<[StageFit; 3]>,
 }
 
 impl Default for ServiceModel {
@@ -84,6 +103,7 @@ impl Default for ServiceModel {
         Self {
             micros_per_batch: 500,
             micros_per_problem: 2_000,
+            stages: None,
         }
     }
 }
@@ -99,33 +119,29 @@ impl ServiceModel {
     /// parameters of this model. Both are clamped to ≥ 1 µs (a noisy sweep can
     /// produce a negative intercept). Returns `None` when the records contain no
     /// usable packed `solve_batch` cell.
+    /// Preferring the per-stage cells (`plan_stage_encode` / `plan_stage_decode`
+    /// / `plan_stage_score`) when the sweep recorded all three: the model then
+    /// carries one [`StageFit`] per compiled plan stage and the whole-chunk
+    /// totals become the stage sums, so legacy consumers keep working.
     pub fn from_bench_records(records: &[cogsys::experiments::BenchRecord]) -> Option<Self> {
-        let mut cells: Vec<(u64, f64)> = records
-            .iter()
-            .filter(|r| {
-                r.backend == "packed"
-                    && r.kernel == "solve_batch"
-                    && r.batch > 0
-                    && r.ns_per_op.is_finite()
-                    && r.ns_per_op > 0.0
-            })
-            .map(|r| (r.batch as u64, r.ns_per_op))
-            .collect();
-        cells.sort_by_key(|cell| cell.0);
-        let (b_lo, t_lo) = *cells.first()?;
-        let (b_hi, t_hi) = *cells.last()?;
-        if b_hi == b_lo {
-            // One problem count: attribute the whole cost to the marginal term.
+        let stage_fits = [
+            two_point_fit(records, "plan_stage_encode"),
+            two_point_fit(records, "plan_stage_decode"),
+            two_point_fit(records, "plan_stage_score"),
+        ];
+        if let [Some(encode), Some(decode), Some(score)] = stage_fits {
+            let stages = [encode, decode, score];
             return Some(Self {
-                micros_per_batch: 1,
-                micros_per_problem: to_micros(t_lo / b_lo as f64),
+                micros_per_batch: stages.iter().map(|s| s.micros_per_batch).sum(),
+                micros_per_problem: stages.iter().map(|s| s.micros_per_problem).sum(),
+                stages: Some(stages),
             });
         }
-        let per_problem_ns = (t_hi - t_lo) / (b_hi - b_lo) as f64;
-        let per_batch_ns = t_lo - per_problem_ns * b_lo as f64;
+        let whole = two_point_fit(records, "solve_batch")?;
         Some(Self {
-            micros_per_batch: to_micros(per_batch_ns),
-            micros_per_problem: to_micros(per_problem_ns),
+            micros_per_batch: whole.micros_per_batch,
+            micros_per_problem: whole.micros_per_problem,
+            stages: None,
         })
     }
 
@@ -134,6 +150,69 @@ impl ServiceModel {
     pub fn from_bench_json(text: &str) -> Option<Self> {
         Self::from_bench_records(&cogsys::experiments::parse_backend_throughput_json(text))
     }
+
+    /// Virtual cost of one successful engine invocation over `problems`
+    /// problems at a degradation rung with the given service divisor.
+    ///
+    /// With per-stage fits, the divisor — which models the reduced-iteration
+    /// rungs of the ladder — applies only to the decode (resonate + polish)
+    /// stage; encode and score work is unchanged by degradation. Without
+    /// stage fits the legacy whole-chunk formula applies the divisor to the
+    /// entire marginal term.
+    pub fn invocation_micros(&self, problems: u64, service_divisor: u64) -> u64 {
+        let divisor = service_divisor.max(1);
+        match &self.stages {
+            Some([encode, decode, score]) => {
+                encode.micros_per_batch
+                    + decode.micros_per_batch
+                    + score.micros_per_batch
+                    + problems * encode.micros_per_problem
+                    + problems * decode.micros_per_problem / divisor
+                    + problems * score.micros_per_problem
+            }
+            None => self.micros_per_batch + problems * self.micros_per_problem / divisor,
+        }
+    }
+
+    /// Virtual overhead burned by a failed attempt (no per-problem work
+    /// completes, but the invocation cost is paid).
+    pub fn overhead_micros(&self) -> u64 {
+        self.micros_per_batch
+    }
+}
+
+/// Two-point fit of `micros_per_batch + n * micros_per_problem` through the
+/// packed cells of `kernel` at the smallest and largest problem counts. Both
+/// parameters clamp to ≥ 1 µs (a noisy sweep can produce a negative
+/// intercept). `None` when no usable cell exists.
+fn two_point_fit(records: &[cogsys::experiments::BenchRecord], kernel: &str) -> Option<StageFit> {
+    let mut cells: Vec<(u64, f64)> = records
+        .iter()
+        .filter(|r| {
+            r.backend == "packed"
+                && r.kernel == kernel
+                && r.batch > 0
+                && r.ns_per_op.is_finite()
+                && r.ns_per_op > 0.0
+        })
+        .map(|r| (r.batch as u64, r.ns_per_op))
+        .collect();
+    cells.sort_by_key(|cell| cell.0);
+    let (b_lo, t_lo) = *cells.first()?;
+    let (b_hi, t_hi) = *cells.last()?;
+    if b_hi == b_lo {
+        // One problem count: attribute the whole cost to the marginal term.
+        return Some(StageFit {
+            micros_per_batch: 1,
+            micros_per_problem: to_micros(t_lo / b_lo as f64),
+        });
+    }
+    let per_problem_ns = (t_hi - t_lo) / (b_hi - b_lo) as f64;
+    let per_batch_ns = t_lo - per_problem_ns * b_lo as f64;
+    Some(StageFit {
+        micros_per_batch: to_micros(per_batch_ns),
+        micros_per_problem: to_micros(per_problem_ns),
+    })
 }
 
 /// Nanoseconds → whole virtual microseconds, clamped to ≥ 1 so the discrete-event
@@ -419,9 +498,10 @@ impl<E: ChunkEngine> ServeLoop<E> {
             match self.engine.solve_chunk(&problems, seed, self.level) {
                 Ok(result) => {
                     extra_micros += result.extra_micros;
-                    let service = self.config.service.micros_per_batch
-                        + self.config.service.micros_per_problem * batch.len() as u64
-                            / self.level.service_divisor()
+                    let service = self
+                        .config
+                        .service
+                        .invocation_micros(batch.len() as u64, self.level.service_divisor())
                         + extra_micros;
                     self.clock_micros += service;
                     self.counters.batches += 1;
@@ -457,7 +537,7 @@ impl<E: ChunkEngine> ServeLoop<E> {
                 }
                 Err(error) => {
                     // Failed attempts still burn the per-invocation overhead.
-                    extra_micros += self.config.service.micros_per_batch;
+                    extra_micros += self.config.service.overhead_micros();
                     if let Some(index) = error.problem_index() {
                         // Poison isolation: the malformed request fails alone…
                         let victim = batch.remove(index.min(batch.len().saturating_sub(1)));
@@ -771,5 +851,73 @@ mod tests {
         .unwrap();
         assert_eq!(noisy.micros_per_problem, 2_000);
         assert_eq!(noisy.micros_per_batch, 1);
+        // Legacy fit carries no stage composition.
+        assert!(noisy.stages.is_none());
+    }
+
+    #[test]
+    fn service_model_prefers_plan_stage_cells_when_all_three_fit() {
+        use cogsys::experiments::BenchRecord;
+        let cell = |kernel: &str, batch: usize, ns: f64| BenchRecord {
+            backend: "packed".into(),
+            kernel: kernel.into(),
+            dim: 2048,
+            batch,
+            ns_per_op: ns,
+        };
+        // Exact linear stage data: encode 100 µs + 300 µs/problem, decode
+        // 200 µs + 1200 µs/problem, score 50 µs + 500 µs/problem.
+        let records = vec![
+            cell("plan_stage_encode", 8, 1e5 + 8.0 * 3e5),
+            cell("plan_stage_encode", 64, 1e5 + 64.0 * 3e5),
+            cell("plan_stage_decode", 8, 2e5 + 8.0 * 12e5),
+            cell("plan_stage_decode", 64, 2e5 + 64.0 * 12e5),
+            cell("plan_stage_score", 8, 5e4 + 8.0 * 5e5),
+            cell("plan_stage_score", 64, 5e4 + 64.0 * 5e5),
+            // Whole-chunk cells the stage fit must win over.
+            cell("solve_batch", 8, 9e9),
+            cell("solve_batch", 64, 9e9),
+        ];
+        let model = ServiceModel::from_bench_records(&records).unwrap();
+        let stages = model.stages.expect("all three stage kernels fitted");
+        assert_eq!(stages[0].micros_per_batch, 100);
+        assert_eq!(stages[0].micros_per_problem, 300);
+        assert_eq!(stages[1].micros_per_batch, 200);
+        assert_eq!(stages[1].micros_per_problem, 1_200);
+        assert_eq!(stages[2].micros_per_batch, 50);
+        assert_eq!(stages[2].micros_per_problem, 500);
+        // Whole-chunk totals are the stage sums, not the distractor fit.
+        assert_eq!(model.micros_per_batch, 350);
+        assert_eq!(model.micros_per_problem, 2_000);
+
+        // At full service the stage model matches the legacy formula on the
+        // same totals; under degradation only the decode stage shrinks.
+        assert_eq!(model.invocation_micros(8, 1), 350 + 8 * 2_000);
+        assert_eq!(
+            model.invocation_micros(8, 4),
+            350 + 8 * 300 + 8 * 1_200 / 4 + 8 * 500
+        );
+        let legacy = ServiceModel {
+            stages: None,
+            ..model
+        };
+        assert_eq!(legacy.invocation_micros(8, 4), 350 + 8 * 2_000 / 4);
+        assert!(
+            model.invocation_micros(8, 4) > legacy.invocation_micros(8, 4),
+            "whole-chunk divisor over-credits degradation vs stage composition"
+        );
+        // Failure overhead is the fixed cost either way.
+        assert_eq!(model.overhead_micros(), 350);
+        // A zero divisor is treated as full service instead of dividing by zero.
+        assert_eq!(model.invocation_micros(8, 0), model.invocation_micros(8, 1));
+
+        // Missing any one stage kernel falls back to the whole-chunk fit.
+        let partial: Vec<BenchRecord> = records
+            .iter()
+            .filter(|r| r.kernel != "plan_stage_score")
+            .cloned()
+            .collect();
+        let fallback = ServiceModel::from_bench_records(&partial).unwrap();
+        assert!(fallback.stages.is_none());
     }
 }

@@ -10,9 +10,42 @@ use crate::batch::{HvMatrix, ReferenceBackend, VsaBackend};
 use crate::error::VsaError;
 use crate::hypervector::Hypervector;
 use crate::ops;
-use crate::packed::{BitMatrix, CleanupIndex, CleanupScratch, CLEANUP_INDEX_MIN_ROWS};
+use crate::packed::{BitMatrix, CleanupIndex, CleanupScratch, WordSpec, CLEANUP_INDEX_MIN_ROWS};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
+
+/// Which cleanup kernel a `(backend, codebook)` pair resolves to — the routing
+/// decision [`Codebook::cleanup_batch_bits_into`] makes per call, hoisted out as a
+/// value so a solve plan can resolve it **once** at compile time and the executor
+/// can dispatch on a pre-chosen route ([`Codebook::cleanup_batch_bits_routed_into`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CleanupRoute {
+    /// Pruned exact [`CleanupIndex`] scan (packed backend, packed codebook with a
+    /// built index).
+    Indexed,
+    /// Linear blocked packed popcount scan (packed backend, packed codebook, no
+    /// index).
+    Linear,
+    /// Dense `f32` fallback through the backend's `cleanup_batch_bits`.
+    Dense,
+}
+
+impl CleanupRoute {
+    /// Label used by plan descriptions (`indexed` / `linear` / `dense`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            CleanupRoute::Indexed => "indexed",
+            CleanupRoute::Linear => "linear",
+            CleanupRoute::Dense => "dense",
+        }
+    }
+}
+
+impl std::fmt::Display for CleanupRoute {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
 
 /// How codevectors in a [`CodebookSet`] are combined into a product vector.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
@@ -305,13 +338,64 @@ impl Codebook {
         scratch: &mut CleanupScratch,
         out: &mut Vec<(usize, f32)>,
     ) -> Result<(), VsaError> {
-        if let (Some(packed_backend), Some(packed_cb)) = (backend.as_packed(), &self.packed) {
-            if queries.dim() == self.dim() {
-                if let Some(index) = &self.index {
-                    packed_backend.cleanup_batch_indexed_into(index, queries, scratch, out);
-                } else {
-                    packed_backend.cleanup_batch_packed_into(packed_cb, queries, scratch, out);
+        let route = self.cleanup_route(backend);
+        self.cleanup_batch_bits_routed_into(
+            backend,
+            route,
+            WordSpec::Generic,
+            queries,
+            scratch,
+            out,
+        )
+    }
+
+    /// The cleanup kernel this `(backend, codebook)` pair resolves to, for queries
+    /// of matching dimension: the per-call routing of
+    /// [`Codebook::cleanup_batch_bits_into`] exposed as a value so plan compilation
+    /// can hoist the decision. Stable for the life of the codebook unless
+    /// [`CodebookSet::clear_cleanup_indexes`] demotes `Indexed` to `Linear` —
+    /// callers caching a route must re-resolve after mutating the indexes.
+    pub fn cleanup_route(&self, backend: &dyn VsaBackend) -> CleanupRoute {
+        if backend.as_packed().is_some() && self.packed.is_some() {
+            if self.index.is_some() {
+                CleanupRoute::Indexed
+            } else {
+                CleanupRoute::Linear
+            }
+        } else {
+            CleanupRoute::Dense
+        }
+    }
+
+    /// [`Codebook::cleanup_batch_bits_into`] with the route pre-chosen (and a
+    /// [`WordSpec`] monomorphization hint for the linear scan): the executor half
+    /// of the plan-compiled cleanup. A stale packed route (mismatched query
+    /// dimension, or indexes cleared since the route was resolved) degrades to the
+    /// next-best live kernel instead of panicking, keeping results identical to the
+    /// per-call routing.
+    ///
+    /// # Errors
+    /// Returns [`VsaError::DimensionMismatch`] if the query dimension differs on
+    /// the dense route.
+    pub fn cleanup_batch_bits_routed_into(
+        &self,
+        backend: &dyn VsaBackend,
+        route: CleanupRoute,
+        spec: WordSpec,
+        queries: &BitMatrix,
+        scratch: &mut CleanupScratch,
+        out: &mut Vec<(usize, f32)>,
+    ) -> Result<(), VsaError> {
+        if route != CleanupRoute::Dense && queries.dim() == self.dim() {
+            if let (Some(packed_backend), Some(packed_cb)) = (backend.as_packed(), &self.packed) {
+                if route == CleanupRoute::Indexed {
+                    if let Some(index) = &self.index {
+                        packed_backend.cleanup_batch_indexed_into(index, queries, scratch, out);
+                        return Ok(());
+                    }
                 }
+                packed_backend
+                    .cleanup_batch_packed_spec_into(spec, packed_cb, queries, scratch, out);
                 return Ok(());
             }
         }
@@ -751,7 +835,10 @@ mod tests {
         assert!(small.cleanup_index().is_none());
         let large = Codebook::random("large", CLEANUP_INDEX_MIN_ROWS, 256, &mut r);
         assert!(large.cleanup_index().is_some());
-        assert_eq!(large.cleanup_index().unwrap().rows(), CLEANUP_INDEX_MIN_ROWS);
+        assert_eq!(
+            large.cleanup_index().unwrap().rows(),
+            CLEANUP_INDEX_MIN_ROWS
+        );
     }
 
     #[test]

@@ -87,11 +87,11 @@ pub mod packed;
 pub mod quant;
 
 pub use batch::{BackendKind, HvMatrix, ParallelBackend, ReferenceBackend, VsaBackend};
-pub use codebook::{Codebook, CodebookSet, ProductCodebook};
+pub use codebook::{CleanupRoute, Codebook, CodebookSet, ProductCodebook};
 pub use error::VsaError;
 pub use hypervector::{Hypervector, VsaKind};
 pub use packed::{
-    dispatch_tier, BitMatrix, CleanupIndex, CleanupScratch, DispatchTier, PackedBackend,
+    dispatch_tier, BitMatrix, CleanupIndex, CleanupScratch, DispatchTier, PackedBackend, WordSpec,
     CLEANUP_INDEX_MIN_ROWS,
 };
 pub use quant::{Precision, QuantizedVector};

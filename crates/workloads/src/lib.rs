@@ -32,8 +32,10 @@
 
 pub mod error;
 pub mod pipeline;
+pub mod plan;
 pub mod spec;
 
 pub use error::{ProblemFault, SolveError};
-pub use pipeline::{NeurosymbolicSolver, SolverConfig, SolverReport, SolverScratch};
+pub use pipeline::{NeurosymbolicSolver, SolverConfig, SolverReport, SolverScratch, StageNanos};
+pub use plan::{PlanCache, PlanCacheStats, PlanKey, PlanStage, SolvePlan};
 pub use spec::{MemoryFootprint, TaskSize, WorkloadKind, WorkloadSpec};

@@ -18,17 +18,19 @@
 //! quantization).
 
 use crate::error::{ProblemFault, SolveError};
+use crate::plan::{PlanCache, PlanCacheStats, PlanKey, PlanStage, SolvePlan, NOMINAL_CANDIDATES};
 use cogsys_datasets::{Attribute, AttributeVocab, DatasetKind, Panel, Problem, RuleKind};
 use cogsys_factorizer::{Factorizer, FactorizerConfig, FactorizerScratch};
 use cogsys_vsa::batch::{BackendKind, HvMatrix, VsaBackend};
-use cogsys_vsa::codebook::{BindingOp, CodebookSet};
-use cogsys_vsa::packed::BitMatrix;
+use cogsys_vsa::codebook::{BindingOp, CleanupRoute, CodebookSet};
+use cogsys_vsa::packed::{BitMatrix, WordSpec};
 use cogsys_vsa::quant::fake_quantize_slice;
 use cogsys_vsa::{ops, Hypervector, Precision, VsaError, VsaKind};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Configuration of the functional reasoner.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -131,6 +133,29 @@ impl SolverReport {
     }
 }
 
+/// Wall-clock nanoseconds spent in each fused stage group of a planned solve call
+/// ([`NeurosymbolicSolver::solve_batch_with_plan_timed`]), accumulated across the
+/// call's chunks. The three groups mirror the [`crate::plan::PlanStage`] IR at the
+/// granularity `cogsys-serve`'s per-stage `ServiceModel` fit consumes: encode
+/// (rng buffering + scene encode), decode (per-block resonate + polish), score
+/// (rule prediction + answer selection).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StageNanos {
+    /// Phases 1–2: per-problem rng draw buffering and the batched scene encode.
+    pub encode: u64,
+    /// Phase 3: per-block factorization and the coordinate-descent polish sweep.
+    pub decode: u64,
+    /// Phases 4–5: rule abduction/prediction and batched answer selection.
+    pub score: u64,
+}
+
+impl StageNanos {
+    /// Total nanoseconds across the three stage groups.
+    pub fn total(&self) -> u64 {
+        self.encode + self.decode + self.score
+    }
+}
+
 /// Scratch of the batched panel-encoding stage.
 #[derive(Debug, Default)]
 struct EncodeScratch {
@@ -216,6 +241,10 @@ pub struct NeurosymbolicSolver {
     blocks: Vec<(CodebookSet, Vec<usize>)>,
     factorizer: Factorizer,
     backend: Arc<dyn VsaBackend>,
+    /// Compiled [`SolvePlan`]s by workload shape. Cloning the solver yields a fresh,
+    /// empty cache (plans capture per-instance codebook state such as cleanup
+    /// indexes), so the derived `Clone` stays correct.
+    plans: PlanCache,
 }
 
 impl NeurosymbolicSolver {
@@ -318,6 +347,7 @@ impl NeurosymbolicSolver {
             blocks,
             factorizer,
             backend,
+            plans: PlanCache::default(),
         })
     }
 
@@ -438,6 +468,115 @@ impl NeurosymbolicSolver {
         for (set, _) in &mut self.blocks {
             set.clear_cleanup_indexes();
         }
+        // Cached plans captured Indexed cleanup routes that no longer exist; drop
+        // them so the next solve compiles against the demoted state.
+        self.plans.clear();
+    }
+
+    /// The [`PlanKey`] a solve call over `batch` problems resolves to on this solver.
+    pub fn plan_key(&self, batch: usize) -> PlanKey {
+        PlanKey {
+            backend: self.config.backend,
+            dim: self.config.vector_dim,
+            blocks: self.blocks.len(),
+            batch,
+            codebook_rows: (0..self.codebooks.num_factors())
+                .map(|f| self.codebooks.factor(f).map_or(0, |cb| cb.len()))
+                .collect(),
+        }
+    }
+
+    /// Compiles a [`SolvePlan`] for a `batch`-problem solve call: every routing
+    /// decision the executor needs — packed vs dense encode, chunk width, per-factor
+    /// cleanup routes, and (when `specialize` is set) the const-generic word-count
+    /// kernel specialization — resolved once, up front.
+    ///
+    /// `specialize = false` compiles the same plan with [`WordSpec::Generic`]
+    /// (runtime-length inner loops); the two plans are decision-identical, which is
+    /// what makes the specialized-vs-generic bench cells a pure kernel A/B.
+    pub fn compile_plan(&self, batch: usize, specialize: bool) -> SolvePlan {
+        let dim = self.config.vector_dim;
+        let packed_route = self.packed_encode_route();
+        let pack_dense_bits = !packed_route
+            && self
+                .blocks
+                .iter()
+                .any(|(set, _)| self.factorizer.packed_pipeline(set));
+        // The packed route keeps the whole batch in one pass (sign planes stay
+        // cache-resident); the dense engines sub-chunk to DENSE_SERVE_CHUNK.
+        let chunk_problems = if packed_route {
+            batch.max(1)
+        } else {
+            Self::DENSE_SERVE_CHUNK
+        };
+        let have_bits = packed_route || pack_dense_bits;
+        let spec = if specialize && have_bits {
+            WordSpec::for_dim(dim)
+        } else {
+            WordSpec::Generic
+        };
+        let rows = batch * Self::CONTEXT_PANELS;
+        let backend = self.backend.as_ref();
+        let mut stages = Vec::with_capacity(2 * self.blocks.len() + 3);
+        stages.push(PlanStage::Encode {
+            rows,
+            packed: packed_route,
+        });
+        for (b, (set, _)) in self.blocks.iter().enumerate() {
+            let block_packed = have_bits && self.factorizer.packed_pipeline(set);
+            let codebook_rows: Vec<usize> = (0..set.num_factors())
+                .map(|f| set.factor(f).map_or(0, |cb| cb.len()))
+                .collect();
+            stages.push(PlanStage::Resonate {
+                block: b,
+                rows,
+                factors: set.num_factors(),
+                codebook_rows,
+                packed: block_packed,
+            });
+            let routes: Vec<CleanupRoute> = (0..set.num_factors())
+                .map(|f| {
+                    set.factor(f)
+                        .map_or(CleanupRoute::Dense, |cb| cb.cleanup_route(backend))
+                })
+                .collect();
+            stages.push(PlanStage::Polish {
+                block: b,
+                rows,
+                routes,
+            });
+        }
+        stages.push(PlanStage::Predict { problems: batch });
+        stages.push(PlanStage::Score {
+            problems: batch,
+            // Candidate counts are per problem and unknown at compile time; the IR
+            // carries the nominal RPM shape (8 candidates + 1 prediction per
+            // problem) for scheduling/observability. Not a decision input.
+            rows: batch * (NOMINAL_CANDIDATES + 1),
+            packed: packed_route,
+        });
+        SolvePlan {
+            key: self.plan_key(batch),
+            packed_route,
+            pack_dense_bits,
+            chunk_problems,
+            spec,
+            stages,
+        }
+    }
+
+    /// The cached plan for a `batch`-problem call, compiling (specialized) on first
+    /// use. Same shape → same `Arc` — the compile-once/run-many entry the serving
+    /// loop and `solve_batch_with` share.
+    pub fn plan_for_batch(&self, batch: usize) -> Arc<SolvePlan> {
+        let key = self.plan_key(batch);
+        self.plans
+            .get_or_compile(&key, || self.compile_plan(batch, true))
+    }
+
+    /// Hit/miss counters of this solver's plan cache (the `--explain` surface).
+    pub fn plan_cache_stats(&self) -> PlanCacheStats {
+        self.plans.stats()
     }
 
     /// Encodes a panel as a scene hypervector (the neural frontend's output): the
@@ -658,6 +797,10 @@ impl NeurosymbolicSolver {
                 &mut streams,
                 &mut ds,
                 &mut values,
+                // Auto-specialize like the planned path (bitwise-identical kernels);
+                // routes are re-derived per call on this unplanned entry point.
+                WordSpec::for_dim(self.config.vector_dim),
+                None,
             )?;
         }
         // Decoded values range over the configured vocab, which may exceed
@@ -680,6 +823,11 @@ impl NeurosymbolicSolver {
     /// plus batched cleanup per factor. On the packed route the sweep is XOR +
     /// popcount over sign planes (identical results: bipolar Hadamard unbinding is
     /// exactly the XOR of sign planes).
+    /// `spec` selects the const-generic word-count kernels of the packed route
+    /// (bitwise identical to the runtime-length kernels — pass
+    /// [`WordSpec::Generic`] or a mismatched spec and only speed changes); `routes`,
+    /// when given, carries the plan's pre-resolved cleanup route per factor —
+    /// `None` re-derives per call (the unplanned sequential path).
     #[allow(clippy::too_many_arguments)]
     fn decode_block_into(
         &self,
@@ -690,6 +838,8 @@ impl NeurosymbolicSolver {
         streams: &mut [StdRng],
         ds: &mut DecodeScratch,
         values: &mut [[usize; 5]],
+        spec: WordSpec,
+        routes: Option<&[CleanupRoute]>,
     ) -> Result<usize, VsaError> {
         let DecodeScratch {
             factorizer: fscratch,
@@ -706,7 +856,7 @@ impl NeurosymbolicSolver {
         let results = match packed_query {
             Some(bits) => self
                 .factorizer
-                .factorize_matrix_bits_scratch(set, bits, streams, fscratch)?,
+                .factorize_matrix_bits_scratch_spec(set, bits, streams, fscratch, spec)?,
             None => {
                 let queries = encoded.ok_or(VsaError::Unsupported {
                     what: "dense decode route requires f32 queries",
@@ -741,10 +891,22 @@ impl NeurosymbolicSolver {
                     unbound_bits.xor_assign(est_bits)?;
                 }
                 // Allocation-free cleanup through the factorizer scratch; on
-                // index-carrying codebooks this is the pruned sub-linear scan.
+                // index-carrying codebooks this is the pruned sub-linear scan. The
+                // route comes from the plan when one was compiled (stale routes
+                // degrade gracefully inside the routed call).
+                let factor = set.factor(f)?;
+                let route = routes
+                    .and_then(|r| r.get(f).copied())
+                    .unwrap_or_else(|| factor.cleanup_route(backend));
                 let (cscratch, cleaned) = fscratch.cleanup_buffers();
-                set.factor(f)?
-                    .cleanup_batch_bits_into(backend, unbound_bits, cscratch, cleaned)?;
+                factor.cleanup_batch_bits_routed_into(
+                    backend,
+                    route,
+                    spec,
+                    unbound_bits,
+                    cscratch,
+                    cleaned,
+                )?;
                 for (t, &(best, _)) in tuples.iter_mut().zip(cleaned.iter()) {
                     t[f] = best;
                 }
@@ -1000,12 +1162,96 @@ impl NeurosymbolicSolver {
             return Ok(SolverReport::default());
         }
         self.validate_problems(problems)?;
-        if self.packed_encode_route() {
-            return Ok(self.solve_batch_chunk(problems, rng, scratch)?);
+        let plan = self.plan_for_batch(problems.len());
+        self.execute_plan(&plan, problems, rng, scratch, None)
+    }
+
+    /// [`NeurosymbolicSolver::solve_batch_with`] executing a **pre-compiled plan**:
+    /// the steady state of a serving loop, which compiles the plan once at chunk
+    /// formation ([`NeurosymbolicSolver::plan_for_batch`]) and replays it across the
+    /// stream. Decision-identical to the unplanned entry point by construction —
+    /// every plan field holds exactly the value the per-call derivation would have
+    /// computed — and chunk-invariance makes a plan compiled for one batch size
+    /// valid for any other (only `chunk_problems` shapes the internal slicing).
+    ///
+    /// # Errors
+    /// Returns [`SolveError::Config`] when the plan was compiled for a different
+    /// solver shape (backend, dimension, block structure or codebook sizes), plus
+    /// everything [`NeurosymbolicSolver::solve_batch_with`] returns.
+    pub fn solve_batch_with_plan<R: Rng + ?Sized>(
+        &self,
+        plan: &SolvePlan,
+        problems: &[Problem],
+        rng: &mut R,
+        scratch: &mut SolverScratch,
+    ) -> Result<SolverReport, SolveError> {
+        scratch.choices.clear();
+        if problems.is_empty() {
+            return Ok(SolverReport::default());
         }
+        self.check_plan(plan)?;
+        self.validate_problems(problems)?;
+        self.execute_plan(plan, problems, rng, scratch, None)
+    }
+
+    /// [`NeurosymbolicSolver::solve_batch_with_plan`] that additionally accumulates
+    /// per-stage wall-clock time into `timings` — the measurement hook behind the
+    /// `plan_stage_*` bench cells and `cogsys-serve`'s per-stage service-time fit.
+    /// Timing is observation only; decisions and rng consumption are identical.
+    ///
+    /// # Errors
+    /// Exactly those of [`NeurosymbolicSolver::solve_batch_with_plan`].
+    pub fn solve_batch_with_plan_timed<R: Rng + ?Sized>(
+        &self,
+        plan: &SolvePlan,
+        problems: &[Problem],
+        rng: &mut R,
+        scratch: &mut SolverScratch,
+        timings: &mut StageNanos,
+    ) -> Result<SolverReport, SolveError> {
+        scratch.choices.clear();
+        if problems.is_empty() {
+            return Ok(SolverReport::default());
+        }
+        self.check_plan(plan)?;
+        self.validate_problems(problems)?;
+        self.execute_plan(plan, problems, rng, scratch, Some(timings))
+    }
+
+    /// Rejects a plan compiled for a different solver shape before any rng draw.
+    fn check_plan(&self, plan: &SolvePlan) -> Result<(), SolveError> {
+        let expected = self.plan_key(plan.key.batch);
+        if plan.key != expected {
+            return Err(SolveError::Config {
+                message: format!(
+                    "plan compiled for {:?}, solver shape is {:?}",
+                    plan.key, expected
+                ),
+            });
+        }
+        Ok(())
+    }
+
+    /// The thin chunk loop over a compiled plan: slice `problems` by the plan's
+    /// chunk width and run the batched engine per chunk. All routing below this
+    /// point reads the plan, never re-derives.
+    fn execute_plan<R: Rng + ?Sized>(
+        &self,
+        plan: &SolvePlan,
+        problems: &[Problem],
+        rng: &mut R,
+        scratch: &mut SolverScratch,
+        mut timings: Option<&mut StageNanos>,
+    ) -> Result<SolverReport, SolveError> {
         let mut total = SolverReport::default();
-        for chunk in problems.chunks(Self::DENSE_SERVE_CHUNK) {
-            total.merge(&self.solve_batch_chunk(chunk, rng, scratch)?);
+        for chunk in problems.chunks(plan.chunk_problems.max(1)) {
+            total.merge(&self.solve_batch_chunk(
+                plan,
+                chunk,
+                rng,
+                scratch,
+                timings.as_deref_mut(),
+            )?);
         }
         Ok(total)
     }
@@ -1016,18 +1262,25 @@ impl NeurosymbolicSolver {
     /// set — query batch, per-factor estimates, unbound/projected/rebound buffers,
     /// each `rows × dim` f32 — inside cache on the 1-core CI machine; measured
     /// throughput degrades ~1.2–1.3× by 64-problem chunks and is flat in [1, 4].
-    /// Decision-invariant by the per-problem rng draw order.
+    /// Decision-invariant by the per-problem rng draw order. No longer a hardcoded
+    /// executor constant: plan compilation folds it into
+    /// [`SolvePlan::chunk_problems`] (whole batch on the packed route, this width on
+    /// the dense route), and the executor only reads the plan.
     pub const DENSE_SERVE_CHUNK: usize = 4;
 
     /// One pass of the batched engine over `problems`, appending to
-    /// `scratch.choices` (see [`NeurosymbolicSolver::solve_batch_with`], which owns
-    /// the route/chunk policy).
+    /// `scratch.choices`. A thin executor over `plan`: the encode route, dense
+    /// pack decision, kernel specialization and cleanup routes are all read from
+    /// the plan (see [`NeurosymbolicSolver::compile_plan`], which owns the policy).
     fn solve_batch_chunk<R: Rng + ?Sized>(
         &self,
+        plan: &SolvePlan,
         problems: &[Problem],
         rng: &mut R,
         scratch: &mut SolverScratch,
+        mut timings: Option<&mut StageNanos>,
     ) -> Result<SolverReport, VsaError> {
+        let mut mark = Instant::now();
         let mut report = SolverReport::default();
         let SolverScratch {
             encode,
@@ -1097,7 +1350,7 @@ impl NeurosymbolicSolver {
         // packed route the scene batch is born as sign planes and the interface noise
         // is applied as bit flips; otherwise the f32 encode runs and the batch is
         // packed once if any block decodes packed (mirroring the sequential path).
-        let packed_route = self.packed_encode_route();
+        let packed_route = plan.packed_route;
         let have_bits = if packed_route {
             self.encode_panels_bits_into(perceived, encode, encoded_bits)?;
             for &(r, j) in flips.iter() {
@@ -1110,11 +1363,13 @@ impl NeurosymbolicSolver {
                 let v = &mut encoded.row_mut(r as usize)[j as usize];
                 *v = -*v;
             }
-            self.blocks
-                .iter()
-                .any(|(set, _)| self.factorizer.packed_pipeline(set))
-                && encoded_bits.pack_from(encoded)
+            plan.pack_dense_bits && encoded_bits.pack_from(encoded)
         };
+        if let Some(t) = timings.as_deref_mut() {
+            let now = Instant::now();
+            t.encode += now.duration_since(mark).as_nanos() as u64;
+            mark = now;
+        }
 
         // ---- Phase 3: one factorize + polish pass per attribute block over the
         // whole `8·N`-row batch, each row driven by the stream seeded for it in
@@ -1143,9 +1398,16 @@ impl NeurosymbolicSolver {
                 streams,
                 decode,
                 values,
+                plan.spec,
+                plan.polish_routes(b),
             )?;
         }
         report.factorizer_iterations = iterations;
+        if let Some(t) = timings.as_deref_mut() {
+            let now = Instant::now();
+            t.decode += now.duration_since(mark).as_nanos() as u64;
+            mark = now;
+        }
 
         // ---- Phase 4: per-problem abduction + prediction (pure symbolic work).
         decoded.clear();
@@ -1201,6 +1463,9 @@ impl NeurosymbolicSolver {
             if problem.is_correct(best.0) {
                 report.correct += 1;
             }
+        }
+        if let Some(t) = timings {
+            t.score += Instant::now().duration_since(mark).as_nanos() as u64;
         }
         Ok(report)
     }
@@ -1788,5 +2053,210 @@ mod tests {
         assert_eq!(s.config().vector_dim, 2048);
         // Factored codebooks are tiny compared to the expanded product space.
         assert!(s.codebooks().footprint_bytes(4) < s.codebooks().product_footprint_bytes(4) / 50);
+    }
+
+    mod plan_exec {
+        use super::*;
+        use crate::plan::PlanCacheStats;
+        use cogsys_vsa::WordSpec;
+        use proptest::prelude::*;
+
+        #[test]
+        fn plan_cache_reuses_compiled_plans() {
+            let (s, mut r) = solver(70, SolverConfig::default());
+            assert_eq!(s.plan_cache_stats(), PlanCacheStats::default());
+            let p1 = s.plan_for_batch(4);
+            let p2 = s.plan_for_batch(4);
+            assert!(Arc::ptr_eq(&p1, &p2), "same key must reuse the same plan");
+            assert_eq!(s.plan_cache_stats(), PlanCacheStats { hits: 1, misses: 1 });
+            let p3 = s.plan_for_batch(8);
+            assert!(!Arc::ptr_eq(&p1, &p3));
+            assert_eq!(s.plan_cache_stats(), PlanCacheStats { hits: 1, misses: 2 });
+
+            // The plain solve entry point goes through the same cache.
+            let problems = ProblemGenerator::new(DatasetKind::Raven).generate_batch(4, &mut r);
+            s.solve_batch(&problems, &mut r).unwrap();
+            assert_eq!(s.plan_cache_stats(), PlanCacheStats { hits: 2, misses: 2 });
+
+            // The default 2048-dim packed solver resolves the W=32 specialization
+            // and takes the whole batch in one chunk.
+            assert_eq!(p1.spec, WordSpec::W32);
+            assert!(p1.packed_route);
+            assert_eq!(p1.chunk_problems, 4);
+
+            // Clones start with a cold cache (plans capture per-instance state).
+            let cloned = s.clone();
+            assert_eq!(cloned.plan_cache_stats(), PlanCacheStats::default());
+
+            // Disabling the cleanup index invalidates cached plans.
+            let mut demoted = s.clone();
+            demoted.plan_for_batch(4);
+            demoted.disable_cleanup_index();
+            assert_eq!(demoted.plan_cache_stats(), PlanCacheStats::default());
+        }
+
+        #[test]
+        fn specialized_plan_resolves_word_spec_for_dim() {
+            // The tentpole specialization table, d=1024 → W=16 in particular
+            // (mirrored by the BENCH_REQUIRE_PLAN_SPEC bench-smoke gate). d=1000
+            // also packs into 16 words: specialization keys on word count, and the
+            // padded-tail kernels stay exact for any dim.
+            for (dim, spec) in [
+                (1024, WordSpec::W16),
+                (1000, WordSpec::W16),
+                (2048, WordSpec::W32),
+                (4096, WordSpec::W64),
+            ] {
+                let config = SolverConfig {
+                    vector_dim: dim,
+                    ..SolverConfig::default()
+                };
+                let (s, _) = solver(74, config);
+                let plan = s.plan_for_batch(8);
+                assert_eq!(plan.spec, spec, "dim {dim}");
+                assert!(plan.packed_route, "dim {dim}");
+                assert_eq!(plan.chunk_problems, 8);
+                assert!(plan.describe().contains(spec.as_str()));
+            }
+            // Dense backends have no packed inner loops to specialize; the plan
+            // folds DENSE_SERVE_CHUNK in as its chunk width instead.
+            let dense = SolverConfig::default().with_backend(BackendKind::Parallel);
+            let (s, _) = solver(74, dense);
+            let plan = s.plan_for_batch(8);
+            assert_eq!(plan.spec, WordSpec::Generic);
+            assert!(!plan.packed_route);
+            assert_eq!(plan.chunk_problems, NeurosymbolicSolver::DENSE_SERVE_CHUNK);
+        }
+
+        #[test]
+        fn mismatched_plan_is_rejected_before_any_rng_draw() {
+            let (a, _) = solver(72, SolverConfig::default());
+            let narrow = SolverConfig {
+                vector_dim: 1024,
+                ..SolverConfig::default()
+            };
+            let (b, mut r) = solver(73, narrow);
+            let problems = ProblemGenerator::new(DatasetKind::Raven).generate_batch(2, &mut r);
+            let plan = a.compile_plan(2, true);
+            let mut probe = r.clone();
+            let err = b
+                .solve_batch_with_plan(&plan, &problems, &mut r, &mut SolverScratch::default())
+                .unwrap_err();
+            assert!(matches!(err, SolveError::Config { .. }), "{err:?}");
+            assert_eq!(
+                r.next_u64(),
+                probe.next_u64(),
+                "rejection must consume no rng"
+            );
+        }
+
+        #[test]
+        fn planned_path_is_chunk_invariant_across_plan_batch_sizes() {
+            // A plan compiled at serve chunk formation (say 64 problems) must serve
+            // any submitted batch size with unchanged decisions — on the packed
+            // route and on the dense sub-chunking route alike.
+            for kind in [BackendKind::Packed, BackendKind::Parallel] {
+                let (s, mut r) = solver(71, SolverConfig::default().with_backend(kind));
+                let problems = ProblemGenerator::new(DatasetKind::Raven).generate_batch(6, &mut r);
+                let mut r1 = r.clone();
+                let mut r2 = r.clone();
+
+                let plan64 = s.compile_plan(64, true);
+                let mut sc1 = SolverScratch::default();
+                let whole = s
+                    .solve_batch_with_plan(&plan64, &problems, &mut r1, &mut sc1)
+                    .unwrap();
+                let whole_choices = sc1.choices().to_vec();
+
+                let plan2 = s.compile_plan(2, true);
+                let mut chunked = SolverReport::default();
+                let mut chunked_choices = Vec::new();
+                let mut sc2 = SolverScratch::default();
+                for chunk in problems.chunks(2) {
+                    let rep = s
+                        .solve_batch_with_plan(&plan2, chunk, &mut r2, &mut sc2)
+                        .unwrap();
+                    chunked_choices.extend_from_slice(sc2.choices());
+                    chunked.merge(&rep);
+                }
+                assert_eq!(whole, chunked, "{kind}: reports diverge");
+                assert_eq!(whole_choices, chunked_choices, "{kind}: choices diverge");
+                assert_eq!(r1.next_u64(), r2.next_u64(), "{kind}: rng streams diverge");
+            }
+        }
+
+        #[test]
+        fn timed_execution_is_decision_identical_and_accounts_all_stages() {
+            let (s, mut r) = solver(75, SolverConfig::default());
+            let problems = ProblemGenerator::new(DatasetKind::Raven).generate_batch(3, &mut r);
+            let plan = s.plan_for_batch(problems.len());
+            let mut r1 = r.clone();
+            let mut r2 = r.clone();
+            let mut sc1 = SolverScratch::default();
+            let mut sc2 = SolverScratch::default();
+            let mut stages = StageNanos::default();
+            let timed = s
+                .solve_batch_with_plan_timed(&plan, &problems, &mut r1, &mut sc1, &mut stages)
+                .unwrap();
+            let untimed = s
+                .solve_batch_with_plan(&plan, &problems, &mut r2, &mut sc2)
+                .unwrap();
+            assert_eq!(timed, untimed);
+            assert_eq!(sc1.choices(), sc2.choices());
+            assert_eq!(r1.next_u64(), r2.next_u64());
+            assert!(stages.encode > 0 && stages.decode > 0 && stages.score > 0);
+            assert_eq!(stages.total(), stages.encode + stages.decode + stages.score);
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(4))]
+
+            // The satellite pin: planned (specialized AND forced-generic) execution
+            // equals the sequential per-problem path — choices, reports, final rng
+            // state — across all three backends × pow2/non-pow2 dims.
+            #[test]
+            fn prop_planned_execution_is_decision_identical(seed in 0u64..500) {
+                for kind in BackendKind::ALL {
+                    for dim in [256usize, 320] {
+                        let config = SolverConfig {
+                            vector_dim: dim,
+                            perception_noise: 0.05,
+                            factorizer: FactorizerConfig::default().with_max_iterations(6),
+                            ..SolverConfig::default()
+                        }
+                        .with_backend(kind);
+                        let (s, mut r1) = solver(seed, config);
+                        let problems =
+                            ProblemGenerator::new(DatasetKind::Raven).generate_batch(3, &mut r1);
+                        let mut r2 = r1.clone();
+                        let mut r3 = r1.clone();
+
+                        let specialized = s.compile_plan(problems.len(), true);
+                        let mut sc1 = SolverScratch::default();
+                        let planned = s
+                            .solve_batch_with_plan(&specialized, &problems, &mut r1, &mut sc1)
+                            .unwrap();
+
+                        let generic = s.compile_plan(problems.len(), false);
+                        prop_assert_eq!(generic.spec, WordSpec::Generic);
+                        let mut sc2 = SolverScratch::default();
+                        let generic_report = s
+                            .solve_batch_with_plan(&generic, &problems, &mut r2, &mut sc2)
+                            .unwrap();
+
+                        let (seq_choices, sequential) =
+                            solve_sequentially(&s, &problems, &mut r3);
+
+                        prop_assert_eq!(planned, sequential);
+                        prop_assert_eq!(generic_report, sequential);
+                        prop_assert_eq!(sc1.choices(), &seq_choices[..]);
+                        prop_assert_eq!(sc2.choices(), &seq_choices[..]);
+                        let fingerprint = r3.next_u64();
+                        prop_assert_eq!(r1.next_u64(), fingerprint);
+                        prop_assert_eq!(r2.next_u64(), fingerprint);
+                    }
+                }
+            }
+        }
     }
 }
