@@ -7,10 +7,14 @@
 //! scratch) vs `solve_sequential` (per-problem loop) at 8- and 64-problem batches,
 //! plus the **large-codebook cleanup** cells — `cleanup_indexed` at 10^4 and 10^5
 //! rows (10^6 with `BENCH_LARGE=1`), pitting the pruned exact `CleanupIndex` scan
-//! (`packed`) against the flat linear packed scan (`reference`) — prints the
-//! speedup table, and writes the raw `(backend, kernel, dim, batch) → ns/op`
-//! records to `BENCH_backends.json` in the current directory — the file the CI
-//! bench-smoke step publishes so the perf trajectory is tracked across PRs.
+//! (`packed`) against the flat linear packed scan (`reference`) — plus the
+//! **resonator-fusion** cells: `resonate_iter` (one full fused resonator iteration
+//! vs the split three-pass sequence at d=4096) and `solve_batch_fused` /
+//! `solve_batch_split` (the planned solver with the iteration `FusionMode` forced
+//! each way) — prints the speedup table, and writes the raw
+//! `(backend, kernel, dim, batch) → ns/op` records to `BENCH_backends.json` in the
+//! current directory — the file the CI bench-smoke step publishes so the perf
+//! trajectory is tracked across PRs.
 //!
 //! **Regression guard:** before overwriting, the committed `BENCH_backends.json` is
 //! read as the baseline; if any packed-backend kernel slowed down by more than 1.3×,
@@ -25,7 +29,10 @@
 //! means detection broke, not that the hardware shrank). Analogously,
 //! `BENCH_REQUIRE_PLAN_SPEC=1` fails the run unless the packed solver's compiled
 //! plan at d=1024 resolves the `W=16` const-generic word-count specialization —
-//! the smoke gate for the plan compiler's specialization table.
+//! the smoke gate for the plan compiler's specialization table — and
+//! `BENCH_REQUIRE_FUSION=1` fails it unless that same plan resolves the fused
+//! resonator kernel (`fusion=fused`), the smoke gate for the plan compiler's
+//! fusion decision.
 //!
 //! `--explain` prints the compiled solve plans (stage IR, chosen specialization,
 //! route, chunk width) for the solver shapes the sweep measures, plus the
@@ -82,10 +89,14 @@ fn main() -> ExitCode {
             )
         };
         let solver_1024 = packed_solver(1024);
-        let spec_1024 = solver_1024
-            .plan_for_batch(cogsys::experiments::SOLVER_BENCH_PROBLEMS[0])
-            .spec;
+        let plan_1024 = solver_1024.plan_for_batch(cogsys::experiments::SOLVER_BENCH_PROBLEMS[0]);
+        let spec_1024 = plan_1024.spec;
+        let fusion_1024 = plan_1024.resonate_fusion(0);
         println!("plan spec at d=1024: {}", spec_1024.as_str());
+        println!(
+            "plan fusion at d=1024: {}",
+            fusion_1024.map_or("<no resonate stage>", |f| f.as_str())
+        );
         if std::env::var("BENCH_REQUIRE_PLAN_SPEC").as_deref() == Ok("1")
             && spec_1024.as_str() != "W=16"
         {
@@ -93,6 +104,16 @@ fn main() -> ExitCode {
                 "BENCH_REQUIRE_PLAN_SPEC=1: packed plan at d=1024 resolved `{}` \
                  instead of the W=16 specialization",
                 spec_1024.as_str()
+            );
+            return ExitCode::FAILURE;
+        }
+        if std::env::var("BENCH_REQUIRE_FUSION").as_deref() == Ok("1")
+            && fusion_1024 != Some(cogsys_vsa::FusionMode::Fused)
+        {
+            eprintln!(
+                "BENCH_REQUIRE_FUSION=1: packed plan at d=1024 resolved `{}` \
+                 instead of the fused resonator kernel",
+                fusion_1024.map_or("<no resonate stage>", |f| f.as_str())
             );
             return ExitCode::FAILURE;
         }
@@ -135,6 +156,10 @@ fn main() -> ExitCode {
         &cleanup_rows,
         SEED,
     ));
+
+    // Resonator-iteration microbench: the fused mega-kernel vs the split
+    // three-pass sequence, one full iteration over all factors at d=4096.
+    records.extend(cogsys::experiments::resonate_iter_records(SEED));
 
     let json = cogsys::experiments::backend_throughput_json(SEED, &records);
     std::fs::write(path, &json).expect("BENCH_backends.json is writable");
@@ -248,11 +273,42 @@ fn main() -> ExitCode {
         );
     }
 
+    // The fusion A/B acceptance numbers: the planned solver with the resonator
+    // FusionMode forced each way, and the isolated per-iteration kernel.
+    if let (Some(fused), Some(split)) = (
+        solver_cell("packed", "solve_batch_fused"),
+        solver_cell("packed", "solve_batch_split"),
+    ) {
+        println!(
+            "resonator fusion 64-problem batch (packed): split {:.1} ms, \
+             fused {:.1} ms ({:.2}x)",
+            split / 1e6,
+            fused / 1e6,
+            split / fused.max(1.0),
+        );
+    }
+    let iter_cell = |backend: &str| {
+        records
+            .iter()
+            .find(|r| r.backend == backend && r.kernel == "resonate_iter")
+            .map(|r| r.ns_per_op)
+    };
+    if let (Some(fused), Some(split)) = (iter_cell("packed"), iter_cell("reference")) {
+        println!(
+            "resonate_iter d={} rows={}: split {:.3} ms/iter, fused {:.3} ms/iter ({:.2}x)",
+            cogsys::experiments::RESONATE_ITER_BENCH_DIM,
+            cogsys::experiments::RESONATE_ITER_BENCH_ROWS,
+            split / 1e6,
+            fused / 1e6,
+            split / fused.max(1.0),
+        );
+    }
+
     // Scheduler/simulator consumption of the real plan stages: the adSCH
-    // schedule over the lowered stage IR must be structurally valid and every
-    // measured stage anchor present; share ratios are informational (the op
-    // graph lowers one pass per stage, the measured decode contains the full
-    // resonator loop).
+    // schedule over the lowered stage IR must be structurally valid, every
+    // measured stage anchor present, and — with the iteration-aware resonate
+    // lowering — the scheduled decode share must track the measured one (see
+    // `plan_schedule_report`'s share contract).
     let (plan_table, plan_mismatches) = cogsys::experiments::plan_schedule_report(&records);
     println!("{plan_table}");
     if !plan_mismatches.is_empty() {

@@ -443,6 +443,62 @@ pub fn solver_throughput_records(problem_counts: &[usize], seed: u64) -> Vec<Ben
                     ns_per_op: generic * 1e9,
                 });
 
+                // Fused-vs-split resonator A/B: the same specialized plan with the
+                // iteration FusionMode forced each way (decision-identical paths,
+                // pure dataflow A/B). `solve_batch_fused`'s same-run normalizer is
+                // the split time — recorded as its reference twin — so the geomean
+                // guard gates the fused kernel's advantage directly; the split
+                // cell is normalized by the reference backend's end-to-end solve.
+                use cogsys_vsa::FusionMode;
+                let fused_plan = solver.compile_plan_with_fusion(count, true, FusionMode::Fused);
+                let split_plan = solver.compile_plan_with_fusion(count, true, FusionMode::Split);
+                let fused = time(&mut || {
+                    let mut r = cogsys_vsa::rng(seed ^ 0x5eed);
+                    let _ = solver
+                        .solve_batch_with_plan(&fused_plan, &problems, &mut r, &mut scratch)
+                        .expect("well-formed problems solve");
+                });
+                let split = time(&mut || {
+                    let mut r = cogsys_vsa::rng(seed ^ 0x5eed);
+                    let _ = solver
+                        .solve_batch_with_plan(&split_plan, &problems, &mut r, &mut scratch)
+                        .expect("well-formed problems solve");
+                });
+                records.push(BenchRecord {
+                    backend: backend.to_string(),
+                    kernel: "solve_batch_fused".to_string(),
+                    dim,
+                    batch: count,
+                    ns_per_op: fused * 1e9,
+                });
+                records.push(BenchRecord {
+                    backend: "reference".to_string(),
+                    kernel: "solve_batch_fused".to_string(),
+                    dim,
+                    batch: count,
+                    ns_per_op: split * 1e9,
+                });
+                records.push(BenchRecord {
+                    backend: backend.to_string(),
+                    kernel: "solve_batch_split".to_string(),
+                    dim,
+                    batch: count,
+                    ns_per_op: split * 1e9,
+                });
+                if let Some(ref_solve) = records
+                    .iter()
+                    .find(|r| r.matches("reference", "solve_batch", dim, count))
+                    .map(|r| r.ns_per_op)
+                {
+                    records.push(BenchRecord {
+                        backend: "reference".to_string(),
+                        kernel: "solve_batch_split".to_string(),
+                        dim,
+                        batch: count,
+                        ns_per_op: ref_solve,
+                    });
+                }
+
                 // Per-stage wall clock of the best timed round (by total), the
                 // cells the serving front end's per-stage service fit consumes.
                 let mut run_timed = || {
@@ -573,6 +629,158 @@ pub fn cleanup_index_records(rows_list: &[usize], seed: u64) -> Vec<BenchRecord>
         );
     }
     records
+}
+
+/// Hypervector dimensionality of the resonator-iteration microbench (the W=64
+/// specialization — the widest production word count).
+pub const RESONATE_ITER_BENCH_DIM: usize = 4096;
+
+/// Query rows of the resonator-iteration microbench.
+pub const RESONATE_ITER_BENCH_ROWS: usize = 256;
+
+/// Factors of the resonator-iteration microbench (NVSA's RAVEN attribute arity).
+pub const RESONATE_ITER_BENCH_FACTORS: usize = 3;
+
+/// Measures one full packed resonator iteration — unbind, similarity, weighted
+/// sign projection across all [`RESONATE_ITER_BENCH_FACTORS`] factors — with the
+/// fused mega-kernel ([`cogsys_vsa::PackedBackend::resonate_step_fused_spec_into`],
+/// recorded as `packed` / `resonate_iter`) against the split three-pass sequence
+/// the pre-fusion resonator ran (full-batch unbind materialization, standalone
+/// similarity GEMM, standalone projection sweep; recorded as `reference` /
+/// `resonate_iter`). Both paths run the same `W=64` monomorphized kernels over
+/// the same planes with no-op hooks, so the ratio is pure dataflow: the fused
+/// kernel loads each codebook sign-plane word once per iteration where the split
+/// sequence streams the batch planes three times.
+pub fn resonate_iter_records(seed: u64) -> Vec<BenchRecord> {
+    use cogsys_vsa::packed::{BitMatrix, PackedBackend, WordSpec};
+    use std::time::Instant;
+
+    let dim = RESONATE_ITER_BENCH_DIM;
+    let rows = RESONATE_ITER_BENCH_ROWS;
+    let factors = RESONATE_ITER_BENCH_FACTORS;
+    let spec = WordSpec::for_dim(dim);
+    let backend = PackedBackend::new();
+    let mut rng = cogsys_vsa::rng(seed);
+
+    let codebook = BitMatrix::random_bipolar(BENCH_CODEBOOK_ROWS, dim, &mut rng);
+    let query = BitMatrix::random_bipolar(rows, dim, &mut rng);
+    let mut estimates: Vec<BitMatrix> = (0..factors)
+        .map(|_| BitMatrix::random_bipolar(rows, dim, &mut rng))
+        .collect();
+
+    let mut unbound_lanes = BitMatrix::default();
+    let mut unbound_full = BitMatrix::zeros(rows, dim);
+    let mut sims = HvMatrix::default();
+    let mut acc = Vec::new();
+
+    // Decision-identity sanity check before timing: one iteration through each
+    // path from the same starting planes must produce bitwise-identical
+    // estimates (the proptests pin this exhaustively; this catches drift in the
+    // bench harness itself).
+    {
+        let mut fused_est = estimates.clone();
+        let mut split_est = estimates.clone();
+        for f in 0..factors {
+            backend.resonate_step_fused_spec_into(
+                spec,
+                &codebook,
+                &query,
+                &mut fused_est,
+                f,
+                &mut unbound_lanes,
+                &mut sims,
+                &mut acc,
+                |_, _, _| {},
+            );
+            let (head, rest) = split_est.split_at_mut(f);
+            let (out, tail) = rest.split_first_mut().expect("factor index in range");
+            unbound_full.copy_from(&query);
+            for est in head.iter().chain(tail.iter()) {
+                unbound_full
+                    .xor_assign(est)
+                    .expect("estimate planes share the query shape");
+            }
+            backend.similarity_matrix_packed_spec_into(spec, &codebook, &unbound_full, &mut sims);
+            backend.project_signs_packed_spec_into(
+                spec,
+                &codebook,
+                &sims,
+                |_, _| {},
+                &mut acc,
+                out,
+            );
+        }
+        assert_eq!(
+            fused_est, split_est,
+            "fused resonator step diverged from the split sequence"
+        );
+    }
+
+    let time = |f: &mut dyn FnMut()| {
+        f();
+        (0..5)
+            .map(|_| {
+                let t = Instant::now();
+                f();
+                t.elapsed().as_secs_f64()
+            })
+            .fold(f64::INFINITY, f64::min)
+    };
+
+    let fused = time(&mut || {
+        for f in 0..factors {
+            backend.resonate_step_fused_spec_into(
+                spec,
+                &codebook,
+                &query,
+                &mut estimates,
+                f,
+                &mut unbound_lanes,
+                &mut sims,
+                &mut acc,
+                |_, _, _| {},
+            );
+        }
+    });
+
+    let split = time(&mut || {
+        for f in 0..factors {
+            let (head, rest) = estimates.split_at_mut(f);
+            let (out, tail) = rest.split_first_mut().expect("factor index in range");
+            unbound_full.copy_from(&query);
+            for est in head.iter().chain(tail.iter()) {
+                unbound_full
+                    .xor_assign(est)
+                    .expect("estimate planes share the query shape");
+            }
+            backend.similarity_matrix_packed_spec_into(spec, &codebook, &unbound_full, &mut sims);
+            backend.project_signs_packed_spec_into(
+                spec,
+                &codebook,
+                &sims,
+                |_, _| {},
+                &mut acc,
+                out,
+            );
+        }
+    });
+
+    vec![
+        BenchRecord {
+            backend: "packed".to_string(),
+            kernel: "resonate_iter".to_string(),
+            dim,
+            batch: rows,
+            ns_per_op: fused * 1e9,
+        },
+        BenchRecord {
+            backend: "reference".to_string(),
+            kernel: "resonate_iter".to_string(),
+            dim,
+            batch: rows,
+            ns_per_op: split * 1e9,
+        },
+    ]
 }
 
 /// Parses a `BENCH_backends.json` payload produced by
@@ -759,6 +967,11 @@ pub fn backend_throughput(dims: &[usize], batches: &[usize], seed: u64) -> Exper
     backend_throughput_table(&backend_throughput_records(dims, batches, seed))
 }
 
+/// Maximum tolerated gap, in percentage points, between the scheduled and
+/// measured decode share in [`plan_schedule_report`]. See that function's
+/// share-contract notes for why the band is this wide.
+pub const PLAN_DECODE_SHARE_TOLERANCE_PP: f64 = 15.0;
+
 /// Maps a [`cogsys_workloads::PlanStage`] name onto the macro stage group the
 /// solver's stage timer and the sweep's `plan_stage_*` cells report.
 fn plan_stage_group(name: &str) -> &'static str {
@@ -781,13 +994,18 @@ fn plan_stage_group(name: &str) -> &'static str {
 /// cycles are folded into the encode/decode/score macro groups and tabulated
 /// next to the measured stage wall clocks.
 ///
-/// Returned mismatches (empty = valid) cover the *structural* contract: the
+/// Returned mismatches (empty = valid) cover two contracts. *Structural*: the
 /// graph must schedule without violations, every macro stage must receive
 /// cycles, and — when the records contain the packed `plan_stage_*` anchor
-/// cells for that shape — all three anchors must be present. Share *ratios*
-/// are reported, not asserted: the op graph lowers one pass per stage, while
-/// the measured decode cell contains the resonator's full iterative loop, so a
-/// large measured-decode excess is expected and visible in the table.
+/// cells for that shape — all three anchors must be present. *Share*: since the
+/// resonate stage lowers iteration-aware (its kernel count is multiplied by the
+/// configured iteration cap), the scheduled decode share is a real prediction
+/// of the measured split, so decode must dominate both views and the two
+/// decode shares must agree within [`PLAN_DECODE_SHARE_TOLERANCE_PP`]
+/// percentage points. The band is deliberately generous: the encode stage
+/// lowers as dense `O(d²)` circular-convolution kernels (overstating the
+/// packed encoder), and the lowering charges the worst-case trip count while
+/// the measured loop exits at convergence.
 pub fn plan_schedule_report(records: &[BenchRecord]) -> (ExperimentTable, Vec<String>) {
     use cogsys_scheduler::{AdSchScheduler, Scheduler};
 
@@ -873,6 +1091,33 @@ pub fn plan_schedule_report(records: &[BenchRecord]) -> (ExperimentTable, Vec<St
             mismatches.push(format!(
                 "batch={batch}: incomplete packed plan_stage_* anchor cells at d={dim}"
             ));
+        }
+        // Share contract (see the function docs): with iteration-aware resonate
+        // lowering the scheduled decode share predicts the measured one.
+        if total_cycles > 0 && measured.iter().all(Option::is_some) {
+            let sched_share = |i: usize| 100.0 * cycles[i].1 as f64 / total_cycles as f64;
+            let meas_share =
+                |i: usize| 100.0 * measured[i].unwrap_or(f64::NAN) / measured_total.max(1.0);
+            let (sched_decode, meas_decode) = (sched_share(1), meas_share(1));
+            if sched_decode <= sched_share(0) || sched_decode <= sched_share(2) {
+                mismatches.push(format!(
+                    "batch={batch}: decode is not the dominant scheduled stage \
+                     ({sched_decode:.1}% of scheduled cycles)"
+                ));
+            }
+            if meas_decode <= meas_share(0) || meas_decode <= meas_share(2) {
+                mismatches.push(format!(
+                    "batch={batch}: decode is not the dominant measured stage \
+                     ({meas_decode:.1}% of stage wall clock)"
+                ));
+            }
+            if (sched_decode - meas_decode).abs() > PLAN_DECODE_SHARE_TOLERANCE_PP {
+                mismatches.push(format!(
+                    "batch={batch}: scheduled decode share {sched_decode:.1}% deviates from \
+                     measured {meas_decode:.1}% by more than \
+                     {PLAN_DECODE_SHARE_TOLERANCE_PP:.0} points"
+                ));
+            }
         }
     }
     (table, mismatches)
@@ -1577,6 +1822,25 @@ pub fn tab10_codesign() -> ExperimentTable {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Manual microbenchmark for the fused-vs-split resonator iteration (the
+    /// records also embed a full bitwise identity check). Ignored by default —
+    /// it is a timing probe, not an assertion; run it release with
+    /// `cargo test --release -p cogsys resonate_iter -- --ignored --nocapture`.
+    #[test]
+    #[ignore]
+    fn resonate_iter_microbench() {
+        for record in resonate_iter_records(7) {
+            println!(
+                "{}/{} d={} rows={}: {:.3} ms/iter",
+                record.backend,
+                record.kernel,
+                record.dim,
+                record.batch,
+                record.ns_per_op / 1e6
+            );
+        }
+    }
 
     #[test]
     fn experiment_table_accessors_and_display() {

@@ -10,7 +10,7 @@
 use crate::config::FactorizerConfig;
 use cogsys_vsa::batch::{HvMatrix, VsaBackend};
 use cogsys_vsa::codebook::{BindingOp, CodebookSet};
-use cogsys_vsa::packed::{BitMatrix, CleanupScratch, WordSpec};
+use cogsys_vsa::packed::{BitMatrix, CleanupScratch, FusionMode, ResonatePhase, WordSpec};
 use cogsys_vsa::quant::fake_quantize_slice;
 use cogsys_vsa::{ops, Hypervector, Precision, VsaError};
 use rand::rngs::StdRng;
@@ -385,6 +385,76 @@ impl FactorizerScratch {
     pub fn cleanup_buffers(&mut self) -> (&mut CleanupScratch, &mut Vec<(usize, f32)>) {
         (&mut self.cleanup, &mut self.cleanup_results)
     }
+
+    /// Pre-sizes every packed-engine buffer for a decode of up to `rows`
+    /// queries of dimension `dim` against `num_factors` codebooks of at most
+    /// `max_codebook_rows` rows each — the shapes a compiled solve plan fixes
+    /// up front — so the steady-state serving loop never reallocates scratch
+    /// mid-stream. `ensure_shape` / `resize` within these bounds reuse the
+    /// backing storage (buffers are never shrunk), which
+    /// [`FactorizerScratch::packed_capacity_fingerprint`] lets callers assert.
+    pub fn reserve_packed(
+        &mut self,
+        rows: usize,
+        dim: usize,
+        num_factors: usize,
+        max_codebook_rows: usize,
+    ) {
+        if rows == 0 || dim == 0 {
+            return;
+        }
+        self.states.reserve(rows.saturating_sub(self.states.len()));
+        self.order.reserve(rows.saturating_sub(self.order.len()));
+        self.survivors
+            .reserve(rows.saturating_sub(self.survivors.len()));
+        self.decoded_rows
+            .reserve(rows.saturating_sub(self.decoded_rows.len()));
+        self.sims.ensure_shape(rows, max_codebook_rows.max(1));
+        self.query_bits.ensure_shape(rows, dim);
+        if self.estimates_bits.len() < num_factors {
+            self.estimates_bits
+                .resize_with(num_factors, BitMatrix::default);
+        }
+        for est in self.estimates_bits.iter_mut().take(num_factors) {
+            est.ensure_shape(rows, dim);
+        }
+        self.unbound_bits.ensure_shape(rows, dim);
+        self.rebound_bits.ensure_shape(rows, dim);
+        self.factor_bits.ensure_shape(rows, dim);
+        self.init_bits.ensure_shape(1, dim);
+        self.gather_tmp_bits.ensure_shape(rows, dim);
+        let proj = cogsys_vsa::packed::PROJ_LANE_ROWS * dim;
+        self.proj_acc
+            .reserve(proj.saturating_sub(self.proj_acc.len()));
+        self.cleanup.reserve_queries(rows);
+        self.cleanup_results
+            .reserve(rows.saturating_sub(self.cleanup_results.len()));
+    }
+
+    /// Capacities of every packed-engine buffer, in a fixed order — equality of
+    /// two fingerprints straddling a stream of decode calls proves the calls
+    /// allocated no scratch (capacities only ever grow).
+    pub fn packed_capacity_fingerprint(&self) -> Vec<usize> {
+        let mut fp = vec![
+            self.states.capacity(),
+            self.order.capacity(),
+            self.survivors.capacity(),
+            self.decoded_rows.capacity(),
+            self.sims.capacity(),
+            self.query_bits.word_capacity(),
+            self.unbound_bits.word_capacity(),
+            self.rebound_bits.word_capacity(),
+            self.factor_bits.word_capacity(),
+            self.init_bits.word_capacity(),
+            self.gather_tmp_bits.word_capacity(),
+            self.proj_acc.capacity(),
+            self.cleanup.best_capacity(),
+            self.cleanup_results.capacity(),
+            self.estimates_bits.capacity(),
+        ];
+        fp.extend(self.estimates_bits.iter().map(BitMatrix::word_capacity));
+        fp
+    }
 }
 
 impl Factorizer {
@@ -540,7 +610,13 @@ impl Factorizer {
         // which the packed pipeline skips, and the fast path must stay
         // decision-identical to the dense engine.
         if self.packed_pipeline(set) && scratch.pack_query() {
-            return self.factorize_matrix_packed(set, streams, scratch, WordSpec::for_dim(dim));
+            return self.factorize_matrix_packed(
+                set,
+                streams,
+                scratch,
+                WordSpec::for_dim(dim),
+                FusionMode::resolve_env(),
+            );
         }
 
         self.factorize_matrix_dense(set, streams, scratch)
@@ -620,6 +696,36 @@ impl Factorizer {
         scratch: &mut FactorizerScratch,
         spec: WordSpec,
     ) -> Result<Vec<FactorizationResult>, VsaError> {
+        self.factorize_matrix_bits_scratch_plan(
+            set,
+            queries,
+            streams,
+            scratch,
+            spec,
+            FusionMode::resolve_env(),
+        )
+    }
+
+    /// [`Factorizer::factorize_matrix_bits_scratch_spec`] with the iteration
+    /// [`FusionMode`] also pre-resolved by the caller (a compiled solve plan).
+    /// `Fused` runs the single-pass resonator mega-kernel
+    /// ([`cogsys_vsa::PackedBackend::resonate_step_fused_into`]); `Split` runs
+    /// the reference three-kernel sequence. Both paths are decision-identical —
+    /// same similarities, sign bits and rng-stream consumption — so the mode
+    /// only selects codegen/dataflow, never results.
+    ///
+    /// # Errors
+    /// Returns [`VsaError::DimensionMismatch`] when `queries.dim()` differs from the
+    /// codebook dimension or `streams.len() != queries.rows()`.
+    pub fn factorize_matrix_bits_scratch_plan(
+        &self,
+        set: &CodebookSet,
+        queries: &BitMatrix,
+        streams: &mut [StdRng],
+        scratch: &mut FactorizerScratch,
+        spec: WordSpec,
+        fusion: FusionMode,
+    ) -> Result<Vec<FactorizationResult>, VsaError> {
         let n = queries.rows();
         if queries.dim() != set.dim() && n > 0 {
             return Err(VsaError::DimensionMismatch {
@@ -638,7 +744,7 @@ impl Factorizer {
         }
         if self.packed_pipeline(set) {
             scratch.query_bits.copy_from(queries);
-            return self.factorize_matrix_packed(set, streams, scratch, spec);
+            return self.factorize_matrix_packed(set, streams, scratch, spec, fusion);
         }
         // Unpacked fallback (non-Hadamard binding, reduced precision, dense backend):
         // ±1 values survive quantization at every precision, so the dense engine sees
@@ -826,6 +932,7 @@ impl Factorizer {
         streams: &mut [StdRng],
         scratch: &mut FactorizerScratch,
         spec: WordSpec,
+        fusion: FusionMode,
     ) -> Result<Vec<FactorizationResult>, VsaError> {
         let FactorizerScratch {
             states,
@@ -886,6 +993,48 @@ impl Factorizer {
                 let cb_bits = factor
                     .packed()
                     .expect("packed engine requires packed codebooks");
+
+                if fusion == FusionMode::Fused {
+                    // Fused mega-kernel: unbind, popcount similarity and weighted
+                    // sign projection in one tiled pass over the codebook sign
+                    // planes per 8-query lane block — each plane word is loaded
+                    // once per iteration instead of three times, and no full-batch
+                    // unbound plane is materialized. The hook runs the exact
+                    // per-row work of the split steps below (similarity perturb +
+                    // argmax decode, then projection perturb), in ascending row
+                    // order per lane block; per-query streams are private, so the
+                    // consumed noise positions match the split path draw for draw.
+                    packed.resonate_step_fused_spec_into(
+                        spec,
+                        cb_bits,
+                        query_bits,
+                        estimates,
+                        f,
+                        unbound_bits,
+                        sims,
+                        proj_acc,
+                        |phase, slot, row| {
+                            let q = order[slot];
+                            match phase {
+                                ResonatePhase::Similarity => {
+                                    if let Some(noise) = &states[q].sim_noise {
+                                        noise.perturb_all(row, &mut streams[q]);
+                                    }
+                                    states[q].decoded[f] = ops::argmax(row).unwrap_or(0);
+                                }
+                                ResonatePhase::Projection => {
+                                    if let Some(noise) = &states[q].proj_noise {
+                                        noise.perturb_signs_spec(spec, row, &mut streams[q]);
+                                    }
+                                }
+                            }
+                        },
+                    );
+                    continue;
+                }
+
+                // Split reference path (`COGSYS_FUSION=split` / plan decision):
+                // bitwise-identical to the fused kernel, kept as the A/B twin.
 
                 // Step 1 (XOR): unbind every other factor's estimate from the query.
                 unbound_bits.copy_from(query_bits);

@@ -1,15 +1,21 @@
 //! Load generator / smoke driver for the serving loop.
 //!
-//! Replays a deterministic traffic trace (steady, bursty, or an adversarial
-//! poison mix) through [`cogsys_serve::ServeLoop`] and prints per-window
-//! p50/p99 latency, throughput and shed/degraded/retried counts, then the
-//! lifetime counters.
+//! Replays a deterministic traffic trace (steady, bursty, an adversarial
+//! poison mix, or a recorded arrival log) through [`cogsys_serve::ServeLoop`]
+//! and prints per-window p50/p99 latency, throughput and shed/degraded/retried
+//! counts, then the lifetime counters.
 //!
 //! ```text
-//! serve_loadgen [--shape steady|bursty|adversarial] [--requests N]
-//!               [--dim D] [--seed S] [--chaos] [--window-micros W] [--check]
-//!               [--explain]
+//! serve_loadgen [--shape steady|bursty|adversarial|recorded:<path>]
+//!               [--requests N] [--dim D] [--seed S] [--chaos]
+//!               [--window-micros W] [--check] [--explain]
 //! ```
+//!
+//! `recorded:<path>` replays arrival times from a file of newline-delimited
+//! virtual-time offsets in micros (blank lines and `#` comments skipped,
+//! strictly increasing); the request count comes from the file, so
+//! `--requests` is rejected with it. One committed diurnal trace lives at
+//! `crates/serve/traces/diurnal.txt`.
 //!
 //! `--chaos` additionally wraps the engine in the fault-injection harness
 //! (forced transient faults + injected latency). `--check` turns the run into
@@ -54,8 +60,11 @@ impl Default for Options {
 }
 
 fn usage() -> String {
-    "usage: serve_loadgen [--shape steady|bursty|adversarial] [--requests N] \
-     [--dim D] [--seed S] [--window-micros W] [--chaos] [--check] [--explain]"
+    "usage: serve_loadgen [--shape steady|bursty|adversarial|recorded:<path>] \
+     [--requests N] [--dim D] [--seed S] [--window-micros W] [--chaos] [--check] \
+     [--explain]\n  recorded:<path> replays newline-delimited virtual-time arrival \
+     offsets (micros); the request count comes from the file, so --requests is \
+     rejected with it"
         .into()
 }
 
@@ -63,6 +72,7 @@ fn usage() -> String {
 /// silent fallbacks to defaults.
 fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut options = Options::default();
+    let mut explicit_requests = false;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         let mut value_of = |name: &str| {
@@ -74,11 +84,19 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 let v = value_of("--shape")?;
                 match v.as_str() {
                     "steady" | "bursty" | "adversarial" => options.shape = v.clone(),
+                    recorded
+                        if recorded
+                            .strip_prefix("recorded:")
+                            .is_some_and(|p| !p.is_empty()) =>
+                    {
+                        options.shape = v.clone();
+                    }
                     other => return Err(format!("unknown shape `{other}`\n{}", usage())),
                 }
             }
             "--requests" => {
                 let v = value_of("--requests")?;
+                explicit_requests = true;
                 options.requests = v
                     .parse()
                     .map_err(|_| format!("invalid --requests `{v}`\n{}", usage()))?;
@@ -111,17 +129,38 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     if options.requests == 0 {
         return Err(format!("--requests must be > 0\n{}", usage()));
     }
+    if explicit_requests && options.shape.starts_with("recorded:") {
+        return Err(format!(
+            "--requests conflicts with a recorded shape (the trace file sets the count)\n{}",
+            usage()
+        ));
+    }
     Ok(options)
 }
 
 fn run(options: &Options) -> Result<bool, String> {
-    let mut trace_config = match options.shape.as_str() {
-        "steady" => TraceConfig::steady(options.requests),
-        "bursty" => TraceConfig::bursty(options.requests),
-        _ => TraceConfig::adversarial(options.requests),
+    let (trace, request_count) = if let Some(path) = options.shape.strip_prefix("recorded:") {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("recorded trace `{path}` unreadable: {e}"))?;
+        let arrivals = cogsys_serve::parse_recorded_arrivals(&text)
+            .map_err(|e| format!("recorded trace `{path}`: {e}"))?;
+        // Recorded arrivals carry the timing; the request content (clean
+        // problems, deadlines) follows the steady preset and the seed.
+        let mut trace_config = TraceConfig::steady(arrivals.len());
+        trace_config.seed = options.seed;
+        (
+            trace_config.generate_with_arrivals(&arrivals),
+            arrivals.len(),
+        )
+    } else {
+        let mut trace_config = match options.shape.as_str() {
+            "steady" => TraceConfig::steady(options.requests),
+            "bursty" => TraceConfig::bursty(options.requests),
+            _ => TraceConfig::adversarial(options.requests),
+        };
+        trace_config.seed = options.seed;
+        (trace_config.generate(), options.requests)
     };
-    trace_config.seed = options.seed;
-    let trace = trace_config.generate();
 
     // Virtual service times come from the committed kernel sweep when present, so
     // latency distributions track measured solver costs; otherwise the constant
@@ -194,7 +233,7 @@ fn run(options: &Options) -> Result<bool, String> {
 
     println!(
         "# shape={} requests={} dim={} seed={} chaos={}",
-        options.shape, options.requests, options.dim, options.seed, options.chaos
+        options.shape, request_count, options.dim, options.seed, options.chaos
     );
     println!("window_ms   done  rej  degr  retr    p50_ms    p99_ms   prob/s");
     for w in metrics::windowed(&responses, options.window_micros) {

@@ -57,7 +57,7 @@ pub use engine::{ChunkEngine, ChunkResult, DegradationLevel, SolverEngine};
 pub use error::{Rejection, ServeError};
 pub use metrics::{Counters, WindowStats};
 pub use request::{Answer, Request, Response};
-pub use trace::{TraceConfig, TrafficShape};
+pub use trace::{parse_recorded_arrivals, TraceConfig, TrafficShape};
 
 use cogsys::CogSysConfig;
 use cogsys_workloads::SolverConfig;

@@ -96,12 +96,10 @@ impl TraceConfig {
 
     /// Generates the trace. Deterministic in the config (including the seed).
     pub fn generate(&self) -> Vec<Request> {
-        let mut rng = StdRng::seed_from_u64(self.seed);
-        let generator = ProblemGenerator::new(self.dataset);
         let base_gap = self.interarrival_micros.max(1);
         let burst_gap = (base_gap / self.burst_multiplier.max(1)).max(1);
         let mut arrival = 0u64;
-        let mut requests = Vec::with_capacity(self.requests);
+        let mut arrivals = Vec::with_capacity(self.requests);
         for id in 0..self.requests {
             let gap = match self.shape {
                 TrafficShape::Steady => base_gap,
@@ -115,6 +113,24 @@ impl TraceConfig {
                 }
             };
             arrival += gap;
+            arrivals.push(arrival);
+        }
+        self.generate_with_arrivals(&arrivals)
+    }
+
+    /// Generates a trace whose arrival times come from a recorded list of
+    /// virtual-time offsets (micros) instead of this config's synthetic shape —
+    /// the replay path behind the load generator's `recorded:<path>` shape. The
+    /// request *content* (dataset, poison mix, scrambling, deadlines) still
+    /// follows the config with the same rng draw order as [`Self::generate`],
+    /// so a recorded replay over `n` offsets is deterministic in
+    /// `(config, arrivals)` and [`Self::generate`] is exactly
+    /// `generate_with_arrivals` over its own synthetic offsets.
+    pub fn generate_with_arrivals(&self, arrivals: &[u64]) -> Vec<Request> {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let generator = ProblemGenerator::new(self.dataset);
+        let mut requests = Vec::with_capacity(arrivals.len());
+        for (id, &arrival) in arrivals.iter().enumerate() {
             let problem = if self.poison_fraction > 0.0
                 && rng.gen_bool(self.poison_fraction.clamp(0.0, 1.0))
             {
@@ -137,6 +153,37 @@ impl TraceConfig {
         }
         requests
     }
+}
+
+/// Parses a recorded arrival trace: newline-delimited virtual-time offsets in
+/// micros, with blank lines and `#` comments skipped. Offsets must be strictly
+/// increasing (the serving loop's virtual clock never runs backwards and
+/// request ids are issued in arrival order), and the trace must contain at
+/// least one offset.
+pub fn parse_recorded_arrivals(text: &str) -> Result<Vec<u64>, String> {
+    let mut arrivals = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let offset: u64 = line
+            .parse()
+            .map_err(|_| format!("line {}: invalid arrival offset `{line}`", lineno + 1))?;
+        if arrivals.last().is_some_and(|&prev| offset <= prev) {
+            return Err(format!(
+                "line {}: arrival offsets must be strictly increasing ({} after {})",
+                lineno + 1,
+                offset,
+                arrivals.last().copied().unwrap_or(0),
+            ));
+        }
+        arrivals.push(offset);
+    }
+    if arrivals.is_empty() {
+        return Err("recorded trace contains no arrival offsets".into());
+    }
+    Ok(arrivals)
 }
 
 #[cfg(test)]
@@ -170,6 +217,57 @@ mod tests {
         let calm_span = trace[15].arrival_micros - trace[0].arrival_micros;
         let burst_span = trace[31].arrival_micros - trace[16].arrival_micros;
         assert!(burst_span * 3 < calm_span, "{burst_span} vs {calm_span}");
+    }
+
+    #[test]
+    fn recorded_arrivals_parse_and_replay_deterministically() {
+        let text = "# comment\n\n100\n250\n  900 \n";
+        let arrivals = parse_recorded_arrivals(text).unwrap();
+        assert_eq!(arrivals, vec![100, 250, 900]);
+
+        // Malformed inputs are errors, not silent truncation.
+        assert!(parse_recorded_arrivals("").is_err());
+        assert!(parse_recorded_arrivals("# only comments\n").is_err());
+        assert!(parse_recorded_arrivals("100\nnope\n").is_err());
+        assert!(
+            parse_recorded_arrivals("100\n100\n").is_err(),
+            "non-increasing"
+        );
+        assert!(parse_recorded_arrivals("200\n100\n").is_err(), "decreasing");
+
+        // Replay carries the recorded times verbatim, the config's content
+        // generation otherwise: a synthetic trace regenerated through its own
+        // offsets is identical.
+        let config = TraceConfig::adversarial(16);
+        let synthetic = config.generate();
+        let offsets: Vec<u64> = synthetic.iter().map(|r| r.arrival_micros).collect();
+        assert_eq!(config.generate_with_arrivals(&offsets), synthetic);
+        let replay = config.generate_with_arrivals(&arrivals);
+        assert_eq!(replay.len(), 3);
+        assert_eq!(
+            replay.iter().map(|r| r.arrival_micros).collect::<Vec<_>>(),
+            arrivals
+        );
+    }
+
+    #[test]
+    fn committed_diurnal_trace_is_valid_and_daytime_heavy() {
+        let text = include_str!("../traces/diurnal.txt");
+        let arrivals = parse_recorded_arrivals(text).unwrap();
+        assert!(arrivals.len() >= 128, "trace too small: {}", arrivals.len());
+        // The diurnal shape must actually modulate load: the densest hour of
+        // the day packs several times more arrivals than the quietest.
+        let span = *arrivals.last().unwrap();
+        let hour = (span / 24).max(1);
+        let counts: Vec<usize> = (0..24)
+            .map(|h| arrivals.iter().filter(|&&a| a / hour == h).count())
+            .collect();
+        let peak = counts.iter().copied().max().unwrap();
+        let trough = counts.iter().copied().min().unwrap();
+        assert!(
+            peak >= trough.max(1) * 3,
+            "peak {peak} vs trough {trough}: not diurnal"
+        );
     }
 
     #[test]

@@ -41,8 +41,9 @@ const CODEBOOK_BLOCK_ROWS: usize = 128;
 ///
 /// Eight lanes turn the projection from "load every sign-plane word once per query"
 /// into "once per 8 queries", while the per-word working tile (64 dims × 8 lanes ×
-/// 4 B = 2 KiB) stays L1-resident across the whole codebook-row sweep.
-const PROJ_LANE_ROWS: usize = 8;
+/// 4 B = 2 KiB) stays L1-resident across the whole codebook-row sweep. Public so
+/// scratch pre-sizing can bound the fused-kernel lane buffers.
+pub const PROJ_LANE_ROWS: usize = 8;
 
 /// Minimum codebook row count at which [`CleanupIndex`] construction and the indexed
 /// cleanup path pay off. Below this the linear blocked scan already streams the whole
@@ -442,6 +443,69 @@ mod simd {
         for (slot, &a) in dist.iter_mut().zip(plane) {
             *slot += (q ^ a).count_ones() as u16;
         }
+    }
+
+    /// One codebook word's ±w update of the SoA projection tile, compiled with
+    /// AVX2. The packed sign word is expanded once into eight ymm sign-mask
+    /// vectors with variable left shifts (bit `b` lands in the IEEE sign
+    /// position of slot `b`), then each lane's 64 accumulator slots take eight
+    /// xor+add vector ops — versus 64 scalar shift/mask/xor/add rounds per lane
+    /// in the baseline kernel.
+    ///
+    /// Bitwise identical to [`super::project_tile_word_generic`] by
+    /// construction: vectorization runs *across* accumulator slots, never
+    /// across addends, so every slot still sums the same ±w sequence in
+    /// codebook-row order. An all-zero word yields all-zero masks, which is
+    /// exactly the scalar fast path's `+w` broadcast.
+    #[target_feature(enable = "avx2")]
+    fn project_tile_word_avx2(
+        tile: &mut [[f32; super::WORD_BITS]; super::PROJ_LANE_ROWS],
+        lanes: &[&[f32]],
+        m: usize,
+        word: u64,
+    ) {
+        let sign = _mm256_set1_epi32(i32::MIN);
+        // Left-shift counts that carry bit (8g + j) of a 32-bit half into the
+        // sign position of group g's lane j: ((half >> (8g + j)) & 1) << 31
+        // == (half << (31 - 8g - j)) & SIGN.
+        let counts = [
+            _mm256_setr_epi32(31, 30, 29, 28, 27, 26, 25, 24),
+            _mm256_setr_epi32(23, 22, 21, 20, 19, 18, 17, 16),
+            _mm256_setr_epi32(15, 14, 13, 12, 11, 10, 9, 8),
+            _mm256_setr_epi32(7, 6, 5, 4, 3, 2, 1, 0),
+        ];
+        let lo = _mm256_set1_epi32(word as u32 as i32);
+        let hi = _mm256_set1_epi32((word >> 32) as u32 as i32);
+        let mut masks = [_mm256_setzero_si256(); 8];
+        for (g, &count) in counts.iter().enumerate() {
+            masks[g] = _mm256_and_si256(_mm256_sllv_epi32(lo, count), sign);
+            masks[g + 4] = _mm256_and_si256(_mm256_sllv_epi32(hi, count), sign);
+        }
+        for (row, lane) in tile.iter_mut().zip(lanes) {
+            let w = _mm256_set1_epi32(lane[m].to_bits() as i32);
+            for (chunk, mask) in row.chunks_exact_mut(8).zip(masks) {
+                // SAFETY: chunks_exact_mut(8) guarantees exactly eight f32s;
+                // loadu/storeu have no alignment requirement.
+                unsafe {
+                    let cur = _mm256_loadu_ps(chunk.as_ptr());
+                    let addend = _mm256_castsi256_ps(_mm256_xor_si256(w, mask));
+                    _mm256_storeu_ps(chunk.as_mut_ptr(), _mm256_add_ps(cur, addend));
+                }
+            }
+        }
+    }
+
+    /// Safe wrapper over [`project_tile_word_avx2`]; only reachable after cpuid
+    /// detection.
+    pub(super) fn project_tile_word_avx2_checked(
+        tile: &mut [[f32; super::WORD_BITS]; super::PROJ_LANE_ROWS],
+        lanes: &[&[f32]],
+        m: usize,
+        word: u64,
+    ) {
+        // SAFETY: project_tile_fn() returns this function only when the avx2
+        // feature was detected on the running CPU.
+        unsafe { project_tile_word_avx2(tile, lanes, m, word) }
     }
 
     /// Safe wrapper over [`sketch_pair_popcnt`]; only reachable after cpuid detection.
@@ -863,6 +927,65 @@ impl std::fmt::Display for WordSpec {
     }
 }
 
+/// How the packed resonator iteration is executed: as the fused single-pass
+/// mega-kernel ([`PackedBackend::resonate_step_fused_into`]) or as the original
+/// three-kernel sequence (XOR-unbind → similarity GEMM → sign projection).
+///
+/// The two paths are decision-identical by construction — same similarities,
+/// same sign bits, same rng-stream consumption — so `Split` survives as the
+/// bitwise reference path and as an A/B switch (`COGSYS_FUSION=split`), not as
+/// a different algorithm. Plans record the resolved mode per resonate stage so
+/// `--explain` and the scheduler lowering see the same decision the kernels run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum FusionMode {
+    /// One tiled pass per iteration over the codebook sign planes: unbind,
+    /// popcount similarity, and weighted sign projection share each loaded word.
+    #[default]
+    Fused,
+    /// The reference three-kernel sequence; bitwise-identical results.
+    Split,
+}
+
+impl FusionMode {
+    /// Resolves the default mode, honouring the `COGSYS_FUSION=split` escape
+    /// hatch (any other value, or unset, selects the fused kernel).
+    pub fn resolve_env() -> Self {
+        match std::env::var("COGSYS_FUSION") {
+            Ok(v) if v.eq_ignore_ascii_case("split") => FusionMode::Split,
+            _ => FusionMode::Fused,
+        }
+    }
+
+    /// Label used by plan descriptions and bench output.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            FusionMode::Fused => "fused",
+            FusionMode::Split => "split",
+        }
+    }
+}
+
+impl std::fmt::Display for FusionMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Which sub-step of the fused resonator iteration a
+/// [`PackedBackend::resonate_step_fused_into`] hook invocation belongs to.
+/// The hook fires once per query row per phase, in ascending row order within
+/// each lane block, so per-query noise streams are consumed in exactly the
+/// order the split pipeline consumes them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ResonatePhase {
+    /// The row holds the freshly computed similarities (`d − 2·hamming`) for
+    /// this query against every codebook row: perturb in place and decode.
+    Similarity,
+    /// The row holds the weighted sign-projection accumulator for this query:
+    /// perturb in place before the signs are packed back into the estimate.
+    Projection,
+}
+
 /// Portable Hamming distance with the row width fixed at `W` words — the
 /// monomorphized twin of [`hamming_generic`] (the tier every non-x86 or
 /// `COGSYS_SIMD=generic` host runs).
@@ -874,6 +997,53 @@ fn hamming_generic_w<const W: usize>(a: &[u64], b: &[u64]) -> u32 {
         acc += (a[i] ^ b[i]).count_ones();
     }
     acc
+}
+
+/// Function-pointer type of the projection-tile word kernels behind
+/// [`project_tile_fn`]: accumulate one codebook word's ±w contributions for up
+/// to [`PROJ_LANE_ROWS`] weight lanes into the per-word SoA tile.
+type ProjTileFn = fn(&mut [[f32; WORD_BITS]; PROJ_LANE_ROWS], &[&[f32]], usize, u64);
+
+/// Baseline projection-tile word update: flip the IEEE sign bit of each lane's
+/// weight per packed codebook bit — `+w` or `-w` exactly, no rounding — with a
+/// branch-free broadcast fast path for all-positive (zero) words.
+fn project_tile_word_generic(
+    tile: &mut [[f32; WORD_BITS]; PROJ_LANE_ROWS],
+    lanes: &[&[f32]],
+    m: usize,
+    word: u64,
+) {
+    if word == 0 {
+        for (row, lane) in tile.iter_mut().zip(lanes) {
+            let w = lane[m];
+            for slot in row.iter_mut() {
+                *slot += w;
+            }
+        }
+    } else {
+        for (row, lane) in tile.iter_mut().zip(lanes) {
+            let w_bits = lane[m].to_bits();
+            for (bit, slot) in row.iter_mut().enumerate() {
+                let sign = ((word >> bit) as u32 & 1) << 31;
+                *slot += f32::from_bits(w_bits ^ sign);
+            }
+        }
+    }
+}
+
+/// Resolves the projection-tile word kernel for this CPU: the AVX2 sign-mask
+/// expansion on the avx2/avx512 tiers (the f32 projection sweep is the compute
+/// bound of a resonator iteration, so this is where the wide registers pay),
+/// the scalar sign-flip kernel otherwise. Capped by `COGSYS_SIMD` like every
+/// other kernel, so `COGSYS_SIMD=generic` A/Bs the scalar tile too. Every tier
+/// sums the identical ±w sequence per accumulator slot, so tier choice can
+/// never change a packed sign.
+fn project_tile_fn() -> ProjTileFn {
+    #[cfg(target_arch = "x86_64")]
+    if dispatch_tier() >= DispatchTier::Avx2 && std::arch::is_x86_feature_detected!("avx2") {
+        return simd::project_tile_word_avx2_checked;
+    }
+    project_tile_word_generic
 }
 
 /// Resolves the Hamming kernel monomorphized at `W` words for the detected tier.
@@ -1025,6 +1195,13 @@ impl BitMatrix {
     /// Number of rows.
     pub fn rows(&self) -> usize {
         self.rows
+    }
+
+    /// Capacity of the backing word buffer — a reallocation fingerprint for
+    /// steady-state-allocation regression tests ([`BitMatrix::ensure_shape`]
+    /// never shrinks it).
+    pub fn word_capacity(&self) -> usize {
+        self.words.capacity()
     }
 
     /// Dimensionality (in bits) of each row.
@@ -1428,6 +1605,23 @@ pub struct CleanupScratch {
     best: Vec<(usize, u32)>,
 }
 
+impl CleanupScratch {
+    /// Pre-sizes the per-query buffer for a batch of `queries` rows, so the
+    /// first cleanup call of a pre-sized serving loop allocates nothing. The
+    /// index-shaped buffers (`dist`, `order`, …) are sized by the cleanup
+    /// kernels themselves on first contact with a codebook and never grow past
+    /// its row count.
+    pub fn reserve_queries(&mut self, queries: usize) {
+        self.best.reserve(queries.saturating_sub(self.best.len()));
+    }
+
+    /// Capacity of the per-query buffer — a reallocation fingerprint for
+    /// steady-state-allocation regression tests.
+    pub fn best_capacity(&self) -> usize {
+        self.best.capacity()
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Packed backend
 // ---------------------------------------------------------------------------
@@ -1821,6 +2015,7 @@ impl PackedBackend {
         let dim = codebook.dim();
         out.ensure_shape(weights.rows(), dim);
         let wpr = codebook.words_per_row();
+        let tile_word = project_tile_fn();
         for block_start in (0..weights.rows()).step_by(PROJ_LANE_ROWS) {
             let block_len = (weights.rows() - block_start).min(PROJ_LANE_ROWS);
             let mut lanes: [&[f32]; PROJ_LANE_ROWS] = [&[]; PROJ_LANE_ROWS];
@@ -1838,24 +2033,7 @@ impl PackedBackend {
                 let mut tile = [[0.0f32; WORD_BITS]; PROJ_LANE_ROWS];
                 let column = codebook.words[wi..].iter().step_by(wpr);
                 for (m, &word) in column.take(codebook.rows()).enumerate() {
-                    if word == 0 {
-                        // All-positive word: += w for every lane, branch-free.
-                        for (row, lane) in tile.iter_mut().zip(&lanes[..block_len]) {
-                            let w = lane[m];
-                            for slot in row.iter_mut() {
-                                *slot += w;
-                            }
-                        }
-                    } else {
-                        // Flip the IEEE sign bit per packed bit: +w or -w exactly.
-                        for (row, lane) in tile.iter_mut().zip(&lanes[..block_len]) {
-                            let w_bits = lane[m].to_bits();
-                            for (bit, slot) in row.iter_mut().enumerate() {
-                                let sign = ((word >> bit) as u32 & 1) << 31;
-                                *slot += f32::from_bits(w_bits ^ sign);
-                            }
-                        }
-                    }
+                    tile_word(&mut tile, &lanes[..block_len], m, word);
                 }
                 for (lane, row) in tile.iter().enumerate().take(block_len) {
                     let dst = lane * dim + base;
@@ -2054,6 +2232,7 @@ impl PackedBackend {
         debug_assert_eq!(codebook.words_per_row(), W, "spec must match the codebook");
         let dim = codebook.dim();
         out.ensure_shape(weights.rows(), dim);
+        let tile_word = project_tile_fn();
         for block_start in (0..weights.rows()).step_by(PROJ_LANE_ROWS) {
             let block_len = (weights.rows() - block_start).min(PROJ_LANE_ROWS);
             let mut lanes: [&[f32]; PROJ_LANE_ROWS] = [&[]; PROJ_LANE_ROWS];
@@ -2068,22 +2247,7 @@ impl PackedBackend {
                 let mut tile = [[0.0f32; WORD_BITS]; PROJ_LANE_ROWS];
                 let column = codebook.words[wi..].iter().step_by(W);
                 for (m, &word) in column.take(codebook.rows()).enumerate() {
-                    if word == 0 {
-                        for (row, lane) in tile.iter_mut().zip(&lanes[..block_len]) {
-                            let w = lane[m];
-                            for slot in row.iter_mut() {
-                                *slot += w;
-                            }
-                        }
-                    } else {
-                        for (row, lane) in tile.iter_mut().zip(&lanes[..block_len]) {
-                            let w_bits = lane[m].to_bits();
-                            for (bit, slot) in row.iter_mut().enumerate() {
-                                let sign = ((word >> bit) as u32 & 1) << 31;
-                                *slot += f32::from_bits(w_bits ^ sign);
-                            }
-                        }
-                    }
+                    tile_word(&mut tile, &lanes[..block_len], m, word);
                 }
                 for (lane, row) in tile.iter().enumerate().take(block_len) {
                     let dst = lane * dim + base;
@@ -2095,6 +2259,258 @@ impl PackedBackend {
                 let acc_row = &mut acc[lane * dim..(lane + 1) * dim];
                 perturb(q, acc_row);
                 out.pack_signs_row(q, acc_row);
+            }
+        }
+    }
+
+    /// Fused resonator iteration step for one factor: XOR-unbind, Hamming
+    /// similarity, and weighted sign projection in a single tiled pass over the
+    /// codebook sign planes, per [`PROJ_LANE_ROWS`]-query lane block.
+    ///
+    /// The split pipeline streams three full-batch passes per factor per
+    /// iteration — materialize `unbound = query ⊕ ⊕_{g≠f} est_g` (one copy plus
+    /// `F−1` XOR sweeps over `rows × words` planes), then the similarity GEMM
+    /// re-reads `unbound`, then the projection re-reads the codebook. Here each
+    /// lane block unbinds its 8 rows into an L1-resident scratch, scans the
+    /// codebook once for similarities, and feeds the just-computed (and
+    /// hook-perturbed) similarity rows straight into the SoA sign-projection
+    /// tile of [`PackedBackend::project_signs_packed_into`] while the codebook
+    /// column is still cache-hot. The full-batch `unbound` plane is never
+    /// materialized.
+    ///
+    /// `estimates[factor]` is overwritten with the projected signs; the other
+    /// estimate planes are only read, and only by the unbind of *this* factor,
+    /// so the Gauss–Seidel in-place update order matches the split path.
+    /// `hook(phase, row, values)` runs per query row in ascending order within
+    /// each lane block — [`ResonatePhase::Similarity`] over the similarity row
+    /// (perturb + argmax decode), then [`ResonatePhase::Projection`] over the
+    /// sign accumulator row. Per-query noise streams see exactly the split
+    /// path's draw order (all of a query's similarity draws precede its
+    /// projection draws for the same factor); only the interleaving *across*
+    /// queries differs, which is unobservable because streams are private.
+    ///
+    /// `unbound` (resized to `PROJ_LANE_ROWS` rows), `sims` (resized to
+    /// `rows × codebook.rows()`), and `acc` are caller-owned scratch, so
+    /// steady-state calls allocate nothing.
+    #[allow(clippy::too_many_arguments)]
+    pub fn resonate_step_fused_into<F>(
+        &self,
+        codebook: &BitMatrix,
+        query: &BitMatrix,
+        estimates: &mut [BitMatrix],
+        factor: usize,
+        unbound: &mut BitMatrix,
+        sims: &mut HvMatrix,
+        acc: &mut Vec<f32>,
+        mut hook: F,
+    ) where
+        F: FnMut(ResonatePhase, usize, &mut [f32]),
+    {
+        let rows = query.rows();
+        let dim = codebook.dim();
+        let cb_rows = codebook.rows();
+        debug_assert!(factor < estimates.len(), "factor index in range");
+        debug_assert_eq!(query.dim(), dim, "operand dims must match");
+        let wpr = codebook.words_per_row().max(1);
+        let d = dim as i32;
+        sims.ensure_shape(rows, cb_rows);
+        let (head, rest) = estimates.split_at_mut(factor);
+        let (out, tail) = rest.split_first_mut().expect("factor index in range");
+        out.ensure_shape(rows, dim);
+        unbound.ensure_shape(PROJ_LANE_ROWS, dim);
+        let ham = hamming_fn();
+        let tile_word = project_tile_fn();
+        for block_start in (0..rows).step_by(PROJ_LANE_ROWS) {
+            let block_len = (rows - block_start).min(PROJ_LANE_ROWS);
+            // Unbind the lane rows once into the 8-row scratch: query ⊕ every
+            // *other* factor's estimate. The scratch stays L1-resident across
+            // both the similarity scan and the projection sweep below.
+            for lane in 0..block_len {
+                let r = block_start + lane;
+                let dst = &mut unbound.words[lane * wpr..(lane + 1) * wpr];
+                dst.copy_from_slice(&query.words[r * wpr..(r + 1) * wpr]);
+                for est in head.iter().chain(tail.iter()) {
+                    let src = &est.words[r * wpr..(r + 1) * wpr];
+                    for (dw, &sw) in dst.iter_mut().zip(src) {
+                        *dw ^= sw;
+                    }
+                }
+            }
+            // Similarity scan for the lane block — same codebook blocking and
+            // `d − 2·hamming` mapping as the standalone similarity GEMM.
+            for cb_start in (0..cb_rows).step_by(CODEBOOK_BLOCK_ROWS) {
+                let cb_end = (cb_start + CODEBOOK_BLOCK_ROWS).min(cb_rows);
+                let block_words = &codebook.words[cb_start * wpr..cb_end * wpr];
+                for lane in 0..block_len {
+                    let qw = &unbound.words[lane * wpr..(lane + 1) * wpr];
+                    let sims_row = &mut sims.row_mut(block_start + lane)[cb_start..cb_end];
+                    for (slot, row) in sims_row.iter_mut().zip(block_words.chunks_exact(wpr)) {
+                        *slot = (d - 2 * ham(qw, row) as i32) as f32;
+                    }
+                }
+            }
+            for lane in 0..block_len {
+                let slot = block_start + lane;
+                hook(ResonatePhase::Similarity, slot, sims.row_mut(slot));
+            }
+            // Projection sweep, weights = the just-perturbed similarity rows:
+            // identical tile walk (and accumulation order) to
+            // `project_signs_packed_into` restricted to this lane block.
+            let mut lanes: [&[f32]; PROJ_LANE_ROWS] = [&[]; PROJ_LANE_ROWS];
+            for (lane, row) in lanes.iter_mut().enumerate().take(block_len) {
+                *row = sims.row(block_start + lane);
+            }
+            acc.clear();
+            acc.resize(block_len * dim, 0.0);
+            for wi in 0..if cb_rows > 0 { wpr } else { 0 } {
+                let base = wi * WORD_BITS;
+                let width = (dim - base).min(WORD_BITS);
+                let mut tile = [[0.0f32; WORD_BITS]; PROJ_LANE_ROWS];
+                let column = codebook.words[wi..].iter().step_by(wpr);
+                for (m, &word) in column.take(cb_rows).enumerate() {
+                    tile_word(&mut tile, &lanes[..block_len], m, word);
+                }
+                for (lane, row) in tile.iter().enumerate().take(block_len) {
+                    let dst = lane * dim + base;
+                    acc[dst..dst + width].copy_from_slice(&row[..width]);
+                }
+            }
+            for lane in 0..block_len {
+                let slot = block_start + lane;
+                let acc_row = &mut acc[lane * dim..(lane + 1) * dim];
+                hook(ResonatePhase::Projection, slot, acc_row);
+                out.pack_signs_row(slot, acc_row);
+            }
+        }
+    }
+
+    /// [`PackedBackend::resonate_step_fused_into`] with a [`WordSpec`]
+    /// monomorphization hint: when `spec` matches the codebook's word count the
+    /// unbind, similarity scan (AVX2 block scan on that tier), and projection
+    /// sweep all run with the row width a compile-time constant. Same fallback
+    /// and identity guarantees as the other `_spec_into` entry points.
+    #[allow(clippy::too_many_arguments)]
+    pub fn resonate_step_fused_spec_into<F>(
+        &self,
+        spec: WordSpec,
+        codebook: &BitMatrix,
+        query: &BitMatrix,
+        estimates: &mut [BitMatrix],
+        factor: usize,
+        unbound: &mut BitMatrix,
+        sims: &mut HvMatrix,
+        acc: &mut Vec<f32>,
+        hook: F,
+    ) where
+        F: FnMut(ResonatePhase, usize, &mut [f32]),
+    {
+        match spec {
+            WordSpec::W16 if spec.matches(codebook.words_per_row()) => self.resonate_spec::<16, F>(
+                codebook, query, estimates, factor, unbound, sims, acc, hook,
+            ),
+            WordSpec::W32 if spec.matches(codebook.words_per_row()) => self.resonate_spec::<32, F>(
+                codebook, query, estimates, factor, unbound, sims, acc, hook,
+            ),
+            WordSpec::W64 if spec.matches(codebook.words_per_row()) => self.resonate_spec::<64, F>(
+                codebook, query, estimates, factor, unbound, sims, acc, hook,
+            ),
+            _ => self.resonate_step_fused_into(
+                codebook, query, estimates, factor, unbound, sims, acc, hook,
+            ),
+        }
+    }
+
+    /// Monomorphized fused resonator step — the body of
+    /// [`PackedBackend::resonate_step_fused_into`] with `wpr` a compile-time
+    /// `W`. Must stay in lockstep with the runtime-length kernel: the
+    /// fused-vs-split proptests pin the two bitwise.
+    #[allow(clippy::too_many_arguments)]
+    fn resonate_spec<const W: usize, F>(
+        &self,
+        codebook: &BitMatrix,
+        query: &BitMatrix,
+        estimates: &mut [BitMatrix],
+        factor: usize,
+        unbound: &mut BitMatrix,
+        sims: &mut HvMatrix,
+        acc: &mut Vec<f32>,
+        mut hook: F,
+    ) where
+        F: FnMut(ResonatePhase, usize, &mut [f32]),
+    {
+        let rows = query.rows();
+        let dim = codebook.dim();
+        let cb_rows = codebook.rows();
+        debug_assert!(factor < estimates.len(), "factor index in range");
+        debug_assert_eq!(codebook.words_per_row(), W, "spec must match the codebook");
+        debug_assert_eq!(query.dim(), dim, "operand dims must match");
+        let d = dim as i32;
+        sims.ensure_shape(rows, cb_rows);
+        let (head, rest) = estimates.split_at_mut(factor);
+        let (out, tail) = rest.split_first_mut().expect("factor index in range");
+        out.ensure_shape(rows, dim);
+        unbound.ensure_shape(PROJ_LANE_ROWS, dim);
+        #[cfg(target_arch = "x86_64")]
+        let avx2_scan = dispatch_tier() == DispatchTier::Avx2;
+        let ham = hamming_fn_spec_w::<W>();
+        let tile_word = project_tile_fn();
+        for block_start in (0..rows).step_by(PROJ_LANE_ROWS) {
+            let block_len = (rows - block_start).min(PROJ_LANE_ROWS);
+            for lane in 0..block_len {
+                let r = block_start + lane;
+                let dst = &mut unbound.words[lane * W..(lane + 1) * W];
+                dst.copy_from_slice(&query.words[r * W..(r + 1) * W]);
+                for est in head.iter().chain(tail.iter()) {
+                    let src = &est.words[r * W..(r + 1) * W];
+                    for i in 0..W {
+                        dst[i] ^= src[i];
+                    }
+                }
+            }
+            for cb_start in (0..cb_rows).step_by(CODEBOOK_BLOCK_ROWS) {
+                let cb_end = (cb_start + CODEBOOK_BLOCK_ROWS).min(cb_rows);
+                let block_words = &codebook.words[cb_start * W..cb_end * W];
+                for lane in 0..block_len {
+                    let qw = &unbound.words[lane * W..(lane + 1) * W];
+                    let sims_row = &mut sims.row_mut(block_start + lane)[cb_start..cb_end];
+                    #[cfg(target_arch = "x86_64")]
+                    if avx2_scan {
+                        simd::sim_scan_avx2_w_checked::<W>(d, qw, block_words, sims_row);
+                        continue;
+                    }
+                    for (slot, row) in sims_row.iter_mut().zip(block_words.chunks_exact(W)) {
+                        *slot = (d - 2 * ham(qw, row) as i32) as f32;
+                    }
+                }
+            }
+            for lane in 0..block_len {
+                let slot = block_start + lane;
+                hook(ResonatePhase::Similarity, slot, sims.row_mut(slot));
+            }
+            let mut lanes: [&[f32]; PROJ_LANE_ROWS] = [&[]; PROJ_LANE_ROWS];
+            for (lane, row) in lanes.iter_mut().enumerate().take(block_len) {
+                *row = sims.row(block_start + lane);
+            }
+            acc.clear();
+            acc.resize(block_len * dim, 0.0);
+            for wi in 0..if cb_rows > 0 { W } else { 0 } {
+                let base = wi * WORD_BITS;
+                let width = (dim - base).min(WORD_BITS);
+                let mut tile = [[0.0f32; WORD_BITS]; PROJ_LANE_ROWS];
+                let column = codebook.words[wi..].iter().step_by(W);
+                for (m, &word) in column.take(cb_rows).enumerate() {
+                    tile_word(&mut tile, &lanes[..block_len], m, word);
+                }
+                for (lane, row) in tile.iter().enumerate().take(block_len) {
+                    let dst = lane * dim + base;
+                    acc[dst..dst + width].copy_from_slice(&row[..width]);
+                }
+            }
+            for lane in 0..block_len {
+                let slot = block_start + lane;
+                let acc_row = &mut acc[lane * dim..(lane + 1) * dim];
+                hook(ResonatePhase::Projection, slot, acc_row);
+                out.pack_signs_row(slot, acc_row);
             }
         }
     }

@@ -23,7 +23,7 @@ use cogsys_datasets::{Attribute, AttributeVocab, DatasetKind, Panel, Problem, Ru
 use cogsys_factorizer::{Factorizer, FactorizerConfig, FactorizerScratch};
 use cogsys_vsa::batch::{BackendKind, HvMatrix, VsaBackend};
 use cogsys_vsa::codebook::{BindingOp, CleanupRoute, CodebookSet};
-use cogsys_vsa::packed::{BitMatrix, WordSpec};
+use cogsys_vsa::packed::{BitMatrix, FusionMode, WordSpec};
 use cogsys_vsa::quant::fake_quantize_slice;
 use cogsys_vsa::{ops, Hypervector, Precision, VsaError, VsaKind};
 use rand::rngs::StdRng;
@@ -223,6 +223,14 @@ impl SolverScratch {
     /// [`NeurosymbolicSolver::solve_batch_with`] call, in problem order.
     pub fn choices(&self) -> &[usize] {
         &self.choices
+    }
+
+    /// Capacities of every factorizer scratch buffer (see
+    /// [`FactorizerScratch::packed_capacity_fingerprint`]) — the regression hook
+    /// asserting a pre-sized serving loop reallocates nothing across a chunked
+    /// stream.
+    pub fn factorizer_capacity_fingerprint(&self) -> Vec<usize> {
+        self.decode.factorizer.packed_capacity_fingerprint()
     }
 }
 
@@ -495,6 +503,21 @@ impl NeurosymbolicSolver {
     /// (runtime-length inner loops); the two plans are decision-identical, which is
     /// what makes the specialized-vs-generic bench cells a pure kernel A/B.
     pub fn compile_plan(&self, batch: usize, specialize: bool) -> SolvePlan {
+        self.compile_plan_with_fusion(batch, specialize, FusionMode::resolve_env())
+    }
+
+    /// [`NeurosymbolicSolver::compile_plan`] with the resonator [`FusionMode`]
+    /// forced instead of resolved from the environment (`COGSYS_FUSION`) — the
+    /// in-process A/B switch the fused-vs-split bench cells and the
+    /// decision-identity tests use. `fusion` only lands on packed resonate
+    /// stages; dense blocks always carry [`FusionMode::Split`] (the dense
+    /// engine has no fused kernel).
+    pub fn compile_plan_with_fusion(
+        &self,
+        batch: usize,
+        specialize: bool,
+        fusion: FusionMode,
+    ) -> SolvePlan {
         let dim = self.config.vector_dim;
         let packed_route = self.packed_encode_route();
         let pack_dense_bits = !packed_route
@@ -533,6 +556,12 @@ impl NeurosymbolicSolver {
                 factors: set.num_factors(),
                 codebook_rows,
                 packed: block_packed,
+                iterations: self.factorizer.config().max_iterations,
+                fusion: if block_packed {
+                    fusion
+                } else {
+                    FusionMode::Split
+                },
             });
             let routes: Vec<CleanupRoute> = (0..set.num_factors())
                 .map(|f| {
@@ -798,8 +827,10 @@ impl NeurosymbolicSolver {
                 &mut ds,
                 &mut values,
                 // Auto-specialize like the planned path (bitwise-identical kernels);
-                // routes are re-derived per call on this unplanned entry point.
+                // routes and fusion are re-derived per call on this unplanned entry
+                // point, mirroring what compile_plan would resolve.
                 WordSpec::for_dim(self.config.vector_dim),
+                FusionMode::resolve_env(),
                 None,
             )?;
         }
@@ -825,7 +856,9 @@ impl NeurosymbolicSolver {
     /// exactly the XOR of sign planes).
     /// `spec` selects the const-generic word-count kernels of the packed route
     /// (bitwise identical to the runtime-length kernels — pass
-    /// [`WordSpec::Generic`] or a mismatched spec and only speed changes); `routes`,
+    /// [`WordSpec::Generic`] or a mismatched spec and only speed changes); `fusion`
+    /// selects the fused mega-kernel vs the split reference sequence for the packed
+    /// resonator iteration (decision-identical either way); `routes`,
     /// when given, carries the plan's pre-resolved cleanup route per factor —
     /// `None` re-derives per call (the unplanned sequential path).
     #[allow(clippy::too_many_arguments)]
@@ -839,6 +872,7 @@ impl NeurosymbolicSolver {
         ds: &mut DecodeScratch,
         values: &mut [[usize; 5]],
         spec: WordSpec,
+        fusion: FusionMode,
         routes: Option<&[CleanupRoute]>,
     ) -> Result<usize, VsaError> {
         let DecodeScratch {
@@ -856,7 +890,7 @@ impl NeurosymbolicSolver {
         let results = match packed_query {
             Some(bits) => self
                 .factorizer
-                .factorize_matrix_bits_scratch_spec(set, bits, streams, fscratch, spec)?,
+                .factorize_matrix_bits_scratch_plan(set, bits, streams, fscratch, spec, fusion)?,
             None => {
                 let queries = encoded.ok_or(VsaError::Unsupported {
                     what: "dense decode route requires f32 queries",
@@ -1218,6 +1252,28 @@ impl NeurosymbolicSolver {
         self.execute_plan(plan, problems, rng, scratch, Some(timings))
     }
 
+    /// Pre-sizes the factorizer scratch from the plan's workload shape — chunk
+    /// rows, dimension, per-block factor count and codebook widths are all fixed
+    /// by the [`PlanKey`], so the buffers the packed resonator and the fused
+    /// kernel reshape per call can be bounded **before** the stream starts and
+    /// the steady-state serving loop stays allocation-free
+    /// (`SolverScratch::factorizer_capacity_fingerprint` is the regression hook).
+    /// Draws no rng and touches no decision state; a no-op once sized.
+    fn reserve_scratch_for_plan(&self, plan: &SolvePlan, scratch: &mut SolverScratch) {
+        let rows = plan.chunk_problems.max(1) * Self::CONTEXT_PANELS;
+        let num_factors = self
+            .blocks
+            .iter()
+            .map(|(set, _)| set.num_factors())
+            .max()
+            .unwrap_or(0);
+        let max_cb_rows = plan.key.codebook_rows.iter().copied().max().unwrap_or(0);
+        scratch
+            .decode
+            .factorizer
+            .reserve_packed(rows, plan.key.dim, num_factors, max_cb_rows);
+    }
+
     /// Rejects a plan compiled for a different solver shape before any rng draw.
     fn check_plan(&self, plan: &SolvePlan) -> Result<(), SolveError> {
         let expected = self.plan_key(plan.key.batch);
@@ -1243,6 +1299,7 @@ impl NeurosymbolicSolver {
         scratch: &mut SolverScratch,
         mut timings: Option<&mut StageNanos>,
     ) -> Result<SolverReport, SolveError> {
+        self.reserve_scratch_for_plan(plan, scratch);
         let mut total = SolverReport::default();
         for chunk in problems.chunks(plan.chunk_problems.max(1)) {
             total.merge(&self.solve_batch_chunk(
@@ -1399,6 +1456,7 @@ impl NeurosymbolicSolver {
                 decode,
                 values,
                 plan.spec,
+                plan.resonate_fusion(b).unwrap_or(FusionMode::Split),
                 plan.polish_routes(b),
             )?;
         }
@@ -2206,6 +2264,46 @@ mod tests {
             assert_eq!(r1.next_u64(), r2.next_u64());
             assert!(stages.encode > 0 && stages.decode > 0 && stages.score > 0);
             assert_eq!(stages.total(), stages.encode + stages.decode + stages.score);
+        }
+
+        #[test]
+        fn planned_serving_scratch_never_reallocates_after_the_first_chunk() {
+            // Steady-state serving must stay allocation-free under fusion: the
+            // planned executor pre-sizes the factorizer scratch from the plan
+            // key on entry, so every capacity the packed resonator (and its
+            // fused kernel) touches is final after the first chunk. The
+            // fingerprint is the full ordered capacity vector of the packed
+            // scratch — any buffer regrowing across chunks changes it.
+            let (s, mut r) = solver(76, SolverConfig::default());
+            let problems = ProblemGenerator::new(DatasetKind::Raven).generate_batch(10, &mut r);
+            let plan = s.plan_for_batch(4);
+            assert_eq!(
+                plan.resonate_fusion(0),
+                Some(cogsys_vsa::FusionMode::Fused),
+                "default packed plan must resolve the fused resonator"
+            );
+            let mut scratch = SolverScratch::default();
+            // Serve an under-full chunk first: the presize keys on the *plan's*
+            // chunk width, so even this 2-problem call must leave every buffer
+            // at full 4-problem capacity — if sizing instead trailed the
+            // submitted batch, the full chunks below would regrow the scratch
+            // and change the fingerprint.
+            s.solve_batch_with_plan(&plan, &problems[..2], &mut r, &mut scratch)
+                .unwrap();
+            let fingerprint = scratch.factorizer_capacity_fingerprint();
+            assert!(
+                fingerprint.iter().any(|&c| c > 0),
+                "presize must have reserved the packed scratch"
+            );
+            for chunk in problems[2..].chunks(4) {
+                s.solve_batch_with_plan(&plan, chunk, &mut r, &mut scratch)
+                    .unwrap();
+                assert_eq!(
+                    scratch.factorizer_capacity_fingerprint(),
+                    fingerprint,
+                    "steady-state serving reallocated factorizer scratch"
+                );
+            }
         }
 
         proptest! {

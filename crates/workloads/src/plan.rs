@@ -30,7 +30,7 @@
 
 use cogsys_scheduler::OpGraph;
 use cogsys_sim::Kernel;
-use cogsys_vsa::{BackendKind, CleanupRoute, WordSpec};
+use cogsys_vsa::{BackendKind, CleanupRoute, FusionMode, WordSpec};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
@@ -90,6 +90,14 @@ pub enum PlanStage {
         codebook_rows: Vec<usize>,
         /// `true` on the bit-packed resonator engine.
         packed: bool,
+        /// Configured iteration cap of the resonator loop — the worst-case trip
+        /// count the scheduler lowering charges the stage with (rows converge
+        /// and compact out earlier at run time).
+        iterations: usize,
+        /// How the packed iteration executes: the fused single-pass mega-kernel
+        /// or the split three-kernel reference sequence (decision-identical;
+        /// only meaningful when `packed`).
+        fusion: FusionMode,
     },
     /// One coordinate-descent polish sweep (unbind-all-but + cleanup per factor),
     /// with the cleanup route pre-chosen per factor.
@@ -139,17 +147,24 @@ impl PlanStage {
     /// is one cleanup search per factor. `Predict` is control-flow-only symbolic
     /// work, lowered as a per-problem element-wise op so the scheduler still sees
     /// (and orders) the stage.
+    ///
+    /// The resonate lowering is **iteration-aware**: the similarity count is the
+    /// row count multiplied by the configured iteration cap, so the scheduled
+    /// stage shares track the measured `plan_stage_*` cells (one resonator call
+    /// runs the per-iteration kernels up to `iterations` times) instead of
+    /// charging a single sweep.
     pub fn kernel(&self, dim: usize) -> Kernel {
         match self {
             PlanStage::Encode { rows, .. } => Kernel::CircConv { dim, count: *rows },
             PlanStage::Resonate {
                 rows,
                 codebook_rows,
+                iterations,
                 ..
             } => Kernel::Similarity {
                 rows: codebook_rows.iter().sum::<usize>().max(1),
                 dim,
-                count: *rows,
+                count: rows * iterations.max(&1),
             },
             PlanStage::Polish { rows, routes, .. } => Kernel::Similarity {
                 rows: routes.len().max(1),
@@ -231,10 +246,17 @@ impl SolvePlan {
                     factors,
                     codebook_rows,
                     packed,
+                    iterations,
+                    fusion,
                 } => format!(
-                    "block={block} rows={rows} factors={factors} cb={codebook_rows:?} packed={packed}"
+                    "block={block} rows={rows} factors={factors} cb={codebook_rows:?} \
+                     packed={packed} iters={iterations} fusion={fusion}"
                 ),
-                PlanStage::Polish { block, rows, routes } => {
+                PlanStage::Polish {
+                    block,
+                    rows,
+                    routes,
+                } => {
                     let routes: Vec<&str> = routes.iter().map(|r| r.as_str()).collect();
                     format!("block={block} rows={rows} routes={routes:?}")
                 }
@@ -248,6 +270,17 @@ impl SolvePlan {
             let _ = writeln!(out, "  [{i}] {:<8} {detail}", stage.name());
         }
         out
+    }
+
+    /// The pre-resolved [`FusionMode`] of block `block`'s resonate stage, or
+    /// `None` when the plan carries no resonate stage for that block.
+    pub fn resonate_fusion(&self, block: usize) -> Option<FusionMode> {
+        self.stages.iter().find_map(|stage| match stage {
+            PlanStage::Resonate {
+                block: b, fusion, ..
+            } if *b == block => Some(*fusion),
+            _ => None,
+        })
     }
 
     /// The pre-resolved cleanup routes of block `block`'s polish stage (one per
@@ -384,6 +417,8 @@ mod tests {
                     factors: 3,
                     codebook_rows: vec![9, 9, 5],
                     packed: true,
+                    iterations: 200,
+                    fusion: FusionMode::Fused,
                 },
                 PlanStage::Polish {
                     block: 0,
@@ -412,9 +447,37 @@ mod tests {
             "polish",
             "predict",
             "score",
+            "iters=200",
+            "fusion=fused",
         ] {
             assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
         }
+    }
+
+    #[test]
+    fn resonate_fusion_reports_the_per_block_decision() {
+        let p = plan(4);
+        assert_eq!(p.resonate_fusion(0), Some(FusionMode::Fused));
+        assert_eq!(p.resonate_fusion(1), None);
+    }
+
+    #[test]
+    fn resonate_lowering_is_iteration_aware() {
+        // The lowered similarity count charges the configured iteration cap, so
+        // the scheduled share of the resonate stage tracks what the executor can
+        // actually spend there — not a single sweep.
+        let mut capped = plan(4);
+        let mut single = plan(4);
+        if let PlanStage::Resonate { iterations, .. } = &mut capped.stages[1] {
+            *iterations = 200;
+        }
+        if let PlanStage::Resonate { iterations, .. } = &mut single.stages[1] {
+            *iterations = 1;
+        }
+        let dim = capped.key.dim;
+        let capped_flops = capped.stages[1].kernel(dim).flops();
+        let single_flops = single.stages[1].kernel(dim).flops();
+        assert_eq!(capped_flops, 200 * single_flops);
     }
 
     #[test]
